@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestRunSmallScale exercises every experiment at the smallest useful
+// scale so the harness itself is covered by the test suite.
+func TestRunSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench harness smoke skipped in -short mode")
+	}
+	for _, args := range [][]string{
+		{"-table", "2", "-k", "4", "-samples", "1"},
+		{"-table", "3", "-k", "4"},
+		{"-table", "mining", "-k", "4", "-failures", "3"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table", "9"},
+		{"-table", "2", "-k", "5"}, // odd arity
+		{"-bogus"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"realconfig/internal/core"
+)
+
+func TestRunGeneratesLoadableNetwork(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-shape", "fattree", "-k", "4", "-mode", "bgp", "-out", dir, "-emit-policies"}); err != nil {
+		t.Fatal(err)
+	}
+	net, err := core.LoadNetworkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Devices) != 20 || len(net.Topology.Links) != 32 {
+		t.Errorf("devices=%d links=%d", len(net.Devices), len(net.Topology.Links))
+	}
+	polText, err := os.ReadFile(filepath.Join(dir, "policies.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(core.Options{})
+	if _, err := v.Load(net); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := core.ParsePolicies(string(polText), v.Model().H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 20 { // 19 reach + 1 loopfree
+		t.Errorf("policies = %d", len(ps))
+	}
+	for _, p := range ps {
+		if !v.AddPolicy(p) {
+			t.Errorf("generated policy %q does not hold on the generated network", p.Name())
+		}
+	}
+}
+
+func TestRunAllShapes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shape", "grid", "-w", "2", "-h", "3", "-mode", "ospf"},
+		{"-shape", "ring", "-n", "4", "-mode", "bgp"},
+		{"-shape", "line", "-n", "3", "-mode", "ospf"},
+		{"-shape", "random", "-n", "8", "-degree", "2.5", "-seed", "5", "-mode", "ospf"},
+	} {
+		dir := t.TempDir()
+		if err := run(append(args, "-out", dir)); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+		if _, err := core.LoadNetworkDir(dir); err != nil {
+			t.Errorf("%v: load: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{}, // missing -out
+		{"-out", "/tmp/x", "-mode", "eigrp"},
+		{"-out", "/tmp/x", "-shape", "torus"},
+		{"-out", "/tmp/x", "-shape", "fattree", "-k", "3"},
+		{"-bogus-flag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Command realconfig verifies network configurations incrementally.
+//
+// Full verification of a snapshot:
+//
+//	realconfig verify -net <dir> [-policies <file>] [-fib]
+//
+// Incremental verification of a change plan (each step is a snapshot
+// directory; steps are verified in order, reusing prior state):
+//
+//	realconfig check -net <base-dir> [-policies <file>] <step-dir>...
+//
+// Tracing a concrete packet and diffing snapshots:
+//
+//	realconfig trace -net <dir> -from <device> -to <ip> [-proto tcp -port 22]
+//	realconfig diff <old-dir> <new-dir>
+//
+// A snapshot directory holds one "<host>.cfg" per device and a
+// "topology.txt" with "link devA intfA devB intfB" lines; see cmd/rcgen
+// to generate synthetic snapshots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/bdd"
+	"realconfig/internal/core"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "realconfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: realconfig verify|check [flags]")
+	}
+	switch args[0] {
+	case "verify":
+		return cmdVerify(args[1:])
+	case "check":
+		return cmdCheck(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
+	case "diff":
+		return cmdDiff(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want verify, check, trace or diff)", args[0])
+	}
+}
+
+// cmdTrace follows one concrete packet through the verified data plane.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	netDir := fs.String("net", "", "snapshot directory (required)")
+	src := fs.String("from", "", "injection device (required)")
+	dstStr := fs.String("to", "", "destination IPv4 address (required)")
+	srcStr := fs.String("src", "0.0.0.0", "source IPv4 address")
+	protoStr := fs.String("proto", "ip", "protocol: ip, tcp, udp, icmp")
+	port := fs.Int("port", 0, "destination port")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *netDir == "" || *src == "" || *dstStr == "" {
+		return fmt.Errorf("-net, -from and -to are required")
+	}
+	net, err := core.LoadNetworkDir(*netDir)
+	if err != nil {
+		return err
+	}
+	if net.Devices[*src] == nil {
+		return fmt.Errorf("no device %q", *src)
+	}
+	var pkt bdd.Packet
+	if pkt.Dst, err = netcfg.ParseAddr(*dstStr); err != nil {
+		return err
+	}
+	if pkt.Src, err = netcfg.ParseAddr(*srcStr); err != nil {
+		return err
+	}
+	switch *protoStr {
+	case "ip":
+		pkt.Proto = netcfg.ProtoIPAny
+	case "tcp":
+		pkt.Proto = netcfg.ProtoTCP
+	case "udp":
+		pkt.Proto = netcfg.ProtoUDP
+	case "icmp":
+		pkt.Proto = netcfg.ProtoICMP
+	default:
+		return fmt.Errorf("unknown protocol %q", *protoStr)
+	}
+	if *port < 0 || *port > 65535 {
+		return fmt.Errorf("bad port %d", *port)
+	}
+	pkt.DstPort = uint16(*port)
+	v := core.New(core.Options{DetectOscillation: true})
+	if _, err := v.Load(net); err != nil {
+		return err
+	}
+	fmt.Print(v.Trace(*src, pkt))
+	return nil
+}
+
+// cmdDiff prints the configuration-line diff between two snapshots.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: realconfig diff <old-dir> <new-dir>")
+	}
+	oldNet, err := core.LoadNetworkDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newNet, err := core.LoadNetworkDir(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := netcfg.DiffNetworks(oldNet, newNet)
+	if d.Empty() {
+		fmt.Println("no changes")
+		return nil
+	}
+	devs := make([]string, 0, len(d.Devices))
+	for name := range d.Devices {
+		devs = append(devs, name)
+	}
+	sort.Strings(devs)
+	for _, name := range devs {
+		fmt.Printf("%s:\n", name)
+		for _, ch := range d.Devices[name] {
+			fmt.Printf("  %s\n", ch)
+		}
+	}
+	for _, lc := range d.Links {
+		fmt.Printf("topology: %s %s\n", lc.Op, lc.Link)
+	}
+	fmt.Printf("%d line(s) changed\n", d.LineCount())
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	netDir := fs.String("net", "", "snapshot directory (required)")
+	polFile := fs.String("policies", "", "policy specification file")
+	showFIB := fs.Bool("fib", false, "print the computed FIB")
+	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *netDir == "" {
+		return fmt.Errorf("-net is required")
+	}
+	net, err := core.LoadNetworkDir(*netDir)
+	if err != nil {
+		return err
+	}
+	v := core.New(options(*deleteFirst))
+	rep, err := v.Load(net)
+	if err != nil {
+		return err
+	}
+	if err := addPolicies(v, *polFile); err != nil {
+		return err
+	}
+	printReport(rep, fmt.Sprintf("verified %s", *netDir))
+	printVerdicts(v)
+	if *showFIB {
+		printFIB(v)
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	netDir := fs.String("net", "", "base snapshot directory (required)")
+	polFile := fs.String("policies", "", "policy specification file")
+	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *netDir == "" {
+		return fmt.Errorf("-net is required")
+	}
+	steps := fs.Args()
+	if len(steps) == 0 {
+		return fmt.Errorf("no change steps given")
+	}
+	base, err := core.LoadNetworkDir(*netDir)
+	if err != nil {
+		return err
+	}
+	v := core.New(options(*deleteFirst))
+	rep, err := v.Load(base)
+	if err != nil {
+		return err
+	}
+	if err := addPolicies(v, *polFile); err != nil {
+		return err
+	}
+	printReport(rep, fmt.Sprintf("base %s", *netDir))
+	for _, step := range steps {
+		next, err := core.LoadNetworkDir(step)
+		if err != nil {
+			return err
+		}
+		rep, err := v.SetNetwork(next)
+		if err != nil {
+			return err
+		}
+		printReport(rep, fmt.Sprintf("step %s", step))
+		for _, name := range rep.Violations() {
+			fmt.Printf("  VIOLATED: %s\n", name)
+		}
+		for _, name := range rep.Repaired() {
+			fmt.Printf("  repaired: %s\n", name)
+		}
+	}
+	printVerdicts(v)
+	return nil
+}
+
+func options(deleteFirst bool) core.Options {
+	opts := core.Options{DetectOscillation: true}
+	if deleteFirst {
+		opts.Order = apkeep.DeleteFirst
+	}
+	return opts
+}
+
+func addPolicies(v *core.Verifier, file string) error {
+	if file == "" {
+		return nil
+	}
+	text, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	ps, err := core.ParsePolicies(string(text), v.Model().H)
+	if err != nil {
+		return err
+	}
+	for _, p := range ps {
+		v.AddPolicy(p)
+	}
+	return nil
+}
+
+func printReport(rep *core.Report, label string) {
+	fmt.Printf("%s: %d config lines changed, rules +%d/-%d, filters %d, ECs %d, pairs %d, policies checked %d\n",
+		label, rep.Diff.LineCount(), rep.RulesInserted, rep.RulesDeleted, rep.FilterChanges,
+		rep.Model.AffectedECs(), len(rep.Check.AffectedPairs), rep.Check.PoliciesChecked)
+	fmt.Printf("  timing: generate=%s model=%s check=%s total=%s\n",
+		round(rep.Timing.Generate), round(rep.Timing.ModelUpdate),
+		round(rep.Timing.PolicyCheck), round(rep.Timing.Total))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }
+
+func printVerdicts(v *core.Verifier) {
+	verdicts := v.Verdicts()
+	if len(verdicts) == 0 {
+		return
+	}
+	names := make([]string, 0, len(verdicts))
+	for name := range verdicts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("policies:")
+	for _, name := range names {
+		status := "SATISFIED"
+		if !verdicts[name] {
+			status = "VIOLATED"
+		}
+		fmt.Printf("  %-40s %s\n", name, status)
+	}
+}
+
+func printFIB(v *core.Verifier) {
+	var rules []dataplane.Rule
+	for r, d := range v.FIB() {
+		if d > 0 {
+			rules = append(rules, r)
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Prefix.Addr != b.Prefix.Addr {
+			return a.Prefix.Addr < b.Prefix.Addr
+		}
+		return a.Prefix.Len < b.Prefix.Len
+	})
+	fmt.Printf("fib (%d rules):\n", len(rules))
+	for _, r := range rules {
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,3 @@
+module realconfig
+
+go 1.22

@@ -1,0 +1,142 @@
+package apkeep
+
+import (
+	"sort"
+
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+)
+
+// FilterKey identifies a packet filter element: an ACL binding on one
+// device interface in one direction.
+type FilterKey struct {
+	Device string
+	Intf   string
+	Dir    dataplane.Direction
+}
+
+// filterState is one binding's slice of the model.
+type filterState struct {
+	// lines are the binding's filter rules sorted by sequence number.
+	lines []dataplane.FilterRule
+	// allow is the predicate of packets the binding permits.
+	allow bdd.Node
+	// blocked marks ECs the binding denies (ECs are split so each is
+	// entirely allowed or entirely blocked).
+	blocked map[bdd.Node]bool
+}
+
+// FilterTransfer records one EC changing filter status at one binding.
+type FilterTransfer struct {
+	Key     FilterKey
+	EC      bdd.Node
+	Blocked bool // new status
+}
+
+// Blocked reports whether an EC is denied at a binding. Bindings that do
+// not exist permit everything.
+func (m *Model) Blocked(dev, intf string, dir dataplane.Direction, ec bdd.Node) bool {
+	if fs := m.filters[FilterKey{Device: dev, Intf: intf, Dir: dir}]; fs != nil {
+		return fs.blocked[ec]
+	}
+	return false
+}
+
+// FilterKeys returns the currently bound filter elements.
+func (m *Model) FilterKeys() []FilterKey {
+	out := make([]FilterKey, 0, len(m.filters))
+	for k := range m.filters {
+		out = append(out, k)
+	}
+	return out
+}
+
+// UpdateFilters applies filter rule changes (insertions and deletions of
+// ACL lines at bindings) and refreshes the affected bindings' EC status.
+// A binding whose last line disappears is removed entirely (interface
+// without ACL permits everything).
+func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) {
+	touched := make(map[FilterKey]bool)
+	for _, e := range changes {
+		k := FilterKey{Device: e.Val.Device, Intf: e.Val.Intf, Dir: e.Val.Dir}
+		fs := m.filters[k]
+		if fs == nil {
+			fs = &filterState{allow: bdd.True, blocked: make(map[bdd.Node]bool)}
+			m.filters[k] = fs
+		}
+		if e.Diff > 0 {
+			fs.lines = append(fs.lines, e.Val)
+		} else {
+			for i, l := range fs.lines {
+				if l == e.Val {
+					fs.lines = append(fs.lines[:i], fs.lines[i+1:]...)
+					break
+				}
+			}
+		}
+		touched[k] = true
+	}
+	for k := range touched {
+		m.refreshFilter(k)
+	}
+}
+
+// refreshFilter recomputes a binding's allow predicate (first-match
+// semantics with implicit trailing deny) and reclassifies ECs whose
+// status flips.
+func (m *Model) refreshFilter(k FilterKey) {
+	fs := m.filters[k]
+	if len(fs.lines) == 0 {
+		// Binding removed: everything allowed again.
+		for ec := range fs.blocked {
+			m.bumpSig(ec, -filterFact(k))
+			m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: false})
+		}
+		delete(m.filters, k)
+		return
+	}
+	sort.Slice(fs.lines, func(i, j int) bool { return fs.lines[i].Seq < fs.lines[j].Seq })
+	allow := bdd.False
+	covered := bdd.False
+	for _, l := range fs.lines {
+		match := m.H.Match(l.Match)
+		eff := m.H.Diff(match, covered)
+		covered = m.H.Or(covered, match)
+		if l.Action == netcfg.Permit {
+			allow = m.H.Or(allow, eff)
+		}
+	}
+	if allow == fs.allow {
+		return
+	}
+	fs.allow = allow
+	deny := m.H.Not(allow)
+	// Split so every EC is pure w.r.t. the new boundary, then flip
+	// statuses that changed.
+	blockedNow := make(map[bdd.Node]bool)
+	for _, ec := range m.split(deny) {
+		blockedNow[ec] = true
+	}
+	for ec := range blockedNow {
+		if !fs.blocked[ec] {
+			m.bumpSig(ec, filterFact(k))
+			m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: true})
+		}
+		delete(fs.blocked, ec)
+	}
+	for ec := range fs.blocked {
+		m.bumpSig(ec, -filterFact(k))
+		m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: false})
+		delete(fs.blocked, ec)
+	}
+	fs.blocked = blockedNow
+}
+
+// TakeFilterTransfers returns and clears accumulated filter transfers.
+func (m *Model) TakeFilterTransfers() []FilterTransfer {
+	out := m.ftransfers
+	m.ftransfers = nil
+	return out
+}

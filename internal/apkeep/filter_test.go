@@ -1,0 +1,183 @@
+package apkeep
+
+import (
+	"testing"
+
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+)
+
+func filterRule(dev, intf string, dir dataplane.Direction, seq int, action netcfg.ACLAction, m dataplane.Match) dataplane.FilterRule {
+	return dataplane.FilterRule{Device: dev, Intf: intf, Dir: dir, Seq: seq, Action: action, Match: m}
+}
+
+func insAll(rules ...dataplane.FilterRule) []dd.Entry[dataplane.FilterRule] {
+	out := make([]dd.Entry[dataplane.FilterRule], len(rules))
+	for i, r := range rules {
+		out[i] = dd.Entry[dataplane.FilterRule]{Val: r, Diff: 1}
+	}
+	return out
+}
+
+func TestFilterBlocksMatchingEC(t *testing.T) {
+	m := New()
+	denySSH := filterRule("r1", "eth0", dataplane.In, 10, netcfg.Deny,
+		dataplane.Match{Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22})
+	permitAll := filterRule("r1", "eth0", dataplane.In, 20, netcfg.Permit, dataplane.MatchAll)
+	m.UpdateFilters(insAll(denySSH, permitAll))
+	tr := m.TakeFilterTransfers()
+	if len(tr) == 0 {
+		t.Fatal("no filter transfers")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	// Find the EC containing an SSH packet and a plain packet.
+	ssh := bdd.Packet{Proto: netcfg.ProtoTCP, DstPort: 22}
+	web := bdd.Packet{Proto: netcfg.ProtoTCP, DstPort: 80}
+	var sshEC, webEC bdd.Node = bdd.False, bdd.False
+	for ec := range m.ECs() {
+		if m.H.Contains(ec, ssh) {
+			sshEC = ec
+		}
+		if m.H.Contains(ec, web) {
+			webEC = ec
+		}
+	}
+	if sshEC == webEC {
+		t.Fatal("filter boundary did not split ECs")
+	}
+	if !m.Blocked("r1", "eth0", dataplane.In, sshEC) {
+		t.Error("SSH EC not blocked")
+	}
+	if m.Blocked("r1", "eth0", dataplane.In, webEC) {
+		t.Error("web EC blocked")
+	}
+	// Other bindings are unaffected.
+	if m.Blocked("r1", "eth0", dataplane.Out, sshEC) || m.Blocked("r2", "eth0", dataplane.In, sshEC) {
+		t.Error("unrelated binding blocks")
+	}
+}
+
+func TestImplicitDenyWithoutPermit(t *testing.T) {
+	m := New()
+	only := filterRule("r1", "eth0", dataplane.In, 10, netcfg.Deny,
+		dataplane.Match{Dst: netcfg.MustPrefix("10.0.0.0/8")})
+	m.UpdateFilters(insAll(only))
+	m.TakeFilterTransfers()
+	// With no permit line, everything is blocked (implicit deny).
+	for ec := range m.ECs() {
+		if !m.Blocked("r1", "eth0", dataplane.In, ec) {
+			t.Errorf("EC unexpectedly permitted under implicit deny")
+		}
+	}
+}
+
+func TestFilterFirstMatchWins(t *testing.T) {
+	m := New()
+	permitHost := filterRule("r1", "eth0", dataplane.In, 5, netcfg.Permit,
+		dataplane.Match{Proto: netcfg.ProtoTCP, Dst: netcfg.MustPrefix("10.1.1.0/24"), DstPortLo: 22, DstPortHi: 22})
+	denySSH := filterRule("r1", "eth0", dataplane.In, 10, netcfg.Deny,
+		dataplane.Match{Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22})
+	permitAll := filterRule("r1", "eth0", dataplane.In, 20, netcfg.Permit, dataplane.MatchAll)
+	m.UpdateFilters(insAll(permitHost, denySSH, permitAll))
+	m.TakeFilterTransfers()
+
+	allowed := bdd.Packet{Proto: netcfg.ProtoTCP, Dst: netcfg.MustAddr("10.1.1.7"), DstPort: 22}
+	blocked := bdd.Packet{Proto: netcfg.ProtoTCP, Dst: netcfg.MustAddr("10.2.2.2"), DstPort: 22}
+	check := func(pkt bdd.Packet, wantBlocked bool) {
+		t.Helper()
+		for ec := range m.ECs() {
+			if m.H.Contains(ec, pkt) {
+				if got := m.Blocked("r1", "eth0", dataplane.In, ec); got != wantBlocked {
+					t.Errorf("packet %v blocked=%v, want %v", pkt, got, wantBlocked)
+				}
+				return
+			}
+		}
+		t.Fatalf("no EC contains %v", pkt)
+	}
+	check(allowed, false)
+	check(blocked, true)
+}
+
+func TestFilterRemovalUnblocks(t *testing.T) {
+	m := New()
+	denyAll := filterRule("r1", "eth0", dataplane.Out, 10, netcfg.Deny, dataplane.MatchAll)
+	m.UpdateFilters(insAll(denyAll))
+	m.TakeFilterTransfers()
+	for ec := range m.ECs() {
+		if !m.Blocked("r1", "eth0", dataplane.Out, ec) {
+			t.Fatal("deny-all did not block")
+		}
+	}
+	// Remove the line: binding disappears, everything allowed.
+	m.UpdateFilters([]dd.Entry[dataplane.FilterRule]{{Val: denyAll, Diff: -1}})
+	tr := m.TakeFilterTransfers()
+	if len(tr) == 0 {
+		t.Fatal("removal produced no transfers")
+	}
+	for _, x := range tr {
+		if x.Blocked {
+			t.Errorf("transfer still blocked: %+v", x)
+		}
+	}
+	for ec := range m.ECs() {
+		if m.Blocked("r1", "eth0", dataplane.Out, ec) {
+			t.Error("EC still blocked after binding removal")
+		}
+	}
+	if len(m.FilterKeys()) != 0 {
+		t.Errorf("filter keys = %v", m.FilterKeys())
+	}
+}
+
+func TestFilterChangeEmitsOnlyFlippedECs(t *testing.T) {
+	m := New()
+	deny22 := filterRule("r1", "eth0", dataplane.In, 10, netcfg.Deny,
+		dataplane.Match{Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22})
+	permitAll := filterRule("r1", "eth0", dataplane.In, 20, netcfg.Permit, dataplane.MatchAll)
+	m.UpdateFilters(insAll(deny22, permitAll))
+	m.TakeFilterTransfers()
+
+	// Extend the deny to port 23 as well: only the port-23 space flips.
+	deny2223 := filterRule("r1", "eth0", dataplane.In, 10, netcfg.Deny,
+		dataplane.Match{Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 23})
+	m.UpdateFilters([]dd.Entry[dataplane.FilterRule]{
+		{Val: deny22, Diff: -1},
+		{Val: deny2223, Diff: 1},
+	})
+	tr := m.TakeFilterTransfers()
+	for _, x := range tr {
+		if !x.Blocked {
+			t.Errorf("unexpected unblock: %+v", x)
+		}
+		if m.H.Contains(x.EC, bdd.Packet{Proto: netcfg.ProtoTCP, DstPort: 22}) {
+			t.Errorf("port-22 EC flipped again: %+v", x)
+		}
+	}
+	if len(tr) == 0 {
+		t.Fatal("no transfers for extended deny")
+	}
+}
+
+func TestFiltersSurviveForwardingSplits(t *testing.T) {
+	// An EC blocked at a binding keeps its status when a forwarding rule
+	// splits it.
+	m := New()
+	denyAll := filterRule("r1", "eth0", dataplane.In, 10, netcfg.Deny, dataplane.MatchAll)
+	m.UpdateFilters(insAll(denyAll))
+	m.TakeFilterTransfers()
+	m.InsertRule(rule("r2", "10.0.0.0/8", "x"))
+	m.TakeTransfers()
+	if m.NumECs() < 2 {
+		t.Fatal("rule did not split")
+	}
+	for ec := range m.ECs() {
+		if !m.Blocked("r1", "eth0", dataplane.In, ec) {
+			t.Error("split EC lost filter status")
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package apkeep
+
+import (
+	"hash/fnv"
+
+	"realconfig/internal/bdd"
+)
+
+// APKeep's defining property is maintaining the MINIMUM number of ECs:
+// splits happen when a rule boundary cuts a class, and classes whose
+// behaviour becomes identical again (e.g. after the rule is removed)
+// must merge back. This file implements merging via incremental
+// behaviour signatures: every EC carries a commutative 64-bit hash over
+// its (device, port) entries and filter marks, maintained on every
+// transfer; candidate pairs collide in a signature index and are
+// verified exactly before merging.
+
+// MergeEvent records two ECs collapsing into one.
+type MergeEvent struct {
+	A, B   bdd.Node // the merged-away classes
+	Result bdd.Node // their union
+}
+
+// sigOf hashes one behaviour fact; the signature of an EC is the sum of
+// its facts' hashes mod 2^64 (commutative, incrementally updatable).
+func sigFact(kind byte, a, b string, extra uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{kind})
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(extra >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func portFact(dev string, p Port) uint64 {
+	if p == DropPort {
+		return 0 // absent entries must contribute nothing
+	}
+	return sigFact(1, dev, p.NextHop+"\x00"+p.OutIntf, uint64(p.Action))
+}
+
+func filterFact(k FilterKey) uint64 {
+	return sigFact(2, k.Device, k.Intf, uint64(k.Dir))
+}
+
+// bumpSig applies a signature delta to an EC and reindexes it.
+func (m *Model) bumpSig(ec bdd.Node, delta uint64) {
+	if delta == 0 {
+		return
+	}
+	old := m.sig[ec]
+	m.unindexSig(ec, old)
+	m.sig[ec] = old + delta
+	m.indexSig(ec, old+delta)
+	m.dirty[ec] = struct{}{}
+}
+
+func (m *Model) indexSig(ec bdd.Node, s uint64) {
+	set := m.bySig[s]
+	if set == nil {
+		set = make(map[bdd.Node]struct{})
+		m.bySig[s] = set
+	}
+	set[ec] = struct{}{}
+}
+
+func (m *Model) unindexSig(ec bdd.Node, s uint64) {
+	if set := m.bySig[s]; set != nil {
+		delete(set, ec)
+		if len(set) == 0 {
+			delete(m.bySig, s)
+		}
+	}
+}
+
+// behaviourEqual verifies exactly that two ECs behave identically on
+// every device and at every filter binding.
+func (m *Model) behaviourEqual(a, b bdd.Node) bool {
+	for _, ds := range m.devs {
+		pa, oka := ds.ports[a]
+		pb, okb := ds.ports[b]
+		if !oka {
+			pa = DropPort
+		}
+		if !okb {
+			pb = DropPort
+		}
+		if pa != pb {
+			return false
+		}
+	}
+	for _, fs := range m.filters {
+		if fs.blocked[a] != fs.blocked[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeECs collapses every pair of behaviourally identical classes among
+// those touched since the last merge, restoring the minimal partition.
+// ApplyBatch calls it automatically when AutoMerge is set.
+func (m *Model) MergeECs() []MergeEvent {
+	var events []MergeEvent
+	for len(m.dirty) > 0 {
+		// Take one dirty EC and try to find a partner.
+		var ec bdd.Node
+		for e := range m.dirty {
+			ec = e
+			break
+		}
+		delete(m.dirty, ec)
+		if _, live := m.ecs[ec]; !live {
+			continue
+		}
+		bucket := m.bySig[m.sig[ec]]
+		var partner bdd.Node
+		found := false
+		for other := range bucket {
+			if other != ec && m.behaviourEqual(ec, other) {
+				partner, found = other, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		merged := m.mergePair(ec, partner)
+		events = append(events, MergeEvent{A: ec, B: partner, Result: merged})
+		// The merged class may itself merge further.
+		m.dirty[merged] = struct{}{}
+	}
+	return events
+}
+
+// mergePair replaces a and b with their union everywhere.
+func (m *Model) mergePair(a, b bdd.Node) bdd.Node {
+	merged := m.H.Or(a, b)
+	s := m.sig[a] // identical behaviour => identical signature
+	m.unindexSig(a, m.sig[a])
+	m.unindexSig(b, m.sig[b])
+	delete(m.sig, a)
+	delete(m.sig, b)
+	delete(m.ecs, a)
+	delete(m.ecs, b)
+	delete(m.dirty, a)
+	delete(m.dirty, b)
+	m.ecs[merged] = struct{}{}
+	m.sig[merged] = s
+	m.indexSig(merged, s)
+	for _, ds := range m.devs {
+		if p, ok := ds.ports[a]; ok {
+			delete(ds.ports, a)
+			delete(ds.ports, b)
+			ds.ports[merged] = p
+		}
+	}
+	for _, fs := range m.filters {
+		if fs.blocked[a] {
+			delete(fs.blocked, a)
+			delete(fs.blocked, b)
+			fs.blocked[merged] = true
+		}
+	}
+	return merged
+}

@@ -1,0 +1,365 @@
+// Package apkeep implements an incremental data plane model in the style
+// of APKeep (NSDI '20), extended with the batch mode RealConfig needs:
+// the network's packet space is maintained as a minimal partition of
+// equivalence classes (ECs, represented as BDD predicates), each device
+// maps every EC to one logical port (a forwarding action), and rule
+// insertions/deletions move ECs between ports, splitting them only when
+// a rule boundary cuts through an existing class.
+//
+// Longest-prefix-match semantics are handled structurally: a rule's
+// effective packet space is its prefix minus all longer prefixes with
+// rules on the same device, and deleting a rule hands its space back to
+// the longest covering prefix (or the default drop port).
+//
+// A batch of rule updates is applied in a configurable Order
+// (insertion-first or deletion-first). As the paper's Table 3 shows, the
+// order matters: insertion-first moves ECs directly from old to new
+// ports, while deletion-first detours them through the drop port and
+// touches roughly twice as many ECs.
+package apkeep
+
+import (
+	"fmt"
+	"sort"
+
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+)
+
+// Port is a logical forwarding action on a device. Every EC maps to
+// exactly one port per device; the zero value is the default drop port.
+type Port struct {
+	Action  dataplane.Action
+	NextHop string
+	OutIntf string
+}
+
+// DropPort is the default port: packets with no matching rule.
+var DropPort = Port{Action: dataplane.Drop}
+
+func (p Port) String() string {
+	switch p.Action {
+	case dataplane.Forward:
+		return fmt.Sprintf("fwd(%s,%s)", p.NextHop, p.OutIntf)
+	case dataplane.Deliver:
+		return "deliver"
+	default:
+		return "drop"
+	}
+}
+
+// portOf extracts the port a FIB rule forwards to.
+func portOf(r dataplane.Rule) Port {
+	switch r.Action {
+	case dataplane.Forward:
+		return Port{Action: dataplane.Forward, NextHop: r.NextHop, OutIntf: r.OutIntf}
+	case dataplane.Deliver:
+		return Port{Action: dataplane.Deliver, OutIntf: r.OutIntf}
+	default:
+		return DropPort
+	}
+}
+
+// Transfer records one EC changing port on one device: the unit of data
+// plane model change handed to the policy checker.
+type Transfer struct {
+	Device string
+	EC     bdd.Node
+	Old    Port
+	New    Port
+}
+
+// devState is one device's slice of the model.
+type devState struct {
+	// rules stacks the ports installed per prefix; the last element owns
+	// the prefix's packet space. (Two live rules for one prefix only
+	// occur transiently inside a batch, e.g. insertion-before-deletion.)
+	rules map[netcfg.Prefix][]Port
+	// ports maps each EC to its port; absent means DropPort.
+	ports map[bdd.Node]Port
+}
+
+// Model is the incremental data plane model.
+type Model struct {
+	H *bdd.Headers
+
+	// ecs is the current partition of the packet space.
+	ecs map[bdd.Node]struct{}
+
+	devs    map[string]*devState
+	filters map[FilterKey]*filterState
+
+	// transfers accumulates EC moves since the last TakeTransfers.
+	transfers  []Transfer
+	ftransfers []FilterTransfer
+
+	// AutoMerge makes ApplyBatch re-minimize the partition by merging
+	// behaviourally identical classes (APKeep's "minimum number of ECs"
+	// property). Merging is also available explicitly via MergeECs.
+	AutoMerge bool
+	// sig holds each EC's commutative behaviour signature; bySig indexes
+	// classes by signature; dirty marks classes touched since the last
+	// merge pass.
+	sig   map[bdd.Node]uint64
+	bySig map[uint64]map[bdd.Node]struct{}
+	dirty map[bdd.Node]struct{}
+}
+
+// New creates a model whose packet space is a single EC (everything
+// dropped everywhere).
+func New() *Model {
+	h := bdd.NewHeaders()
+	m := &Model{
+		H:       h,
+		ecs:     map[bdd.Node]struct{}{bdd.True: {}},
+		devs:    make(map[string]*devState),
+		filters: make(map[FilterKey]*filterState),
+		sig:     map[bdd.Node]uint64{bdd.True: 0},
+		bySig:   make(map[uint64]map[bdd.Node]struct{}),
+		dirty:   make(map[bdd.Node]struct{}),
+	}
+	m.indexSig(bdd.True, 0)
+	return m
+}
+
+// ECs returns the current equivalence classes (live map; do not modify).
+func (m *Model) ECs() map[bdd.Node]struct{} { return m.ecs }
+
+// NumECs returns the partition size.
+func (m *Model) NumECs() int { return len(m.ecs) }
+
+// PortOf returns the port of an EC on a device (DropPort by default).
+func (m *Model) PortOf(dev string, ec bdd.Node) Port {
+	if ds := m.devs[dev]; ds != nil {
+		if p, ok := ds.ports[ec]; ok {
+			return p
+		}
+	}
+	return DropPort
+}
+
+func (m *Model) dev(name string) *devState {
+	ds := m.devs[name]
+	if ds == nil {
+		ds = &devState{rules: make(map[netcfg.Prefix][]Port), ports: make(map[bdd.Node]Port)}
+		m.devs[name] = ds
+	}
+	return ds
+}
+
+// split refines the partition so that pred is a union of ECs, and
+// returns the ECs inside pred. Split parts inherit the original EC's
+// port on every device and its status at every filter binding.
+func (m *Model) split(pred bdd.Node) []bdd.Node {
+	var inside []bdd.Node
+	if pred == bdd.False {
+		return nil
+	}
+	var toSplit []bdd.Node
+	for ec := range m.ecs {
+		in := m.H.And(ec, pred)
+		if in == bdd.False {
+			continue
+		}
+		if in == ec {
+			inside = append(inside, ec)
+			continue
+		}
+		toSplit = append(toSplit, ec)
+		inside = append(inside, in)
+	}
+	for _, ec := range toSplit {
+		in := m.H.And(ec, pred)
+		out := m.H.Diff(ec, pred)
+		delete(m.ecs, ec)
+		m.ecs[in] = struct{}{}
+		m.ecs[out] = struct{}{}
+		// Children inherit the parent's behaviour, hence its signature.
+		s := m.sig[ec]
+		m.unindexSig(ec, s)
+		delete(m.sig, ec)
+		delete(m.dirty, ec)
+		for _, child := range [2]bdd.Node{in, out} {
+			m.sig[child] = s
+			m.indexSig(child, s)
+			m.dirty[child] = struct{}{}
+		}
+		for _, ds := range m.devs {
+			if p, ok := ds.ports[ec]; ok {
+				delete(ds.ports, ec)
+				ds.ports[in] = p
+				ds.ports[out] = p
+			}
+		}
+		for _, fs := range m.filters {
+			if fs.blocked[ec] {
+				delete(fs.blocked, ec)
+				fs.blocked[in] = true
+				fs.blocked[out] = true
+			}
+		}
+	}
+	return inside
+}
+
+// moveECs retargets every EC inside pred to newPort on dev, recording
+// transfers for those that actually change port.
+func (m *Model) moveECs(dev string, pred bdd.Node, newPort Port) {
+	if pred == bdd.False {
+		return
+	}
+	ds := m.dev(dev)
+	for _, ec := range m.split(pred) {
+		old, ok := ds.ports[ec]
+		if !ok {
+			old = DropPort
+		}
+		if old == newPort {
+			continue
+		}
+		if newPort == DropPort {
+			delete(ds.ports, ec)
+		} else {
+			ds.ports[ec] = newPort
+		}
+		m.bumpSig(ec, portFact(dev, newPort)-portFact(dev, old))
+		m.transfers = append(m.transfers, Transfer{Device: dev, EC: ec, Old: old, New: newPort})
+	}
+}
+
+// effective returns rule prefix p's effective packet space on the
+// device: its destination predicate minus every strictly longer prefix
+// that has rules installed.
+func (m *Model) effective(ds *devState, p netcfg.Prefix) bdd.Node {
+	eff := m.H.DstPrefix(p)
+	for q := range ds.rules {
+		if q.Len > p.Len && p.ContainsPrefix(q) {
+			eff = m.H.Diff(eff, m.H.DstPrefix(q))
+			if eff == bdd.False {
+				break
+			}
+		}
+	}
+	return eff
+}
+
+// owner returns the port currently owning prefix p's packet space when p
+// itself has no rules: the longest covering prefix's owner, or DropPort.
+func (m *Model) owner(ds *devState, p netcfg.Prefix) Port {
+	best := netcfg.Prefix{}
+	found := false
+	for q, stack := range ds.rules {
+		if len(stack) == 0 || q == p {
+			continue
+		}
+		if q.Len < p.Len && q.ContainsPrefix(p) {
+			if !found || q.Len > best.Len {
+				best, found = q, true
+			}
+		}
+	}
+	if !found {
+		return DropPort
+	}
+	stack := ds.rules[best]
+	return stack[len(stack)-1]
+}
+
+// InsertRule adds a forwarding rule to the model, moving the affected
+// ECs to the rule's port.
+func (m *Model) InsertRule(r dataplane.Rule) {
+	ds := m.dev(r.Device)
+	port := portOf(r)
+	stack := ds.rules[r.Prefix]
+	ds.rules[r.Prefix] = append(stack, port)
+	if len(stack) > 0 && stack[len(stack)-1] == port {
+		return // same owner, nothing moves
+	}
+	// The new rule owns the prefix's effective space now.
+	m.moveECs(r.Device, m.effective(ds, r.Prefix), port)
+}
+
+// DeleteRule removes a forwarding rule. If the rule owned its prefix's
+// packet space, the space falls back to the remaining owner: a duplicate
+// rule for the prefix, else the longest covering prefix, else drop.
+func (m *Model) DeleteRule(r dataplane.Rule) error {
+	ds := m.dev(r.Device)
+	port := portOf(r)
+	stack := ds.rules[r.Prefix]
+	idx := -1
+	for i, p := range stack {
+		if p == port {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("apkeep: delete of absent rule %v", r)
+	}
+	wasOwner := idx == len(stack)-1
+	stack = append(stack[:idx], stack[idx+1:]...)
+	if len(stack) == 0 {
+		delete(ds.rules, r.Prefix)
+	} else {
+		ds.rules[r.Prefix] = stack
+	}
+	if !wasOwner {
+		return nil
+	}
+	var heir Port
+	if len(stack) > 0 {
+		heir = stack[len(stack)-1]
+	} else {
+		heir = m.owner(ds, r.Prefix)
+	}
+	if heir == port {
+		return nil
+	}
+	m.moveECs(r.Device, m.effective(ds, r.Prefix), heir)
+	return nil
+}
+
+// TakeTransfers returns and clears the accumulated EC transfers.
+func (m *Model) TakeTransfers() []Transfer {
+	out := m.transfers
+	m.transfers = nil
+	return out
+}
+
+// Lookup returns the port a concrete packet takes on a device, resolved
+// through the EC partition (the model's view of forwarding).
+func (m *Model) Lookup(dev string, pkt bdd.Packet) Port {
+	for ec := range m.ecs {
+		if m.H.Contains(ec, pkt) {
+			return m.PortOf(dev, ec)
+		}
+	}
+	return DropPort
+}
+
+// CheckPartition verifies the EC invariants: classes are non-empty,
+// pairwise disjoint, and cover the full packet space. It is O(n^2) and
+// meant for tests.
+func (m *Model) CheckPartition() error {
+	all := bdd.False
+	ecs := make([]bdd.Node, 0, len(m.ecs))
+	for ec := range m.ecs {
+		ecs = append(ecs, ec)
+	}
+	sort.Slice(ecs, func(i, j int) bool { return ecs[i] < ecs[j] })
+	for i, a := range ecs {
+		if a == bdd.False {
+			return fmt.Errorf("apkeep: empty EC in partition")
+		}
+		for _, b := range ecs[i+1:] {
+			if m.H.Overlaps(a, b) {
+				return fmt.Errorf("apkeep: overlapping ECs")
+			}
+		}
+		all = m.H.Or(all, a)
+	}
+	if all != bdd.True {
+		return fmt.Errorf("apkeep: ECs do not cover the packet space")
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+// Package bdd implements reduced ordered binary decision diagrams with
+// hash-consing and an ITE operation cache. It is the predicate engine
+// under the APKeep-style data plane model: packet-space predicates
+// (equivalence classes, rule match sets) are BDDs, so set algebra
+// (and/or/not/difference) and emptiness tests are fast and canonical:
+// two predicates are equal iff their node handles are equal.
+//
+// Nodes are never garbage collected: the data plane model holds
+// long-lived predicates and the table is bounded by the number of
+// distinct predicates the rule set induces, which stays small in
+// practice.
+package bdd
+
+import "fmt"
+
+// Node is a BDD handle. Equal handles mean equal predicates.
+type Node int32
+
+// The two terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // variable index; terminals use level = numVars
+	lo, hi Node  // cofactors for var=0 / var=1
+}
+
+type nodeKey struct {
+	level  int32
+	lo, hi Node
+}
+
+type iteKey struct{ f, g, h Node }
+
+// Table owns the node store and caches for one variable ordering.
+type Table struct {
+	numVars int32
+	nodes   []nodeData
+	unique  map[nodeKey]Node
+	cache   map[iteKey]Node
+}
+
+// New creates a table over numVars boolean variables. Variable 0 is
+// topmost in the order.
+func New(numVars int) *Table {
+	if numVars <= 0 || numVars > 1<<20 {
+		panic(fmt.Sprintf("bdd: bad variable count %d", numVars))
+	}
+	t := &Table{
+		numVars: int32(numVars),
+		unique:  make(map[nodeKey]Node),
+		cache:   make(map[iteKey]Node),
+	}
+	// Terminals sit below every variable.
+	t.nodes = append(t.nodes,
+		nodeData{level: t.numVars}, // False
+		nodeData{level: t.numVars}, // True
+	)
+	return t
+}
+
+// NumVars returns the number of variables.
+func (t *Table) NumVars() int { return int(t.numVars) }
+
+// Size returns the number of allocated nodes (including terminals).
+func (t *Table) Size() int { return len(t.nodes) }
+
+// mk returns the canonical node for (level, lo, hi).
+func (t *Table) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	k := nodeKey{level: level, lo: lo, hi: hi}
+	if n, ok := t.unique[k]; ok {
+		return n
+	}
+	n := Node(len(t.nodes))
+	t.nodes = append(t.nodes, nodeData{level: level, lo: lo, hi: hi})
+	t.unique[k] = n
+	return n
+}
+
+// Var returns the predicate "variable v is 1".
+func (t *Table) Var(v int) Node {
+	if v < 0 || int32(v) >= t.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return t.mk(int32(v), False, True)
+}
+
+// NVar returns the predicate "variable v is 0".
+func (t *Table) NVar(v int) Node {
+	if v < 0 || int32(v) >= t.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return t.mk(int32(v), True, False)
+}
+
+// ITE computes if-then-else(f, g, h) = f&g | !f&h, the universal binary
+// operation all others are built from.
+func (t *Table) ITE(f, g, h Node) Node {
+	// Terminal shortcuts.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	k := iteKey{f, g, h}
+	if r, ok := t.cache[k]; ok {
+		return r
+	}
+	nf, ng, nh := t.nodes[f], t.nodes[g], t.nodes[h]
+	level := nf.level
+	if ng.level < level {
+		level = ng.level
+	}
+	if nh.level < level {
+		level = nh.level
+	}
+	f0, f1 := t.cofactors(f, level)
+	g0, g1 := t.cofactors(g, level)
+	h0, h1 := t.cofactors(h, level)
+	r := t.mk(level, t.ITE(f0, g0, h0), t.ITE(f1, g1, h1))
+	t.cache[k] = r
+	return r
+}
+
+func (t *Table) cofactors(n Node, level int32) (lo, hi Node) {
+	d := t.nodes[n]
+	if d.level != level {
+		return n, n
+	}
+	return d.lo, d.hi
+}
+
+// And returns a AND b.
+func (t *Table) And(a, b Node) Node { return t.ITE(a, b, False) }
+
+// Or returns a OR b.
+func (t *Table) Or(a, b Node) Node { return t.ITE(a, True, b) }
+
+// Not returns NOT a.
+func (t *Table) Not(a Node) Node { return t.ITE(a, False, True) }
+
+// Diff returns a AND NOT b (set difference).
+func (t *Table) Diff(a, b Node) Node { return t.ITE(b, False, a) }
+
+// Xor returns a XOR b.
+func (t *Table) Xor(a, b Node) Node { return t.ITE(a, t.Not(b), b) }
+
+// Implies reports whether predicate a is a subset of b.
+func (t *Table) Implies(a, b Node) bool { return t.Diff(a, b) == False }
+
+// Overlaps reports whether the predicates share any packet.
+func (t *Table) Overlaps(a, b Node) bool { return t.And(a, b) != False }
+
+// FractionSat returns the fraction of the full variable space the
+// predicate covers, in [0, 1].
+func (t *Table) FractionSat(n Node) float64 {
+	memo := make(map[Node]float64)
+	var rec func(Node) float64
+	rec = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		d := t.nodes[n]
+		// Variables skipped between a node and its child are free: they
+		// do not change the satisfying *fraction*, so no level
+		// adjustment is needed.
+		v := (rec(d.lo) + rec(d.hi)) / 2
+		memo[n] = v
+		return v
+	}
+	return rec(n)
+}
+
+// AnySat returns one satisfying assignment (length NumVars; entries are
+// 0, 1, or -1 for "either"). ok is false when n is False.
+func (t *Table) AnySat(n Node) (assign []int8, ok bool) {
+	if n == False {
+		return nil, false
+	}
+	assign = make([]int8, t.numVars)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for n != True {
+		d := t.nodes[n]
+		if d.lo != False {
+			assign[d.level] = 0
+			n = d.lo
+		} else {
+			assign[d.level] = 1
+			n = d.hi
+		}
+	}
+	return assign, true
+}

@@ -1,0 +1,198 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	tb := New(4)
+	if tb.And(True, False) != False || tb.Or(True, False) != True {
+		t.Error("terminal algebra wrong")
+	}
+	x := tb.Var(0)
+	if tb.Not(tb.Not(x)) != x {
+		t.Error("double negation not canonical")
+	}
+	if tb.And(x, tb.Not(x)) != False {
+		t.Error("x AND NOT x != False")
+	}
+	if tb.Or(x, tb.Not(x)) != True {
+		t.Error("x OR NOT x != True")
+	}
+	if tb.NVar(0) != tb.Not(x) {
+		t.Error("NVar != Not(Var)")
+	}
+}
+
+func TestHashConsingCanonicity(t *testing.T) {
+	tb := New(8)
+	a := tb.And(tb.Var(1), tb.Var(3))
+	b := tb.And(tb.Var(3), tb.Var(1))
+	if a != b {
+		t.Error("AND not commutative under hash-consing")
+	}
+	c := tb.Or(tb.And(tb.Var(1), tb.Var(3)), tb.And(tb.Var(1), tb.Not(tb.Var(3))))
+	if c != tb.Var(1) {
+		t.Error("Shannon expansion did not collapse")
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	tb := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tb.Var(2)
+}
+
+// evalNode evaluates a BDD under an assignment, the reference semantics.
+func evalNode(tb *Table, n Node, assign []bool) bool {
+	for n != True && n != False {
+		d := tb.nodes[n]
+		if assign[d.level] {
+			n = d.hi
+		} else {
+			n = d.lo
+		}
+	}
+	return n == True
+}
+
+// TestOpsAgainstTruthTables builds random expressions and checks every
+// operation against brute-force truth-table evaluation.
+func TestOpsAgainstTruthTables(t *testing.T) {
+	const nvars = 6
+	tb := New(nvars)
+	rng := rand.New(rand.NewSource(7))
+	randNode := func() Node {
+		n := tb.Var(rng.Intn(nvars))
+		for i := 0; i < 4; i++ {
+			m := tb.Var(rng.Intn(nvars))
+			switch rng.Intn(3) {
+			case 0:
+				n = tb.And(n, m)
+			case 1:
+				n = tb.Or(n, m)
+			default:
+				n = tb.Diff(n, m)
+			}
+		}
+		return n
+	}
+	for trial := 0; trial < 50; trial++ {
+		a, b := randNode(), randNode()
+		and, or, diff, xor, not := tb.And(a, b), tb.Or(a, b), tb.Diff(a, b), tb.Xor(a, b), tb.Not(a)
+		for mask := 0; mask < 1<<nvars; mask++ {
+			assign := make([]bool, nvars)
+			for i := range assign {
+				assign[i] = mask&(1<<i) != 0
+			}
+			va, vb := evalNode(tb, a, assign), evalNode(tb, b, assign)
+			if evalNode(tb, and, assign) != (va && vb) {
+				t.Fatalf("And wrong at %06b", mask)
+			}
+			if evalNode(tb, or, assign) != (va || vb) {
+				t.Fatalf("Or wrong at %06b", mask)
+			}
+			if evalNode(tb, diff, assign) != (va && !vb) {
+				t.Fatalf("Diff wrong at %06b", mask)
+			}
+			if evalNode(tb, xor, assign) != (va != vb) {
+				t.Fatalf("Xor wrong at %06b", mask)
+			}
+			if evalNode(tb, not, assign) != !va {
+				t.Fatalf("Not wrong at %06b", mask)
+			}
+		}
+	}
+}
+
+func TestImpliesAndOverlaps(t *testing.T) {
+	tb := New(4)
+	a := tb.And(tb.Var(0), tb.Var(1))
+	b := tb.Var(0)
+	if !tb.Implies(a, b) {
+		t.Error("x0&x1 should imply x0")
+	}
+	if tb.Implies(b, a) {
+		t.Error("x0 should not imply x0&x1")
+	}
+	if !tb.Overlaps(a, b) {
+		t.Error("overlapping predicates reported disjoint")
+	}
+	if tb.Overlaps(a, tb.Not(b)) {
+		t.Error("disjoint predicates reported overlapping")
+	}
+}
+
+func TestFractionSat(t *testing.T) {
+	tb := New(10)
+	cases := []struct {
+		n    Node
+		want float64
+	}{
+		{False, 0},
+		{True, 1},
+		{tb.Var(0), 0.5},
+		{tb.Var(9), 0.5},
+		{tb.And(tb.Var(0), tb.Var(5)), 0.25},
+		{tb.Or(tb.Var(0), tb.Var(5)), 0.75},
+		{tb.Xor(tb.Var(2), tb.Var(7)), 0.5},
+	}
+	for _, c := range cases {
+		if got := tb.FractionSat(c.n); got != c.want {
+			t.Errorf("FractionSat(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	tb := New(4)
+	if _, ok := tb.AnySat(False); ok {
+		t.Error("AnySat(False) succeeded")
+	}
+	n := tb.And(tb.Var(1), tb.Not(tb.Var(3)))
+	assign, ok := tb.AnySat(n)
+	if !ok {
+		t.Fatal("AnySat failed on satisfiable predicate")
+	}
+	full := make([]bool, 4)
+	for i, v := range assign {
+		full[i] = v == 1
+	}
+	if !evalNode(tb, n, full) {
+		t.Errorf("AnySat assignment %v does not satisfy", assign)
+	}
+}
+
+// TestPartitionProperty checks the algebra the EC model relies on:
+// splitting any predicate by another yields two disjoint parts that
+// reunite exactly.
+func TestPartitionProperty(t *testing.T) {
+	tb := New(8)
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() Node {
+			n := tb.Var(r.Intn(8))
+			for i := 0; i < 3; i++ {
+				if r.Intn(2) == 0 {
+					n = tb.And(n, tb.Var(r.Intn(8)))
+				} else {
+					n = tb.Or(n, tb.Not(tb.Var(r.Intn(8))))
+				}
+			}
+			return n
+		}
+		a, b := mk(), mk()
+		in, out := tb.And(a, b), tb.Diff(a, b)
+		return tb.And(in, out) == False && tb.Or(in, out) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package bdd
+
+import (
+	"testing"
+
+	"realconfig/internal/netcfg"
+)
+
+func BenchmarkPrefixPredicate(b *testing.B) {
+	h := NewHeaders()
+	p := netcfg.MustPrefix("10.1.0.0/16")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Addr = netcfg.Addr(uint32(i%256) << 16)
+		h.DstPrefix(p)
+	}
+}
+
+func BenchmarkAndCached(b *testing.B) {
+	h := NewHeaders()
+	x := h.DstPrefix(netcfg.MustPrefix("10.0.0.0/8"))
+	y := h.SrcPrefix(netcfg.MustPrefix("192.168.0.0/16"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.And(x, y)
+	}
+}
+
+func BenchmarkDiffLPMShadowing(b *testing.B) {
+	// The data plane model's hottest operation: prefix minus a set of
+	// longer prefixes.
+	h := NewHeaders()
+	outer := h.DstPrefix(netcfg.MustPrefix("10.0.0.0/8"))
+	var inner []Node
+	for i := 0; i < 64; i++ {
+		inner = append(inner, h.DstPrefix(netcfg.Prefix{Addr: netcfg.MustAddr("10.0.0.0") + netcfg.Addr(i)<<8, Len: 24}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eff := outer
+		for _, in := range inner {
+			eff = h.Diff(eff, in)
+		}
+	}
+}
+
+func BenchmarkPortRange(b *testing.B) {
+	h := NewHeaders()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint16(i % 30000)
+		h.DstPortRange(lo, lo+1000)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	h := NewHeaders()
+	pred := h.And(h.DstPrefix(netcfg.MustPrefix("10.0.0.0/8")), h.DstPortRange(80, 443))
+	pkt := Packet{Dst: netcfg.MustAddr("10.3.4.5"), Proto: netcfg.ProtoTCP, DstPort: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Contains(pred, pkt)
+	}
+}

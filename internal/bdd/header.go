@@ -1,0 +1,183 @@
+package bdd
+
+import (
+	"fmt"
+
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+)
+
+// Packet-header variable layout. Destination IP comes first in the
+// order because forwarding rules (the bulk of the data plane) match on
+// it; keeping it topmost keeps their BDDs tiny.
+const (
+	dstIPOff   = 0
+	srcIPOff   = 32
+	protoOff   = 64
+	dstPortOff = 72
+	// HeaderVars is the total number of packet-header variables.
+	HeaderVars = 88
+)
+
+// Headers wraps a Table with packet-header predicate constructors.
+type Headers struct {
+	*Table
+}
+
+// NewHeaders creates a BDD table laid out for packet headers.
+func NewHeaders() *Headers {
+	return &Headers{Table: New(HeaderVars)}
+}
+
+// DstPrefix returns the predicate "destination IP in p".
+func (h *Headers) DstPrefix(p netcfg.Prefix) Node { return h.ipPrefix(dstIPOff, p) }
+
+// SrcPrefix returns the predicate "source IP in p".
+func (h *Headers) SrcPrefix(p netcfg.Prefix) Node { return h.ipPrefix(srcIPOff, p) }
+
+func (h *Headers) ipPrefix(off int, p netcfg.Prefix) Node {
+	n := True
+	// Build bottom-up (least significant matched bit first) so each mk
+	// call has its child already canonical; prefix predicates are a
+	// single chain of nodes.
+	for i := int(p.Len) - 1; i >= 0; i-- {
+		bit := (uint32(p.Addr) >> (31 - i)) & 1
+		v := off + i
+		if bit == 1 {
+			n = h.mk(int32(v), False, n)
+		} else {
+			n = h.mk(int32(v), n, False)
+		}
+	}
+	return n
+}
+
+// Proto returns the predicate "IP protocol equals p" (ProtoIPAny = True).
+func (h *Headers) Proto(p netcfg.IPProto) Node {
+	if p == netcfg.ProtoIPAny {
+		return True
+	}
+	n := True
+	for i := 7; i >= 0; i-- {
+		bit := (uint8(p) >> (7 - i)) & 1
+		v := protoOff + i
+		if bit == 1 {
+			n = h.mk(int32(v), False, n)
+		} else {
+			n = h.mk(int32(v), n, False)
+		}
+	}
+	return n
+}
+
+// DstPortRange returns the predicate "destination port in [lo, hi]".
+// The pair (0, 0) means any port.
+func (h *Headers) DstPortRange(lo, hi uint16) Node {
+	if lo == 0 && hi == 0 {
+		return True
+	}
+	return h.And(h.geq(dstPortOff, 16, uint32(lo)), h.leq(dstPortOff, 16, uint32(hi)))
+}
+
+// geq builds "the width-bit field at off >= v".
+func (h *Headers) geq(off, width int, v uint32) Node {
+	n := True
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> (width - 1 - i)) & 1
+		va := int32(off + i)
+		if bit == 1 {
+			// This bit must be 1 to stay >=; a 0 here loses.
+			n = h.mk(va, False, n)
+		} else {
+			// A 1 here already wins; a 0 continues.
+			n = h.mk(va, n, True)
+		}
+	}
+	return n
+}
+
+// leq builds "the width-bit field at off <= v".
+func (h *Headers) leq(off, width int, v uint32) Node {
+	n := True
+	for i := width - 1; i >= 0; i-- {
+		bit := (v >> (width - 1 - i)) & 1
+		va := int32(off + i)
+		if bit == 1 {
+			// A 0 here already wins; a 1 continues.
+			n = h.mk(va, True, n)
+		} else {
+			// This bit must be 0 to stay <=; a 1 here loses.
+			n = h.mk(va, n, False)
+		}
+	}
+	return n
+}
+
+// Match returns the predicate for a filter-rule match.
+func (h *Headers) Match(m dataplane.Match) Node {
+	n := h.DstPrefix(m.Dst)
+	n = h.And(n, h.SrcPrefix(m.Src))
+	n = h.And(n, h.Proto(m.Proto))
+	n = h.And(n, h.DstPortRange(m.DstPortLo, m.DstPortHi))
+	return n
+}
+
+// Packet is a concrete packet witnessing a predicate.
+type Packet struct {
+	Dst     netcfg.Addr
+	Src     netcfg.Addr
+	Proto   netcfg.IPProto
+	DstPort uint16
+}
+
+func (p Packet) String() string {
+	return fmt.Sprintf("dst=%s src=%s proto=%s port=%d", p.Dst, p.Src, p.Proto, p.DstPort)
+}
+
+// Witness extracts one concrete packet from a predicate (ok=false when
+// it is empty). Unconstrained bits come out zero.
+func (h *Headers) Witness(n Node) (Packet, bool) {
+	assign, ok := h.AnySat(n)
+	if !ok {
+		return Packet{}, false
+	}
+	bits := func(off, width int) uint32 {
+		var v uint32
+		for i := 0; i < width; i++ {
+			v <<= 1
+			if assign[off+i] == 1 {
+				v |= 1
+			}
+		}
+		return v
+	}
+	return Packet{
+		Dst:     netcfg.Addr(bits(dstIPOff, 32)),
+		Src:     netcfg.Addr(bits(srcIPOff, 32)),
+		Proto:   netcfg.IPProto(bits(protoOff, 8)),
+		DstPort: uint16(bits(dstPortOff, 16)),
+	}, true
+}
+
+// Contains reports whether the concrete packet satisfies the predicate.
+func (h *Headers) Contains(n Node, p Packet) bool {
+	assign := make([]int8, HeaderVars)
+	set := func(off, width int, v uint32) {
+		for i := 0; i < width; i++ {
+			assign[off+i] = int8((v >> (width - 1 - i)) & 1)
+		}
+	}
+	set(dstIPOff, 32, uint32(p.Dst))
+	set(srcIPOff, 32, uint32(p.Src))
+	set(protoOff, 8, uint32(p.Proto))
+	set(dstPortOff, 16, uint32(p.DstPort))
+	for n != True && n != False {
+		d := h.nodes[n]
+		if assign[d.level] == 1 {
+			n = d.hi
+		} else {
+			n = d.lo
+		}
+	}
+	return n == True
+}

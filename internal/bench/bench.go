@@ -1,0 +1,395 @@
+// Package bench is the experiment harness reproducing the paper's
+// evaluation (section 5): Table 2 (data plane generation time, full vs
+// incremental), Table 3 (model update and policy checking), and the
+// section-2 specification-mining claim (incremental link-failure sweeps).
+// Both the root benchmark suite and cmd/rcbench drive it.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/routing"
+	"realconfig/internal/simulate"
+	"realconfig/internal/topology"
+)
+
+// Changes per change-type to average over (the paper averages over
+// every node; we sample for bounded runtimes).
+const defaultSamples = 3
+
+// Table2Row is one protocol's row of Table 2.
+type Table2Row struct {
+	Protocol       string
+	BatfishFull    time.Duration // from-scratch, domain-specific baseline
+	RealConfigFull time.Duration // from-scratch on the dataflow engine
+	LinkFailure    time.Duration // incremental: interface shutdown
+	LCLP           time.Duration // incremental: link cost / local pref
+}
+
+// Ratio returns d as a percentage of the RealConfig full time.
+func (r Table2Row) Ratio(d time.Duration) float64 {
+	if r.RealConfigFull == 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(r.RealConfigFull)
+}
+
+// RunTable2 reproduces Table 2 on a fat-tree of arity k (the paper uses
+// k=12: 180 nodes, 864 links).
+func RunTable2(k, samples int) ([]Table2Row, error) {
+	if samples <= 0 {
+		samples = defaultSamples
+	}
+	var rows []Table2Row
+	for _, mode := range []topology.Mode{topology.OSPF, topology.BGP} {
+		net, err := topology.FatTree(k, mode)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Protocol: protoName(mode)}
+
+		// Batfish stand-in: from-scratch with domain-specific algorithms.
+		t0 := time.Now()
+		if _, err := simulate.Run(net.Network); err != nil {
+			return nil, err
+		}
+		row.BatfishFull = time.Since(t0)
+
+		// RealConfig full computation.
+		gen := routing.New(routing.Options{})
+		gen.SetNetwork(net.Network)
+		t0 = time.Now()
+		if _, err := gen.Step(); err != nil {
+			return nil, err
+		}
+		row.RealConfigFull = time.Since(t0)
+
+		// Incremental changes, averaged over sampled links; each sample
+		// applies the change, measures the epoch, then reverts (reverts
+		// are excluded from the measurement).
+		fail, lclp, err := incrementalTimes(gen, net, mode, samples)
+		if err != nil {
+			return nil, err
+		}
+		row.LinkFailure, row.LCLP = fail, lclp
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func protoName(m topology.Mode) string {
+	if m == topology.BGP {
+		return "BGP"
+	}
+	return "OSPF"
+}
+
+func incrementalTimes(gen *routing.Generator, net *topology.Net, mode topology.Mode, samples int) (fail, lclp time.Duration, err error) {
+	links := sampleLinks(net, samples)
+	step := func(change, revert netcfg.Change) (time.Duration, error) {
+		if err := change.Apply(net.Network); err != nil {
+			return 0, err
+		}
+		gen.SetNetwork(net.Network)
+		t0 := time.Now()
+		if _, err := gen.Step(); err != nil {
+			return 0, err
+		}
+		d := time.Since(t0)
+		if err := revert.Apply(net.Network); err != nil {
+			return 0, err
+		}
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return 0, err
+		}
+		return d, nil
+	}
+	for _, l := range links {
+		d, err := step(
+			netcfg.ShutdownInterface{Device: l.DevA, Intf: l.IntfA, Shutdown: true},
+			netcfg.ShutdownInterface{Device: l.DevA, Intf: l.IntfA, Shutdown: false},
+		)
+		if err != nil {
+			return 0, 0, err
+		}
+		fail += d
+		switch mode {
+		case topology.OSPF:
+			// LC: link cost 1 -> 100 (less preferred), as in the paper.
+			d, err = step(
+				netcfg.SetOSPFCost{Device: l.DevA, Intf: l.IntfA, Cost: 100},
+				netcfg.SetOSPFCost{Device: l.DevA, Intf: l.IntfA, Cost: 0},
+			)
+		case topology.BGP:
+			// LP: local preference 100 -> 150 (more preferred).
+			peer := net.Devices[l.DevB].Intf(l.IntfB).Addr.Addr
+			d, err = step(
+				netcfg.SetLocalPref{Device: l.DevA, Neighbor: peer, LocalPref: 150},
+				netcfg.SetLocalPref{Device: l.DevA, Neighbor: peer, LocalPref: 0},
+			)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		lclp += d
+	}
+	n := time.Duration(len(links))
+	return fail / n, lclp / n, nil
+}
+
+// sampleLinks picks links spread across the topology deterministically.
+func sampleLinks(net *topology.Net, n int) []netcfg.Link {
+	links := net.Topology.Links
+	if n >= len(links) {
+		return links
+	}
+	out := make([]netcfg.Link, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, links[i*len(links)/n])
+	}
+	return out
+}
+
+// Table3Row is one (change type, order) row of Table 3.
+type Table3Row struct {
+	Change     string
+	RulesIns   int
+	RulesDel   int
+	RulesTotal int
+	Order      apkeep.Order
+	ECs        int
+	T1         time.Duration // model update
+	Pairs      int           // affected node pairs
+	PairsTotal int
+	T2         time.Duration // policy checking
+}
+
+// RunTable3 reproduces Table 3: batch model update and incremental
+// policy checking on the BGP fat-tree, for LinkFailure and LP changes,
+// in both batch orders.
+func RunTable3(k int) ([]Table3Row, error) {
+	net, err := topology.FatTree(k, topology.BGP)
+	if err != nil {
+		return nil, err
+	}
+	gen := routing.New(routing.Options{})
+	gen.SetNetwork(net.Network)
+	if _, err := gen.Step(); err != nil {
+		return nil, err
+	}
+	baseRules := make([]dd.Entry[dataplane.Rule], 0)
+	total := 0
+	for r, d := range gen.FIB() {
+		if d > 0 {
+			baseRules = append(baseRules, dd.Entry[dataplane.Rule]{Val: r, Diff: 1})
+			total++
+		}
+	}
+
+	// A representative link in the middle of the topology.
+	link := net.Topology.Links[len(net.Topology.Links)/2]
+	peer := net.Devices[link.DevB].Intf(link.IntfB).Addr.Addr
+	changes := []struct {
+		name   string
+		change netcfg.Change
+		revert netcfg.Change
+	}{
+		{"LinkFailure",
+			netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true},
+			netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: false}},
+		{"LP",
+			netcfg.SetLocalPref{Device: link.DevA, Neighbor: peer, LocalPref: 150},
+			netcfg.SetLocalPref{Device: link.DevA, Neighbor: peer, LocalPref: 0}},
+	}
+
+	var rows []Table3Row
+	for _, ch := range changes {
+		// Compute the FIB delta once.
+		if err := ch.change.Apply(net.Network); err != nil {
+			return nil, err
+		}
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return nil, err
+		}
+		delta := append([]dd.Entry[dataplane.Rule](nil), gen.FIBChanges()...)
+		if err := ch.revert.Apply(net.Network); err != nil {
+			return nil, err
+		}
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return nil, err
+		}
+
+		for _, order := range []apkeep.Order{apkeep.InsertFirst, apkeep.DeleteFirst} {
+			row := Table3Row{Change: ch.name, Order: order, RulesTotal: total}
+			for _, e := range delta {
+				if e.Diff > 0 {
+					row.RulesIns += int(e.Diff)
+				} else {
+					row.RulesDel += int(-e.Diff)
+				}
+			}
+			// Fresh model warmed with the base FIB, plus a checker with
+			// its initial state.
+			model := apkeep.New()
+			if _, err := model.ApplyBatch(baseRules, apkeep.InsertFirst); err != nil {
+				return nil, err
+			}
+			checker := policy.NewChecker(model)
+			checker.SetTopology(net.DeviceNames(), dataplane.Adjacencies(net.Network))
+			checker.Update(nil, nil)
+			row.PairsTotal = checker.NumPairs()
+
+			t0 := time.Now()
+			res, err := model.ApplyBatch(delta, order)
+			if err != nil {
+				return nil, err
+			}
+			row.T1 = time.Since(t0)
+			row.ECs = res.AffectedECs()
+
+			t0 = time.Now()
+			cres := checker.Update(res.Transfers, res.FilterTransfers)
+			row.T2 = time.Since(t0)
+			row.Pairs = len(cres.AffectedPairs)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// SpecMiningResult compares incremental and from-scratch data plane
+// generation across an exhaustive single-link-failure sweep, the
+// section-2 specification-mining workload.
+type SpecMiningResult struct {
+	Failures    int
+	Incremental time.Duration
+	// FromScratchSim recomputes every condition with the domain-specific
+	// simulator (the strongest possible baseline).
+	FromScratchSim time.Duration
+	// FromScratchGen is non-incremental generation on the dataflow
+	// engine, the paper's own baseline for the ~20x claim: one full
+	// generation is measured and extrapolated to all conditions.
+	FromScratchGen time.Duration
+}
+
+// Speedup returns the incremental speedup against non-incremental
+// generation on the same engine (the paper's comparison).
+func (r SpecMiningResult) Speedup() float64 {
+	if r.Incremental == 0 {
+		return 0
+	}
+	return float64(r.FromScratchGen) / float64(r.Incremental)
+}
+
+// SpeedupVsSimulator returns the speedup against the domain-specific
+// from-scratch simulator.
+func (r SpecMiningResult) SpeedupVsSimulator() float64 {
+	if r.Incremental == 0 {
+		return 0
+	}
+	return float64(r.FromScratchSim) / float64(r.Incremental)
+}
+
+// RunSpecMining sweeps up to maxFailures single link failures on a
+// fat-tree, generating the data plane for each condition incrementally
+// (fail, measure, revert) and from scratch with the simulator.
+func RunSpecMining(k int, mode topology.Mode, maxFailures int) (SpecMiningResult, error) {
+	net, err := topology.FatTree(k, mode)
+	if err != nil {
+		return SpecMiningResult{}, err
+	}
+	gen := routing.New(routing.Options{})
+	gen.SetNetwork(net.Network)
+	t0 := time.Now()
+	if _, err := gen.Step(); err != nil {
+		return SpecMiningResult{}, err
+	}
+	fullGen := time.Since(t0)
+	links := net.Topology.Links
+	if maxFailures > 0 && maxFailures < len(links) {
+		links = sampleLinks(net, maxFailures)
+	}
+	var res SpecMiningResult
+	res.Failures = len(links)
+	res.FromScratchGen = fullGen * time.Duration(len(links))
+	for _, l := range links {
+		fail := netcfg.ShutdownInterface{Device: l.DevA, Intf: l.IntfA, Shutdown: true}
+		revert := netcfg.ShutdownInterface{Device: l.DevA, Intf: l.IntfA, Shutdown: false}
+		if err := fail.Apply(net.Network); err != nil {
+			return res, err
+		}
+		// Incremental: both the failure epoch and the revert epoch count
+		// toward mining work (each condition is entered and left).
+		t0 = time.Now()
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return res, err
+		}
+		res.Incremental += time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := simulate.Run(net.Network); err != nil {
+			return res, err
+		}
+		res.FromScratchSim += time.Since(t0)
+
+		if err := revert.Apply(net.Network); err != nil {
+			return res, err
+		}
+		t0 = time.Now()
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return res, err
+		}
+		res.Incremental += time.Since(t0)
+	}
+	return res, nil
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	s := fmt.Sprintf("%-8s %12s %14s %18s %18s\n", "Protocol", "Batfish", "RealConfig", "LinkFailure", "LC/LP")
+	s += fmt.Sprintf("%-8s %12s %14s %18s %18s\n", "", "Full", "Full", "", "")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s %12s %14s %10s (%4.1f%%) %10s (%4.1f%%)\n",
+			r.Protocol,
+			r.BatfishFull.Round(time.Millisecond),
+			r.RealConfigFull.Round(time.Millisecond),
+			r.LinkFailure.Round(time.Millisecond), r.Ratio(r.LinkFailure),
+			r.LCLP.Round(time.Millisecond), r.Ratio(r.LCLP),
+		)
+	}
+	return s
+}
+
+// FormatTable3 renders rows in the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	s := fmt.Sprintf("%-12s %-14s %-6s %6s %10s %16s %10s\n",
+		"Change", "#Rules", "Order", "#ECs", "T1", "#Pairs", "T2")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s +%d/-%d (%.2f%%) %-6s %6d %10s %7d/%d (%.2f%%) %10s\n",
+			r.Change, r.RulesIns, r.RulesDel,
+			100*float64(r.RulesIns+r.RulesDel)/float64(max(1, r.RulesTotal)),
+			r.Order, r.ECs, r.T1.Round(time.Microsecond*100),
+			r.Pairs, r.PairsTotal,
+			100*float64(r.Pairs)/float64(max(1, r.PairsTotal)),
+			r.T2.Round(time.Microsecond*100))
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+package bench
+
+import "testing"
+import "realconfig/internal/topology"
+
+func TestSmokeTables(t *testing.T) {
+	rows2, err := RunTable2(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatTable2(rows2))
+	rows3, err := RunTable3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatTable3(rows3))
+	sm, err := RunSpecMining(4, topology.OSPF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("specmining: %d failures inc=%v full=%v speedup=%.1fx", sm.Failures, sm.Incremental, sm.FromScratchGen, sm.Speedup())
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"realconfig/internal/netcfg"
+)
+
+// LoadNetworkDir reads a network from a directory: one "<name>.cfg" per
+// device (canonical text format) and a "topology.txt" with link lines.
+func LoadNetworkDir(dir string) (*netcfg.Network, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	net := netcfg.NewNetwork()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cfg") {
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := netcfg.Parse(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		name := cfg.Hostname
+		if name == "" {
+			name = strings.TrimSuffix(e.Name(), ".cfg")
+			cfg.Hostname = name
+		}
+		if _, dup := net.Devices[name]; dup {
+			return nil, fmt.Errorf("%s: duplicate hostname %q", e.Name(), name)
+		}
+		net.Devices[name] = cfg
+	}
+	if len(net.Devices) == 0 {
+		return nil, fmt.Errorf("no .cfg files in %s", dir)
+	}
+	topoPath := filepath.Join(dir, "topology.txt")
+	text, err := os.ReadFile(topoPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading topology: %w", err)
+	}
+	topo, err := netcfg.ParseTopology(string(text))
+	if err != nil {
+		return nil, err
+	}
+	net.Topology = topo
+	return net, nil
+}
+
+// SaveNetworkDir writes a network to a directory in the format read by
+// LoadNetworkDir, creating it if needed.
+func SaveNetworkDir(net *netcfg.Network, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := net.DeviceNames()
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name+".cfg")
+		if err := os.WriteFile(path, []byte(net.Devices[name].Format()), 0o644); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "topology.txt"), []byte(net.Topology.Format()), 0o644)
+}

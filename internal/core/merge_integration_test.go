@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/topology"
+)
+
+// TestECCountReturnsAfterRevert checks the verifier keeps the partition
+// minimal across change/revert cycles: failing and restoring a link must
+// return the model to exactly its original EC count (without merging,
+// splits would accumulate).
+func TestECCountReturnsAfterRevert(t *testing.T) {
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(Options{})
+	if _, err := v.Load(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	base := v.Model().NumECs()
+
+	for i := 0; i < 3; i++ {
+		link := net.Topology.Links[i*7%len(net.Topology.Links)]
+		if _, err := v.Apply(netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Apply(netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: false}); err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Model().NumECs(); got != base {
+			t.Errorf("cycle %d: ECs = %d, want %d (partition not minimal)", i, got, base)
+		}
+		if err := v.Model().CheckPartition(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crossCheck(t, v, v.Network())
+}
+
+// TestPoliciesSurviveMerges installs an ACL (splitting ECs), registers
+// port-specific policies, then removes the ACL (merging ECs back) and
+// confirms verdicts stay correct through the merge.
+func TestPoliciesSurviveMerges(t *testing.T) {
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(Options{})
+	if _, err := v.Load(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	h := v.Model().H
+	dst := net.HostPrefix["r02"]
+	ssh := h.And(h.DstPrefix(dst), h.And(h.Proto(netcfg.ProtoTCP), h.DstPortRange(22, 22)))
+	v.AddPolicy(policy.Reachability{PolicyName: "ssh-ok", Src: "r00", Dst: "r02", Hdr: ssh, Mode: policy.ReachAll})
+	if sat, _ := v.Checker().Verdict("ssh-ok"); !sat {
+		t.Fatal("ssh reachable initially")
+	}
+	baseECs := v.Model().NumECs()
+
+	var inIntf string
+	for intf, peer := range net.Topology.Neighbors("r02") {
+		if peer[0] == "r01" {
+			inIntf = intf
+		}
+	}
+	lines := []netcfg.ACLLine{
+		{Seq: 10, Action: netcfg.Deny, Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22},
+		{Seq: 20, Action: netcfg.Permit},
+	}
+	rep, err := v.Apply(
+		netcfg.SetACL{Device: "r02", Name: "nossh", Lines: lines},
+		netcfg.BindACL{Device: "r02", Intf: inIntf, Name: "nossh", In: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations()) != 1 {
+		t.Fatalf("violations = %v", rep.Violations())
+	}
+	if v.Model().NumECs() <= baseECs {
+		t.Error("ACL did not split ECs")
+	}
+
+	// Remove the ACL: ECs merge back, the policy is repaired.
+	rep, err = v.Apply(
+		netcfg.BindACL{Device: "r02", Intf: inIntf, Name: "", In: true},
+		netcfg.SetACL{Device: "r02", Name: "nossh", Lines: nil},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Repaired()) != 1 {
+		t.Errorf("repaired = %v", rep.Repaired())
+	}
+	if got := v.Model().NumECs(); got != baseECs {
+		t.Errorf("ECs after ACL removal = %d, want %d", got, baseECs)
+	}
+	if len(rep.Model.Merges) == 0 {
+		t.Error("no merge events recorded")
+	}
+	crossCheck(t, v, v.Network())
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"realconfig/internal/bdd"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/topology"
+)
+
+func TestParsePoliciesAllKinds(t *testing.T) {
+	h := bdd.NewHeaders()
+	text := `
+# comment
+reach web-ok a b 10.9.0.0/24 all tcp 80
+reach no-ssh a b 10.9.0.0/24 none tcp 22
+reach dns a b any some udp 53 53
+waypoint via-fw a b fw 10.9.0.0/24
+loopfree lf any
+blackholefree bh 10.0.0.0/8
+`
+	ps, err := ParsePolicies(text, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 6 {
+		t.Fatalf("parsed %d policies", len(ps))
+	}
+	if r, ok := ps[0].(policy.Reachability); !ok || r.Mode != policy.ReachAll || r.Src != "a" {
+		t.Errorf("policy[0] = %#v", ps[0])
+	}
+	if _, ok := ps[3].(policy.Waypoint); !ok {
+		t.Errorf("policy[3] = %#v", ps[3])
+	}
+	if _, ok := ps[4].(policy.LoopFree); !ok {
+		t.Errorf("policy[4] = %#v", ps[4])
+	}
+	if _, ok := ps[5].(policy.BlackholeFree); !ok {
+		t.Errorf("policy[5] = %#v", ps[5])
+	}
+	// The header predicate actually constrains the port.
+	r := ps[0].(policy.Reachability)
+	if !h.Contains(r.Hdr, bdd.Packet{Dst: netcfg.MustAddr("10.9.0.1"), Proto: netcfg.ProtoTCP, DstPort: 80}) {
+		t.Error("web-ok header rejects matching packet")
+	}
+	if h.Contains(r.Hdr, bdd.Packet{Dst: netcfg.MustAddr("10.9.0.1"), Proto: netcfg.ProtoTCP, DstPort: 81}) {
+		t.Error("web-ok header accepts wrong port")
+	}
+}
+
+func TestParsePoliciesErrors(t *testing.T) {
+	h := bdd.NewHeaders()
+	bad := []string{
+		"frobnicate x",
+		"reach x a b 10.0.0.0/8", // missing mode
+		"reach x a b banana all",
+		"reach x a b any maybe",
+		"reach x a b any all gre",
+		"reach x a b any all tcp 99999",
+		"reach x a b any all tcp 50 40",
+		"waypoint x a b",
+		"loopfree x",
+		"blackholefree x nope",
+		"reach dup a b any all\nreach dup a b any all",
+	}
+	for _, text := range bad {
+		if _, err := ParsePolicies(text, h); err == nil {
+			t.Errorf("ParsePolicies(%q) succeeded", text)
+		}
+	}
+}
+
+func TestSaveLoadNetworkDirRoundTrip(t *testing.T) {
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveNetworkDir(net.Network, dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadNetworkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Devices) != len(net.Devices) {
+		t.Fatalf("loaded %d devices, want %d", len(back.Devices), len(net.Devices))
+	}
+	for name, cfg := range net.Devices {
+		if back.Devices[name] == nil || back.Devices[name].Format() != cfg.Format() {
+			t.Errorf("device %s round-trip mismatch", name)
+		}
+	}
+	if back.Topology.Format() != net.Topology.Format() {
+		t.Error("topology round-trip mismatch")
+	}
+}
+
+func TestLoadNetworkDirErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadNetworkDir(dir); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "r1.cfg"), []byte("hostname r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadNetworkDir(dir); err == nil {
+		t.Error("missing topology accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "topology.txt"), []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadNetworkDir(dir); err != nil {
+		t.Errorf("valid dir rejected: %v", err)
+	}
+	// Duplicate hostnames across files.
+	if err := os.WriteFile(filepath.Join(dir, "r2.cfg"), []byte("hostname r1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadNetworkDir(dir); err == nil {
+		t.Error("duplicate hostname accepted")
+	}
+	// Unparsable config.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "bad.cfg"), []byte("zorp\n"), 0o644)
+	os.WriteFile(filepath.Join(dir2, "topology.txt"), []byte(""), 0o644)
+	if _, err := LoadNetworkDir(dir2); err == nil {
+		t.Error("bad config accepted")
+	}
+	if _, err := LoadNetworkDir(filepath.Join(dir, "nonexistent")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestLoadNetworkDirDefaultsHostnameFromFile(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "sw1.cfg"), []byte("interface eth0\n ip address 10.0.0.1/30\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "topology.txt"), []byte(""), 0o644)
+	net, err := LoadNetworkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Devices["sw1"] == nil {
+		t.Errorf("devices = %v", net.DeviceNames())
+	}
+}

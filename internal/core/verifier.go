@@ -1,0 +1,224 @@
+// Package core assembles RealConfig: the incremental network
+// configuration verifier of the paper. A Verifier chains the three
+// incremental components of Figure 1 —
+//
+//	configuration changes
+//	    -> incremental data plane generator   (internal/routing, on dd)
+//	    -> incremental data plane model updater (internal/apkeep)
+//	    -> incremental network policy checker  (internal/policy)
+//	    -> changes in policy satisfaction
+//
+// — and reports what changed at every stage together with per-stage
+// timings (the quantities of the paper's Tables 2 and 3).
+package core
+
+import (
+	"time"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/routing"
+)
+
+// Options configures a Verifier.
+type Options struct {
+	// Order is the batch order for data plane model updates; the paper's
+	// Table 3 shows InsertFirst touches about half as many ECs.
+	Order apkeep.Order
+	// DetectOscillation aborts non-convergent control planes with a
+	// recurring-state error instead of iterating forever.
+	DetectOscillation bool
+	// MaxIter bounds fixpoint iterations (0 = engine default).
+	MaxIter int
+	// Parallel sets the worker count for policy-checker EC walks (the
+	// paper's section-6 "parallelize over independent ECs" optimization;
+	// <=1 = sequential).
+	Parallel int
+}
+
+// Verifier is an incremental configuration verifier. Load a network
+// once, then Apply changes; each call re-verifies incrementally and
+// returns a Report.
+type Verifier struct {
+	opts    Options
+	gen     *routing.Generator
+	model   *apkeep.Model
+	checker *policy.Checker
+	cur     *netcfg.Network
+}
+
+// Timing breaks a verification down by stage.
+type Timing struct {
+	// Generate covers compiling configurations and incrementally
+	// computing data plane (FIB) changes.
+	Generate time.Duration
+	// ModelUpdate is the batch update of the EC model (Table 3's T1).
+	ModelUpdate time.Duration
+	// PolicyCheck is the incremental policy recheck (Table 3's T2).
+	PolicyCheck time.Duration
+	// Total is the whole verification.
+	Total time.Duration
+}
+
+// Report is the outcome of one (full or incremental) verification.
+type Report struct {
+	// Diff is the configuration change that triggered verification
+	// (empty on the initial load).
+	Diff *netcfg.NetworkDiff
+	// RulesInserted/RulesDeleted count FIB rule changes (Table 3's
+	// "#Rules").
+	RulesInserted, RulesDeleted int
+	// FilterChanges counts packet-filter rule changes.
+	FilterChanges int
+	// Model is the data plane model update result (affected ECs etc.).
+	Model *apkeep.BatchResult
+	// Check is the policy check result (affected pairs, policy events).
+	Check *policy.Result
+	// Engine holds the dataflow engine statistics for the epoch.
+	Engine dd.EpochStats
+	// Timing is the per-stage wall time.
+	Timing Timing
+}
+
+// Violations lists the policies that became violated in this step.
+func (r *Report) Violations() []string {
+	var out []string
+	for _, e := range r.Check.Events {
+		if !e.Satisfied {
+			out = append(out, e.Policy)
+		}
+	}
+	return out
+}
+
+// Repaired lists the policies that became satisfied in this step.
+func (r *Report) Repaired() []string {
+	var out []string
+	for _, e := range r.Check.Events {
+		if e.Satisfied {
+			out = append(out, e.Policy)
+		}
+	}
+	return out
+}
+
+// New creates an empty verifier.
+func New(opts Options) *Verifier {
+	model := apkeep.New()
+	model.AutoMerge = true // keep the EC partition minimal, as APKeep does
+	checker := policy.NewChecker(model)
+	checker.SetParallelism(opts.Parallel)
+	return &Verifier{
+		opts: opts,
+		gen: routing.New(routing.Options{
+			MaxIter:           opts.MaxIter,
+			DetectOscillation: opts.DetectOscillation,
+		}),
+		model:   model,
+		checker: checker,
+	}
+}
+
+// Load performs the initial full verification of a network snapshot.
+func (v *Verifier) Load(net *netcfg.Network) (*Report, error) { return v.SetNetwork(net) }
+
+// Apply applies typed configuration changes to the current network and
+// re-verifies incrementally.
+func (v *Verifier) Apply(changes ...netcfg.Change) (*Report, error) {
+	next := v.cur.Clone()
+	for _, ch := range changes {
+		if err := ch.Apply(next); err != nil {
+			return nil, err
+		}
+	}
+	return v.SetNetwork(next)
+}
+
+// SetNetwork verifies an arbitrary new snapshot, reusing all state valid
+// since the previous one: the cost is proportional to the semantic
+// change, not the network size.
+func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
+	start := time.Now()
+	rep := &Report{}
+	if v.cur != nil {
+		rep.Diff = netcfg.DiffNetworks(v.cur, net)
+	} else {
+		rep.Diff = &netcfg.NetworkDiff{Devices: map[string][]netcfg.LineChange{}}
+	}
+
+	// Stage 1: incremental data plane generation.
+	t0 := time.Now()
+	v.gen.SetNetwork(net)
+	stats, err := v.gen.Step()
+	if err != nil {
+		return nil, err
+	}
+	ruleChanges := v.gen.FIBChanges()
+	filterChanges := v.gen.FilterChanges()
+	rep.Engine = stats
+	rep.Timing.Generate = time.Since(t0)
+	for _, e := range ruleChanges {
+		if e.Diff > 0 {
+			rep.RulesInserted += int(e.Diff)
+		} else {
+			rep.RulesDeleted += int(-e.Diff)
+		}
+	}
+	rep.FilterChanges = len(filterChanges)
+
+	// Stage 2: incremental data plane model update.
+	t0 = time.Now()
+	v.model.UpdateFilters(filterChanges)
+	rep.Model, err = v.model.ApplyBatch(ruleChanges, v.opts.Order)
+	if err != nil {
+		return nil, err
+	}
+	rep.Timing.ModelUpdate = time.Since(t0)
+
+	// Stage 3: incremental policy checking.
+	t0 = time.Now()
+	v.checker.SetTopology(deviceNames(net), dataplane.Adjacencies(net))
+	rep.Check = v.checker.Update(rep.Model.Transfers, rep.Model.FilterTransfers, rep.Model.Merges...)
+	rep.Timing.PolicyCheck = time.Since(t0)
+
+	v.cur = net.Clone()
+	rep.Timing.Total = time.Since(start)
+	return rep, nil
+}
+
+func deviceNames(net *netcfg.Network) []string { return net.DeviceNames() }
+
+// Network returns a copy of the currently verified snapshot (nil before
+// Load).
+func (v *Verifier) Network() *netcfg.Network {
+	if v.cur == nil {
+		return nil
+	}
+	return v.cur.Clone()
+}
+
+// AddPolicy registers a policy with the checker and returns its initial
+// verdict. Policies can be added before or after Load.
+func (v *Verifier) AddPolicy(p policy.Policy) bool { return v.checker.AddPolicy(p) }
+
+// RemovePolicy unregisters a policy.
+func (v *Verifier) RemovePolicy(name string) { v.checker.RemovePolicy(name) }
+
+// Verdicts returns the current satisfaction of every registered policy.
+func (v *Verifier) Verdicts() map[string]bool { return v.checker.Verdicts() }
+
+// FIB returns the accumulated forwarding rules (live; do not modify).
+func (v *Verifier) FIB() map[dataplane.Rule]dd.Diff { return v.gen.FIB() }
+
+// Model exposes the data plane model (ECs, ports) for inspection.
+func (v *Verifier) Model() *apkeep.Model { return v.model }
+
+// Checker exposes the policy checker for advanced queries (path traces,
+// pair maps, explanations).
+func (v *Verifier) Checker() *policy.Checker { return v.checker }
+
+// Generator exposes the data plane generator (per-protocol bests).
+func (v *Verifier) Generator() *routing.Generator { return v.gen }

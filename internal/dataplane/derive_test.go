@@ -1,0 +1,173 @@
+package dataplane
+
+import (
+	"testing"
+
+	"realconfig/internal/netcfg"
+)
+
+// twoNode builds a-b connected via eth0/eth0 with OSPF and BGP enabled.
+func twoNode() *netcfg.Network {
+	net := netcfg.NewNetwork()
+	net.Devices["a"] = netcfg.MustParse(`hostname a
+interface eth0
+ ip address 172.16.0.1/30
+interface lo0
+ ip address 10.0.0.1/24
+router ospf 1
+ network 0.0.0.0/0
+router bgp 65001
+ neighbor 172.16.0.2 remote-as 65002
+`)
+	net.Devices["b"] = netcfg.MustParse(`hostname b
+interface eth0
+ ip address 172.16.0.2/30
+router ospf 1
+ network 0.0.0.0/0
+router bgp 65002
+ neighbor 172.16.0.1 remote-as 65001
+ neighbor 172.16.0.1 local-preference 150
+`)
+	net.Topology.Add("a", "eth0", "b", "eth0")
+	return net
+}
+
+func TestAdjacenciesBidirectional(t *testing.T) {
+	net := twoNode()
+	adjs := Adjacencies(net)
+	if len(adjs) != 2 {
+		t.Fatalf("adjacencies = %+v", adjs)
+	}
+	seen := map[string]bool{}
+	for _, a := range adjs {
+		seen[a.Dev+"->"+a.Peer] = true
+		if a.LocalIntf != "eth0" || a.PeerIntf != "eth0" {
+			t.Errorf("bad interfaces: %+v", a)
+		}
+	}
+	if !seen["a->b"] || !seen["b->a"] {
+		t.Errorf("directions = %v", seen)
+	}
+}
+
+func TestAdjacencyRequiresUpInterfacesAndSharedSubnet(t *testing.T) {
+	net := twoNode()
+	net.Devices["a"].Intf("eth0").Shutdown = true
+	if adjs := Adjacencies(net); len(adjs) != 0 {
+		t.Errorf("shutdown interface still adjacent: %+v", adjs)
+	}
+	net.Devices["a"].Intf("eth0").Shutdown = false
+	net.Devices["a"].Intf("eth0").Addr = netcfg.MustInterfaceAddr("192.168.0.1/30")
+	if adjs := Adjacencies(net); len(adjs) != 0 {
+		t.Errorf("subnet mismatch still adjacent: %+v", adjs)
+	}
+	net.Devices["a"].Intf("eth0").Addr = netcfg.InterfaceAddr{}
+	if adjs := Adjacencies(net); len(adjs) != 0 {
+		t.Errorf("unaddressed interface still adjacent: %+v", adjs)
+	}
+	// Links naming unknown devices or interfaces are skipped.
+	net2 := twoNode()
+	net2.Topology.Add("a", "ethX", "ghost", "eth0")
+	if adjs := Adjacencies(net2); len(adjs) != 2 {
+		t.Errorf("bogus link affected adjacencies: %+v", adjs)
+	}
+}
+
+func TestOSPFAdjacenciesRespectNetworksAndCost(t *testing.T) {
+	net := twoNode()
+	net.Devices["a"].Intf("eth0").OSPFCost = 7
+	adjs := OSPFAdjacencies(net)
+	if len(adjs) != 2 {
+		t.Fatalf("ospf adjacencies = %+v", adjs)
+	}
+	for _, a := range adjs {
+		want := uint32(netcfg.DefaultOSPFCost)
+		if a.Dev == "a" {
+			want = 7
+		}
+		if a.Cost != want {
+			t.Errorf("cost(%s) = %d, want %d", a.Dev, a.Cost, want)
+		}
+	}
+	// Restrict b's OSPF networks away from the link: adjacency gone.
+	net.Devices["b"].OSPF.Networks = []netcfg.Prefix{netcfg.MustPrefix("10.0.0.0/8")}
+	if adjs := OSPFAdjacencies(net); len(adjs) != 0 {
+		t.Errorf("adjacency despite non-OSPF interface: %+v", adjs)
+	}
+	// No OSPF process at all.
+	net.Devices["b"].OSPF = nil
+	if adjs := OSPFAdjacencies(net); len(adjs) != 0 {
+		t.Errorf("adjacency despite missing process: %+v", adjs)
+	}
+}
+
+func TestBGPSessionsRequireMutualCorrectConfig(t *testing.T) {
+	net := twoNode()
+	sess := BGPSessions(net)
+	if len(sess) != 2 {
+		t.Fatalf("sessions = %+v", sess)
+	}
+	for _, s := range sess {
+		switch s.Dev {
+		case "a":
+			if s.Peer != "b" || s.PeerAS != 65002 || s.LocalPref != netcfg.DefaultLocalPref {
+				t.Errorf("session a: %+v", s)
+			}
+		case "b":
+			if s.PeerAS != 65001 || s.LocalPref != 150 {
+				t.Errorf("session b: %+v", s)
+			}
+		}
+	}
+	// Wrong remote-as kills both directions (session is mutual).
+	net.Devices["a"].BGP.Neighbors[0].RemoteAS = 9
+	if sess := BGPSessions(net); len(sess) != 0 {
+		t.Errorf("sessions with AS mismatch: %+v", sess)
+	}
+	net.Devices["a"].BGP.Neighbors[0].RemoteAS = 65002
+	// Missing reverse neighbor statement kills both too.
+	net.Devices["b"].BGP.Neighbors = nil
+	if sess := BGPSessions(net); len(sess) != 0 {
+		t.Errorf("sessions without reverse config: %+v", sess)
+	}
+}
+
+func TestConnectedRoutes(t *testing.T) {
+	net := twoNode()
+	conns := ConnectedRoutes(net)
+	if len(conns) != 3 { // a: eth0+lo0, b: eth0
+		t.Fatalf("connected = %+v", conns)
+	}
+	net.Devices["a"].Intf("lo0").Shutdown = true
+	if conns := ConnectedRoutes(net); len(conns) != 2 {
+		t.Errorf("connected after shutdown = %+v", conns)
+	}
+}
+
+func TestResolveStatic(t *testing.T) {
+	net := twoNode()
+	adjs := Adjacencies(net)
+	peer, intf, ok := ResolveStatic(net, "a", netcfg.MustAddr("172.16.0.2"), adjs)
+	if !ok || peer != "b" || intf != "eth0" {
+		t.Errorf("resolve = %q %q %v", peer, intf, ok)
+	}
+	// Next hop outside any local subnet.
+	if _, _, ok := ResolveStatic(net, "a", netcfg.MustAddr("9.9.9.9"), adjs); ok {
+		t.Error("resolved unreachable next hop")
+	}
+	// Next hop in subnet but not the peer's address.
+	if _, _, ok := ResolveStatic(net, "a", netcfg.MustAddr("172.16.0.3"), adjs); ok {
+		t.Error("resolved non-peer address")
+	}
+	if _, _, ok := ResolveStatic(net, "ghost", netcfg.MustAddr("172.16.0.2"), adjs); ok {
+		t.Error("resolved on unknown device")
+	}
+}
+
+func TestExtractFiltersDanglingACL(t *testing.T) {
+	net := twoNode()
+	net.Devices["a"].Intf("eth0").ACLIn = "ghost" // undefined ACL
+	if fs := ExtractFilters(net); len(fs) != 0 {
+		t.Errorf("filters from dangling ACL: %+v", fs)
+	}
+}

@@ -1,0 +1,173 @@
+package dataplane
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"realconfig/internal/netcfg"
+)
+
+func TestOSPFRouteBetterIsStrictTotalOrder(t *testing.T) {
+	routes := []OSPFRoute{
+		{Dist: 1, NextHop: "a", OutIntf: "e0"},
+		{Dist: 1, NextHop: "a", OutIntf: "e1"},
+		{Dist: 1, NextHop: "b", OutIntf: "e0"},
+		{Dist: 2, NextHop: "", OutIntf: ""},
+		{Dist: 0, NextHop: "", OutIntf: ""},
+	}
+	checkStrictOrder(t, len(routes), func(i, j int) bool { return routes[i].Better(routes[j]) })
+	// Local origination ("" next hop) wins distance ties.
+	local := OSPFRoute{Dist: 5}
+	remote := OSPFRoute{Dist: 5, NextHop: "x"}
+	if !local.Better(remote) || remote.Better(local) {
+		t.Error("local origination must win ties")
+	}
+}
+
+func TestBGPRouteBetterPreferenceChain(t *testing.T) {
+	base := BGPRoute{LocalPref: 100, PathLen: 2, Path: "xxxxyyyy", PeerAS: 5, NextHop: "n"}
+	higherLP := base
+	higherLP.LocalPref = 150
+	shorter := base
+	shorter.PathLen = 1
+	lowerAS := base
+	lowerAS.PeerAS = 3
+	if !higherLP.Better(base) {
+		t.Error("higher local-pref must win")
+	}
+	if !shorter.Better(base) {
+		t.Error("shorter path must win at equal LP")
+	}
+	if !lowerAS.Better(base) {
+		t.Error("lower peer AS must win at equal LP/len")
+	}
+	// LP dominates path length.
+	long := BGPRoute{LocalPref: 200, PathLen: 10}
+	if !long.Better(shorter) {
+		t.Error("local-pref must dominate path length")
+	}
+	routes := []BGPRoute{base, higherLP, shorter, lowerAS, long,
+		{LocalPref: 100, PathLen: 2, Path: "xxxxyyyy", PeerAS: 5, NextHop: "m"},
+		{LocalPref: 100, PathLen: 2, Path: "aaaabbbb", PeerAS: 5, NextHop: "n"},
+	}
+	checkStrictOrder(t, len(routes), func(i, j int) bool { return routes[i].Better(routes[j]) })
+}
+
+func TestRIBEntryBetterAdminDistanceFirst(t *testing.T) {
+	conn := RIBEntry{Proto: netcfg.ProtoConnected, AD: 0, Action: Deliver}
+	static := RIBEntry{Proto: netcfg.ProtoStatic, AD: 1, Action: Forward, NextHop: "x"}
+	bgp := RIBEntry{Proto: netcfg.ProtoBGP, AD: 20, Action: Forward, NextHop: "y"}
+	ospf1 := RIBEntry{Proto: netcfg.ProtoOSPF, AD: 110, Metric: 1, Action: Forward, NextHop: "z"}
+	ospf9 := RIBEntry{Proto: netcfg.ProtoOSPF, AD: 110, Metric: 9, Action: Forward, NextHop: "z"}
+	order := []RIBEntry{conn, static, bgp, ospf1, ospf9}
+	for i := range order {
+		for j := range order {
+			if got := order[i].Better(order[j]); got != (i < j) {
+				t.Errorf("Better(%d,%d) = %v", i, j, got)
+			}
+		}
+	}
+}
+
+// checkStrictOrder verifies irreflexivity, asymmetry and transitivity of
+// the pairwise relation, plus totality over distinct elements.
+func checkStrictOrder(t *testing.T, n int, less func(i, j int) bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if less(i, i) {
+			t.Errorf("element %d better than itself", i)
+		}
+		for j := 0; j < n; j++ {
+			if i != j && less(i, j) == less(j, i) {
+				t.Errorf("order not asymmetric/total at (%d,%d)", i, j)
+			}
+			for k := 0; k < n; k++ {
+				if less(i, j) && less(j, k) && !less(i, k) {
+					t.Errorf("order not transitive at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPathEncodingRoundTrip(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		path := PathPrepend(a, PathPrepend(b, PathPrepend(c, "")))
+		got := PathASNs(path)
+		return len(got) == 3 && got[0] == a && got[1] == b && got[2] == c &&
+			PathContains(path, a) && PathContains(path, b) && PathContains(path, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if PathContains("", 5) {
+		t.Error("empty path contains something")
+	}
+	if PathContains(PathPrepend(7, ""), 8) {
+		t.Error("false positive membership")
+	}
+}
+
+func TestRIBEntryRuleConversion(t *testing.T) {
+	p := netcfg.MustPrefix("10.0.0.0/8")
+	fwd := RIBEntry{Action: Forward, NextHop: "n", OutIntf: "e0"}
+	r := fwd.Rule("d", p)
+	if r.Action != Forward || r.NextHop != "n" || r.OutIntf != "e0" || r.Device != "d" || r.Prefix != p {
+		t.Errorf("rule = %+v", r)
+	}
+	del := RIBEntry{Action: Deliver, OutIntf: "lo0"}
+	if r := del.Rule("d", p); r.Action != Deliver || r.NextHop != "" || r.OutIntf != "lo0" {
+		t.Errorf("deliver rule = %+v", r)
+	}
+	drop := RIBEntry{Action: Drop, NextHop: "ignored", OutIntf: "ignored"}
+	if r := drop.Rule("d", p); r.Action != Drop || r.NextHop != "" || r.OutIntf != "" {
+		t.Errorf("drop rule = %+v", r)
+	}
+}
+
+func TestStringersAreStable(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Rule{Device: "d", Prefix: netcfg.MustPrefix("10.0.0.0/8"), Action: Forward, NextHop: "n", OutIntf: "e"}.String(), "d: 10.0.0.0/8 -> n via e"},
+		{Rule{Device: "d", Prefix: netcfg.MustPrefix("10.0.0.0/8"), Action: Deliver}.String(), "d: 10.0.0.0/8 -> deliver"},
+		{Rule{Device: "d", Prefix: netcfg.MustPrefix("10.0.0.0/8"), Action: Drop}.String(), "d: 10.0.0.0/8 -> drop"},
+		{Forward.String(), "forward"},
+		{In.String(), "in"},
+		{Out.String(), "out"},
+		{FilterRule{Device: "d", Intf: "e", Dir: In, Seq: 10, Action: netcfg.Deny}.String(), "d/e in #10 deny"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: %q != %q", i, c.got, c.want)
+		}
+	}
+}
+
+func TestExtractFiltersOrderIsDeterministic(t *testing.T) {
+	net := twoNode()
+	net.Devices["a"].ACLs = []*netcfg.ACL{{Name: "f", Lines: []netcfg.ACLLine{
+		{Seq: 20, Action: netcfg.Permit},
+		{Seq: 10, Action: netcfg.Deny, Proto: netcfg.ProtoTCP},
+	}}}
+	net.Devices["a"].Intf("eth0").ACLIn = "f"
+	net.Devices["a"].Intf("lo0").ACLOut = "f"
+	a := ExtractFilters(net)
+	b := ExtractFilters(net)
+	sortFilters := func(fs []FilterRule) {
+		sort.Slice(fs, func(i, j int) bool {
+			return fs[i].String() < fs[j].String() || (fs[i].String() == fs[j].String() && fs[i].Seq < fs[j].Seq)
+		})
+	}
+	sortFilters(a)
+	sortFilters(b)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("filters = %d/%d, want 4", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("extraction unstable at %d", i)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package dd implements a differential-dataflow computation engine: the
+// incremental-computation substrate that RealConfig's data plane generator
+// runs on (the paper uses DDlog on Differential Dataflow; this package is
+// the Go equivalent built from scratch).
+//
+// A dataflow graph is built once from collections and operators (Map,
+// Filter, Join, Reduce, Distinct, Iterate, ...). Inputs then receive
+// insertions and deletions, and each call to Graph.Advance runs one epoch
+// that propagates only the *differences* through the graph. Work is
+// proportional to the amount of change, not to the total data size, which
+// is exactly the property that makes incremental network configuration
+// verification fast.
+//
+// # Time model
+//
+// Differential dataflow timestamps are pairs (epoch, iteration). Epochs
+// are totally ordered and processed sequentially to completion, so traces
+// consolidate completed epochs and are kept per iteration: the
+// accumulation of a collection at (e, i) is the sum of all diffs from
+// earlier epochs at iterations <= i plus the current epoch's diffs at
+// iterations <= i. This is the product partial order of differential
+// dataflow restricted to the sequential-epoch regime, and it is what makes
+// retractions inside fixpoints exact: deleting a route seed replays only
+// the affected iterations, and circularly-supported derivations cancel
+// instead of counting to infinity.
+//
+// All loops share a single global iteration dimension. This means loops
+// may feed one another (e.g. OSPF results redistributed into BGP) without
+// any stratification bookkeeping: the scheduler simply runs iterations in
+// ascending order until no operator has pending work.
+//
+// # Determinism
+//
+// Reduction functions must be order-independent (they receive the
+// accumulated group as a value-sorted slice). Under that contract the
+// accumulated contents of every collection are deterministic functions of
+// the input history.
+package dd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Diff is a signed multiplicity. Insertions carry +1, deletions -1;
+// operators combine diffs multiplicatively (joins) and additively
+// (concatenation, traces).
+type Diff = int64
+
+// Entry is one element of a difference batch: a value and the signed
+// multiplicity by which its count changes.
+type Entry[T comparable] struct {
+	Val  T
+	Diff Diff
+}
+
+// KV is a keyed record, the shape consumed by Join and Reduce.
+type KV[K comparable, V comparable] struct {
+	K K
+	V V
+}
+
+// MkKV builds a KV. It exists because composite literals of generic
+// types are noisy at call sites.
+func MkKV[K comparable, V comparable](k K, v V) KV[K, V] { return KV[K, V]{K: k, V: v} }
+
+// processor is a scheduled graph node. Stateless operators (Map, Filter,
+// Concat, Negate) are fused into subscriptions and never become
+// processors; only stateful operators (Join, Reduce, Distinct, sinks) do.
+type processor interface {
+	// process drains the node's pending work at the given iteration.
+	process(iter int)
+}
+
+// Graph owns the dataflow: nodes, the iteration scheduler and epoch
+// statistics. Build the graph, then repeatedly stage input changes and
+// call Advance.
+type Graph struct {
+	nodes  []processor
+	inputs []flusher
+	// resetters run at the start of every epoch, before inputs flush;
+	// outputs and detectors clear their per-epoch logs here.
+	resetters []func()
+	pending   map[int]map[int]struct{} // iteration -> set of node indices
+	iters     intHeap                  // pending iterations (may contain duplicates)
+
+	// MaxIter bounds the number of loop iterations per epoch. A fixpoint
+	// that fails to converge within MaxIter iterations aborts the epoch
+	// with ErrNonTermination; the paper (section 6) notes such
+	// non-termination typically reveals genuine configuration bugs (e.g.
+	// BGP disputes).
+	MaxIter int
+
+	epoch  int
+	failed error
+
+	// stats for the current/last epoch
+	stats EpochStats
+
+	// fingerprints of loop-variable states per iteration, used by the
+	// recurring-state detector (see Detector).
+	detectors []*Detector
+}
+
+type flusher interface{ flush() }
+
+// EpochStats reports how much work one Advance performed.
+type EpochStats struct {
+	Epoch      int // epoch number (0 = initial full evaluation)
+	Iterations int // highest iteration that had activity, plus one
+	Entries    int // total difference entries processed by stateful nodes
+	NodeRuns   int // number of (node, iteration) activations
+}
+
+// NewGraph returns an empty dataflow graph.
+func NewGraph() *Graph {
+	return &Graph{
+		pending: make(map[int]map[int]struct{}),
+		MaxIter: 1 << 16,
+	}
+}
+
+// ErrNonTermination is returned (wrapped) by Advance when a fixpoint
+// exceeds Graph.MaxIter iterations.
+var ErrNonTermination = fmt.Errorf("dd: fixpoint did not converge (non-termination)")
+
+func (g *Graph) addNode(p processor) int {
+	g.nodes = append(g.nodes, p)
+	return len(g.nodes) - 1
+}
+
+// schedule records that node id has pending work at iteration iter.
+func (g *Graph) schedule(id, iter int) {
+	set, ok := g.pending[iter]
+	if !ok {
+		set = make(map[int]struct{})
+		g.pending[iter] = set
+		g.iters.push(iter)
+	}
+	set[id] = struct{}{}
+}
+
+// Epoch returns the number of completed epochs.
+func (g *Graph) Epoch() int { return g.epoch }
+
+// Stats returns statistics for the most recently completed epoch.
+func (g *Graph) Stats() EpochStats { return g.stats }
+
+// Advance runs one epoch: staged input changes are injected at iteration
+// zero and differences are propagated until every operator is quiescent.
+// It returns the epoch statistics, or an error if a fixpoint failed to
+// converge (the graph must be discarded after an error).
+func (g *Graph) Advance() (EpochStats, error) {
+	if g.failed != nil {
+		return EpochStats{}, g.failed
+	}
+	g.stats = EpochStats{Epoch: g.epoch}
+	for _, r := range g.resetters {
+		r()
+	}
+	for _, in := range g.inputs {
+		in.flush()
+	}
+	for len(g.pending) > 0 {
+		iter, ok := g.iters.popMin()
+		if !ok {
+			break
+		}
+		set := g.pending[iter]
+		if set == nil {
+			continue // stale heap entry
+		}
+		if iter > g.MaxIter {
+			g.failed = fmt.Errorf("%w after %d iterations (epoch %d)", ErrNonTermination, iter, g.epoch)
+			// Drain all pending state so the graph is inert.
+			g.pending = make(map[int]map[int]struct{})
+			g.iters = nil
+			return EpochStats{}, g.failed
+		}
+		if iter+1 > g.stats.Iterations {
+			g.stats.Iterations = iter + 1
+		}
+		for _, d := range g.detectors {
+			if err := d.observe(iter); err != nil {
+				g.failed = err
+				g.pending = make(map[int]map[int]struct{})
+				g.iters = nil
+				return EpochStats{}, g.failed
+			}
+		}
+		// Process nodes at this iteration in construction order; forward
+		// edges only ever target later nodes at the same iteration, so a
+		// single ascending pass drains it, but nodes processed earlier may
+		// be re-scheduled at this iteration by a feedback-free path only in
+		// pathological graphs, so loop until the set is empty.
+		for len(set) > 0 {
+			ids := make([]int, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				delete(set, id)
+				g.stats.NodeRuns++
+				g.nodes[id].process(iter)
+			}
+		}
+		delete(g.pending, iter)
+	}
+	g.epoch++
+	st := g.stats
+	return st, nil
+}
+
+// MustAdvance is Advance for tests and examples where non-termination is
+// a programming error.
+func (g *Graph) MustAdvance() EpochStats {
+	st, err := g.Advance()
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// Collection is a handle to a stream of differences of values of type T
+// flowing through the graph. Collections are cheap to copy.
+type Collection[T comparable] struct {
+	g *Graph
+	p *port[T]
+}
+
+// Graph returns the graph this collection belongs to.
+func (c Collection[T]) Graph() *Graph { return c.g }
+
+// port fan-outs difference batches to subscribers. Subscribers are
+// closures so that stateless transforms fuse into the emission path.
+type port[T comparable] struct {
+	subs []func(iter int, batch []Entry[T])
+}
+
+func (p *port[T]) subscribe(f func(iter int, batch []Entry[T])) {
+	p.subs = append(p.subs, f)
+}
+
+func (p *port[T]) emit(iter int, batch []Entry[T]) {
+	if len(batch) == 0 {
+		return
+	}
+	for _, s := range p.subs {
+		s(iter, batch)
+	}
+}
+
+func newCollection[T comparable](g *Graph) (Collection[T], *port[T]) {
+	p := &port[T]{}
+	return Collection[T]{g: g, p: p}, p
+}
+
+// intHeap is a tiny min-heap of iteration numbers (duplicates allowed).
+type intHeap []int
+
+func (h *intHeap) push(v int) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *intHeap) popMin() (int, bool) {
+	if len(*h) == 0 {
+		return 0, false
+	}
+	min := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l] < (*h)[small] {
+			small = l
+		}
+		if r < len(*h) && (*h)[r] < (*h)[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return min, true
+}

@@ -1,0 +1,85 @@
+package dd
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// ErrRecurringState is reported when a watched fixpoint revisits a state
+// it has already been in during the current epoch without having
+// converged: the evaluation is oscillating and would never terminate.
+// The paper (section 6) identifies detecting such recurring states -
+// e.g. BGP configurations with no stable solution or with route-update
+// races - as future work; this detector implements it.
+var ErrRecurringState = fmt.Errorf("dd: recurring state detected (oscillating fixpoint)")
+
+// Detector watches a collection (typically a loop's output) and aborts
+// the epoch if the collection's accumulated state recurs across
+// iterations, which means the fixpoint is cycling rather than converging.
+// Detection is by order-independent 64-bit fingerprint; a false positive
+// requires a fingerprint collision (probability ~2^-64 per pair).
+type Detector struct {
+	name string
+	seed maphash.Seed
+
+	pend    map[int]Diff // iteration -> fingerprint delta (XOR-ish additive)
+	applied int          // iterations < applied are folded into fp
+	fp      uint64
+	lastFP  uint64
+	changed bool
+	seen    map[uint64]int // fingerprint -> first iteration seen this epoch
+}
+
+// Watch attaches a recurring-state detector to c. The name appears in
+// error messages.
+func Watch[T comparable](c Collection[T], name string) *Detector {
+	d := &Detector{
+		name: name,
+		seed: maphash.MakeSeed(),
+		pend: make(map[int]Diff),
+		seen: make(map[uint64]int),
+	}
+	var h maphash.Hash
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		for _, e := range batch {
+			h.SetSeed(d.seed)
+			fmt.Fprintf(&h, "%v", e.Val)
+			hv := h.Sum64()
+			// Commutative fold: each present value contributes hv *
+			// multiplicity (mod 2^64), so the fingerprint is independent
+			// of arrival order and cancels exactly on retraction.
+			d.pend[iter] += Diff(hv) * e.Diff
+		}
+	})
+	c.g.detectors = append(c.g.detectors, d)
+	c.g.resetters = append(c.g.resetters, func() {
+		d.seen = make(map[uint64]int)
+		d.changed = false
+		d.lastFP = d.fp
+	})
+	return d
+}
+
+// observe is called by the scheduler when iteration iter begins; all
+// differences at earlier iterations are final at that point.
+func (d *Detector) observe(iter int) error {
+	for j := d.applied; j < iter; j++ {
+		if delta, ok := d.pend[j]; ok {
+			d.fp += uint64(delta)
+			delete(d.pend, j)
+		}
+	}
+	if iter > d.applied {
+		d.applied = iter
+	}
+	if d.fp == d.lastFP {
+		return nil // quiescent or unchanged since last look
+	}
+	d.changed = true
+	d.lastFP = d.fp
+	if first, ok := d.seen[d.fp]; ok {
+		return fmt.Errorf("%w: %s repeated state of iteration %d at iteration %d", ErrRecurringState, d.name, first, iter)
+	}
+	d.seen[d.fp] = iter
+	return nil
+}

@@ -1,0 +1,47 @@
+package dd
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDetectorCatchesOscillation models the classic unstable
+// configuration: a derivation that holds exactly when it does not hold
+// (X = seed ANTIJOIN keys(X)), the shape of a BGP dispute wheel. The
+// fixpoint alternates between {seed} and {} forever; the detector must
+// abort with ErrRecurringState well before MaxIter.
+func TestDetectorCatchesOscillation(t *testing.T) {
+	g := NewGraph()
+	g.MaxIter = 1 << 20 // detector must fire long before this
+	seed := NewInput[KV[string, string]](g)
+	var watched Collection[KV[string, string]]
+	Fixpoint(g, func(x Collection[KV[string, string]]) Collection[KV[string, string]] {
+		out := AntiJoin(seed.Collection(), Map(x, func(kv KV[string, string]) string { return kv.K }))
+		watched = out
+		return out
+	})
+	Watch(watched, "oscillator")
+
+	seed.Insert(MkKV("k", "v"))
+	_, err := g.Advance()
+	if !errors.Is(err, ErrRecurringState) {
+		t.Fatalf("err = %v, want ErrRecurringState", err)
+	}
+}
+
+// TestDetectorSilentOnConvergence checks that a well-behaved fixpoint is
+// not flagged.
+func TestDetectorSilentOnConvergence(t *testing.T) {
+	p := newSPProgram(0)
+	Watch(p.distC, "sp")
+	p.edges.Insert(spEdge{1, 0, 1})
+	p.edges.Insert(spEdge{2, 1, 1})
+	if _, err := p.g.Advance(); err != nil {
+		t.Fatalf("converging fixpoint flagged: %v", err)
+	}
+	// A second epoch with a retraction must also pass.
+	p.edges.Delete(spEdge{2, 1, 1})
+	if _, err := p.g.Advance(); err != nil {
+		t.Fatalf("second epoch flagged: %v", err)
+	}
+}

@@ -1,0 +1,238 @@
+package dd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// spEdge is a directed edge for the shortest-path test programs.
+type spEdge struct {
+	From, To, Cost int
+}
+
+// spProgram builds an incremental single-destination shortest path
+// program: distances of every node to node `dest` over the edge input.
+type spProgram struct {
+	g     *Graph
+	edges *Input[spEdge]
+	distC Collection[KV[int, int]]
+	out   *Output[KV[int, int]]
+}
+
+func newSPProgram(dest int) *spProgram {
+	g := NewGraph()
+	p := &spProgram{g: g, edges: NewInput[spEdge](g)}
+	seed := NewInput[KV[int, int]](g)
+	seed.Insert(MkKV(dest, 0))
+	byTo := Map(p.edges.Collection(), func(e spEdge) KV[int, KV[int, int]] {
+		return MkKV(e.To, MkKV(e.From, e.Cost))
+	})
+	dist := Fixpoint(g, func(x Collection[KV[int, int]]) Collection[KV[int, int]] {
+		cands := Join(x, byTo, func(_ int, d int, fc KV[int, int]) KV[int, int] {
+			return MkKV(fc.K, d+fc.V)
+		})
+		return ReduceMin(Concat(seed.Collection(), cands), func(a, b int) bool { return a < b })
+	})
+	p.distC = dist
+	p.out = NewOutput(dist)
+	return p
+}
+
+// oracleSP is a from-scratch Bellman-Ford for comparison.
+func oracleSP(edges map[spEdge]bool, dest, n int) map[int]int {
+	const inf = 1 << 30
+	d := make(map[int]int)
+	d[dest] = 0
+	for i := 0; i < n+2; i++ {
+		changed := false
+		for e := range edges {
+			dt, ok := d[e.To]
+			if !ok {
+				continue
+			}
+			if cur, ok := d[e.From]; !ok || dt+e.Cost < cur {
+				d[e.From] = dt + e.Cost
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return d
+}
+
+func (p *spProgram) check(t *testing.T, edges map[spEdge]bool, n int) {
+	t.Helper()
+	want := oracleSP(edges, 0, n)
+	got := make(map[int]int)
+	for kv, d := range p.out.State() {
+		if d == 0 {
+			continue
+		}
+		if d != 1 {
+			t.Fatalf("distance %v has multiplicity %d", kv, d)
+		}
+		if prev, dup := got[kv.K]; dup {
+			t.Fatalf("node %d has two distances: %d and %d", kv.K, prev, kv.V)
+		}
+		got[kv.K] = kv.V
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distances: got %v, want %v", got, want)
+	}
+	for node, wd := range want {
+		if got[node] != wd {
+			t.Fatalf("dist[%d] = %d, want %d (got %v want %v)", node, got[node], wd, got, want)
+		}
+	}
+}
+
+func TestFixpointShortestPathIncrementalMatchesOracle(t *testing.T) {
+	p := newSPProgram(0)
+	edges := map[spEdge]bool{}
+	apply := func(e spEdge, insert bool) {
+		if insert {
+			p.edges.Insert(e)
+			edges[e] = true
+		} else {
+			p.edges.Delete(e)
+			delete(edges, e)
+		}
+		p.g.MustAdvance()
+		p.check(t, edges, 10)
+	}
+
+	// Build a diamond with a cycle.
+	apply(spEdge{1, 0, 4}, true)
+	apply(spEdge{2, 1, 1}, true)
+	apply(spEdge{3, 2, 1}, true)
+	apply(spEdge{3, 0, 10}, true)
+	apply(spEdge{2, 3, 1}, true) // cycle 2<->3
+	apply(spEdge{1, 2, 1}, true) // cycle 1<->2
+
+	// Retract the edge everything depends on: distances must collapse to
+	// just the destination (no count-to-infinity through the cycles).
+	apply(spEdge{1, 0, 4}, false)
+	// Only 3->0 remains as an exit.
+	apply(spEdge{1, 0, 4}, true) // restore
+	apply(spEdge{3, 0, 10}, false)
+	apply(spEdge{3, 2, 1}, false)
+	apply(spEdge{2, 1, 1}, false)
+}
+
+func TestFixpointSeedRetractionCancelsCycle(t *testing.T) {
+	// Two nodes supporting each other through a cycle, reachable only
+	// via a seed edge. Deleting that edge must retract everything.
+	p := newSPProgram(0)
+	p.edges.Insert(spEdge{1, 0, 1})
+	p.edges.Insert(spEdge{2, 1, 1})
+	p.edges.Insert(spEdge{1, 2, 1})
+	p.g.MustAdvance()
+	p.check(t, map[spEdge]bool{{1, 0, 1}: true, {2, 1, 1}: true, {1, 2, 1}: true}, 3)
+
+	p.edges.Delete(spEdge{1, 0, 1})
+	p.g.MustAdvance()
+	p.check(t, map[spEdge]bool{{2, 1, 1}: true, {1, 2, 1}: true}, 3)
+	// Exactly one distance (the destination itself) must remain.
+	live := 0
+	for _, d := range p.out.State() {
+		if d != 0 {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("after seed retraction %d distances remain, want 1: %v", live, p.out.State())
+	}
+}
+
+func TestFixpointIncrementalWorkIsProportionalToChange(t *testing.T) {
+	// On a long chain, changing the far end must process far fewer
+	// entries than the initial full evaluation.
+	p := newSPProgram(0)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		p.edges.Insert(spEdge{i, i - 1, 1})
+	}
+	full := p.g.MustAdvance()
+
+	p.edges.Delete(spEdge{n, n - 1, 1})
+	p.edges.Insert(spEdge{n, n - 1, 5})
+	inc := p.g.MustAdvance()
+	if inc.Entries*10 > full.Entries {
+		t.Errorf("incremental epoch processed %d entries vs %d full; want <10%%", inc.Entries, full.Entries)
+	}
+	if got := p.out.State()[MkKV(n, n-1+5)]; got != 1 {
+		t.Errorf("dist[%d] wrong after cost change: state %v", n, p.out.State())
+	}
+}
+
+func TestFixpointRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nodes = 12
+	for trial := 0; trial < 25; trial++ {
+		p := newSPProgram(0)
+		edges := map[spEdge]bool{}
+		var pool []spEdge
+		for f := 0; f < nodes; f++ {
+			for to := 0; to < nodes; to++ {
+				if f != to {
+					pool = append(pool, spEdge{f, to, 1 + rng.Intn(9)})
+				}
+			}
+		}
+		steps := 30
+		for s := 0; s < steps; s++ {
+			// Random batch of 1-3 mutations per epoch.
+			batch := 1 + rng.Intn(3)
+			for b := 0; b < batch; b++ {
+				e := pool[rng.Intn(len(pool))]
+				if edges[e] {
+					p.edges.Delete(e)
+					delete(edges, e)
+				} else {
+					// Avoid two parallel edges with different costs between
+					// the same pair: delete any existing first.
+					dup := false
+					for ex := range edges {
+						if ex.From == e.From && ex.To == e.To {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					p.edges.Insert(e)
+					edges[e] = true
+				}
+			}
+			p.g.MustAdvance()
+			p.check(t, edges, nodes)
+		}
+	}
+}
+
+func TestVarSourcePanicsAcrossGraphs(t *testing.T) {
+	g1, g2 := NewGraph(), NewGraph()
+	v := NewVar[int](g1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for cross-graph Source")
+		}
+	}()
+	v.Source(NewInput[int](g2).Collection())
+}
+
+func TestVarDoubleFeedbackPanics(t *testing.T) {
+	g := NewGraph()
+	v := NewVar[int](g)
+	c := NewInput[int](g).Collection()
+	v.Feedback(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for double Feedback")
+		}
+	}()
+	v.Feedback(c)
+}

@@ -1,0 +1,82 @@
+package dd
+
+// tdiff is one point of a value's history: the cumulative signed diff the
+// value received at a given iteration, summed over all completed epochs
+// and the current one.
+type tdiff struct {
+	iter int32
+	diff Diff
+}
+
+// hist is a value's per-iteration history, sorted by iteration. Histories
+// are small (bounded by the number of loop iterations the value was ever
+// active at), so linear operations are fine.
+type hist []tdiff
+
+// add merges a diff at an iteration into the history, keeping it sorted
+// and dropping entries that cancel to zero.
+func (h hist) add(iter int, d Diff) hist {
+	i := 0
+	for i < len(h) && int(h[i].iter) < iter {
+		i++
+	}
+	if i < len(h) && int(h[i].iter) == iter {
+		h[i].diff += d
+		if h[i].diff == 0 {
+			copy(h[i:], h[i+1:])
+			h = h[:len(h)-1]
+		}
+		return h
+	}
+	h = append(h, tdiff{})
+	copy(h[i+1:], h[i:])
+	h[i] = tdiff{iter: int32(iter), diff: d}
+	return h
+}
+
+// upTo sums the history's diffs at iterations <= iter: the value's
+// accumulated multiplicity as of (current epoch, iter).
+func (h hist) upTo(iter int) Diff {
+	var sum Diff
+	for _, td := range h {
+		if int(td.iter) > iter {
+			break
+		}
+		sum += td.diff
+	}
+	return sum
+}
+
+// total sums all diffs (the multiplicity at the end of an epoch).
+func (h hist) total() Diff {
+	var sum Diff
+	for _, td := range h {
+		sum += td.diff
+	}
+	return sum
+}
+
+// itersAbove appends to dst the iterations strictly greater than iter at
+// which this history has entries.
+func (h hist) itersAbove(iter int, dst []int) []int {
+	for _, td := range h {
+		if int(td.iter) > iter {
+			dst = append(dst, int(td.iter))
+		}
+	}
+	return dst
+}
+
+// trace is a per-value history map used as operator state (join
+// arrangements and reduce inputs/outputs).
+type trace[T comparable] map[T]hist
+
+// add merges a diff for val at iter, deleting empty histories.
+func (tr trace[T]) add(val T, iter int, d Diff) {
+	h := tr[val].add(iter, d)
+	if len(h) == 0 {
+		delete(tr, val)
+	} else {
+		tr[val] = h
+	}
+}

@@ -1,0 +1,86 @@
+package dd
+
+import "testing"
+
+func TestHistAddAndAccumulate(t *testing.T) {
+	var h hist
+	h = h.add(3, 2)
+	h = h.add(1, 1)
+	h = h.add(5, -1)
+	if got := h.upTo(0); got != 0 {
+		t.Errorf("upTo(0) = %d, want 0", got)
+	}
+	if got := h.upTo(1); got != 1 {
+		t.Errorf("upTo(1) = %d, want 1", got)
+	}
+	if got := h.upTo(3); got != 3 {
+		t.Errorf("upTo(3) = %d, want 3", got)
+	}
+	if got := h.upTo(10); got != 2 {
+		t.Errorf("upTo(10) = %d, want 2", got)
+	}
+	if got := h.total(); got != 2 {
+		t.Errorf("total() = %d, want 2", got)
+	}
+}
+
+func TestHistCancellationRemovesEntry(t *testing.T) {
+	var h hist
+	h = h.add(2, 5)
+	h = h.add(2, -5)
+	if len(h) != 0 {
+		t.Fatalf("history after cancellation has %d entries, want 0", len(h))
+	}
+}
+
+func TestHistKeepsSortedOrder(t *testing.T) {
+	var h hist
+	for _, it := range []int{9, 1, 5, 3, 7} {
+		h = h.add(it, 1)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i-1].iter >= h[i].iter {
+			t.Fatalf("history not sorted: %v", h)
+		}
+	}
+}
+
+func TestHistItersAbove(t *testing.T) {
+	var h hist
+	h = h.add(1, 1)
+	h = h.add(4, 1)
+	h = h.add(8, -1)
+	got := h.itersAbove(2, nil)
+	if len(got) != 2 || got[0] != 4 || got[1] != 8 {
+		t.Errorf("itersAbove(2) = %v, want [4 8]", got)
+	}
+	if got := h.itersAbove(8, nil); len(got) != 0 {
+		t.Errorf("itersAbove(8) = %v, want empty", got)
+	}
+}
+
+func TestTraceAddDeletesEmptyHistories(t *testing.T) {
+	tr := make(trace[string])
+	tr.add("x", 0, 1)
+	tr.add("x", 0, -1)
+	if _, ok := tr["x"]; ok {
+		t.Fatal("trace retains value with empty history")
+	}
+}
+
+func TestIntHeap(t *testing.T) {
+	var h intHeap
+	for _, v := range []int{5, 1, 3, 1, 9, 0} {
+		h.push(v)
+	}
+	want := []int{0, 1, 1, 3, 5, 9}
+	for i, w := range want {
+		got, ok := h.popMin()
+		if !ok || got != w {
+			t.Fatalf("pop %d = %d (ok=%v), want %d", i, got, ok, w)
+		}
+	}
+	if _, ok := h.popMin(); ok {
+		t.Fatal("popMin on empty heap reported ok")
+	}
+}

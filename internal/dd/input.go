@@ -1,0 +1,99 @@
+package dd
+
+// Input is a root collection whose contents are controlled by the caller.
+// Changes staged with Insert/Delete/Set take effect at the next
+// Graph.Advance.
+type Input[T comparable] struct {
+	g      *Graph
+	out    *port[T]
+	coll   Collection[T]
+	staged map[T]Diff
+	// state mirrors the accumulated contents so that Set can compute a
+	// difference against the current value.
+	state map[T]Diff
+}
+
+// NewInput creates an input collection on g.
+func NewInput[T comparable](g *Graph) *Input[T] {
+	coll, p := newCollection[T](g)
+	in := &Input[T]{g: g, out: p, coll: coll, staged: make(map[T]Diff), state: make(map[T]Diff)}
+	g.inputs = append(g.inputs, in)
+	return in
+}
+
+// Collection returns the dataflow handle for this input.
+func (in *Input[T]) Collection() Collection[T] { return in.coll }
+
+// Insert stages an insertion of val (multiplicity +1).
+func (in *Input[T]) Insert(val T) { in.Update(val, 1) }
+
+// Delete stages a deletion of val (multiplicity -1). Deleting a value
+// that is not present leaves the collection with a negative multiplicity,
+// which downstream operators treat as absent; callers should avoid it.
+func (in *Input[T]) Delete(val T) { in.Update(val, -1) }
+
+// Update stages an arbitrary signed multiplicity change.
+func (in *Input[T]) Update(val T, d Diff) {
+	if d == 0 {
+		return
+	}
+	in.staged[val] += d
+	if in.staged[val] == 0 {
+		delete(in.staged, val)
+	}
+}
+
+// Contains reports whether val is currently in the input (staged changes
+// not yet applied are ignored).
+func (in *Input[T]) Contains(val T) bool { return in.state[val] > 0 }
+
+// Len returns the number of distinct values currently present.
+func (in *Input[T]) Len() int { return len(in.state) }
+
+// Set replaces the input's entire contents with vals (each multiplicity
+// one), staging only the difference against the current state. It is the
+// primitive used to turn "here is the new compiled configuration" into a
+// minimal change set.
+func (in *Input[T]) Set(vals []T) {
+	want := make(map[T]Diff, len(vals))
+	for _, v := range vals {
+		want[v]++
+	}
+	for v, c := range want {
+		if cur := in.state[v] + in.staged[v]; cur != c {
+			in.Update(v, c-cur)
+		}
+	}
+	for v := range in.state {
+		if _, ok := want[v]; !ok {
+			if cur := in.state[v] + in.staged[v]; cur != 0 {
+				in.Update(v, -cur)
+			}
+		}
+	}
+	// Values only present in staged but not wanted and not in state.
+	for v, d := range in.staged {
+		if _, ok := want[v]; !ok {
+			if _, ok := in.state[v]; !ok && d != 0 {
+				in.Update(v, -d)
+			}
+		}
+	}
+}
+
+// flush injects staged changes at iteration 0 of the new epoch.
+func (in *Input[T]) flush() {
+	if len(in.staged) == 0 {
+		return
+	}
+	batch := make([]Entry[T], 0, len(in.staged))
+	for v, d := range in.staged {
+		batch = append(batch, Entry[T]{Val: v, Diff: d})
+		in.state[v] += d
+		if in.state[v] == 0 {
+			delete(in.state, v)
+		}
+	}
+	in.staged = make(map[T]Diff)
+	in.out.emit(0, batch)
+}

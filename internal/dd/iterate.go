@@ -1,0 +1,74 @@
+package dd
+
+// Var is a loop variable: a collection defined by its own feedback. It is
+// the building block of fixpoint computations, exposed for advanced
+// shapes (mutual recursion across several variables); most callers want
+// Fixpoint.
+type Var[T comparable] struct {
+	g    *Graph
+	coll Collection[T]
+	p    *port[T]
+	fed  bool
+}
+
+// NewVar creates an unconnected loop variable on g.
+func NewVar[T comparable](g *Graph) *Var[T] {
+	coll, p := newCollection[T](g)
+	return &Var[T]{g: g, coll: coll, p: p}
+}
+
+// Collection returns the variable's dataflow handle, usable while the
+// defining body is still being built.
+func (v *Var[T]) Collection() Collection[T] { return v.coll }
+
+// Source adds a same-iteration contribution to the variable (e.g. seed
+// routes). Differences arriving at iteration i become part of the
+// variable at iteration i.
+func (v *Var[T]) Source(c Collection[T]) {
+	if c.g != v.g {
+		panic("dd: Var.Source across graphs")
+	}
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		v.p.emit(iter, batch)
+	})
+}
+
+// Feedback closes the loop: differences of c at iteration i become part
+// of the variable at iteration i+1. The scheduler's MaxIter bound guards
+// against non-convergent feedback.
+func (v *Var[T]) Feedback(c Collection[T]) {
+	if c.g != v.g {
+		panic("dd: Var.Feedback across graphs")
+	}
+	if v.fed {
+		panic("dd: Var.Feedback called twice")
+	}
+	v.fed = true
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		v.p.emit(iter+1, batch)
+	})
+}
+
+// Fixpoint computes X = body(X): it creates a loop variable, applies body
+// once to build the loop's dataflow, and feeds the body's output back
+// into the variable with an iteration shift. The returned collection
+// converges to the least fixpoint reachable from empty under the body's
+// differences.
+//
+// Collections from outside the loop may be captured by body; because all
+// loops share one global iteration dimension, their differences (arriving
+// at iteration 0, or at later iterations if they are themselves loop
+// outputs) participate in the accumulation at every subsequent iteration.
+// The idiomatic routing shape is
+//
+//	routes := dd.Fixpoint(g, func(X dd.Collection[Route]) dd.Collection[Route] {
+//	    return best(dd.Concat(seeds, propagate(X)))
+//	})
+//
+// which converges to routes = best(seeds ∪ propagate(routes)).
+func Fixpoint[T comparable](g *Graph, body func(Collection[T]) Collection[T]) Collection[T] {
+	v := NewVar[T](g)
+	out := body(v.Collection())
+	v.Feedback(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package dd
+
+import "sort"
+
+// Join matches records of a and b with equal keys and combines them with
+// f. It is fully incremental and bilinear: a difference on either side is
+// joined against the other side's accumulated trace, and the result is
+// placed at the later of the two iterations involved (the least upper
+// bound in differential-dataflow time).
+func Join[K comparable, A comparable, B comparable, R comparable](
+	a Collection[KV[K, A]], b Collection[KV[K, B]], f func(K, A, B) R,
+) Collection[R] {
+	if a.g != b.g {
+		panic("dd: Join across graphs")
+	}
+	g := a.g
+	out, p := newCollection[R](g)
+	j := &joinNode[K, A, B, R]{
+		g: g, f: f, out: p,
+		arrA:  make(map[K]trace[A]),
+		arrB:  make(map[K]trace[B]),
+		pendA: make(map[int][]Entry[KV[K, A]]),
+		pendB: make(map[int][]Entry[KV[K, B]]),
+	}
+	j.id = g.addNode(j)
+	a.p.subscribe(func(iter int, batch []Entry[KV[K, A]]) {
+		j.pendA[iter] = append(j.pendA[iter], batch...)
+		g.schedule(j.id, iter)
+	})
+	b.p.subscribe(func(iter int, batch []Entry[KV[K, B]]) {
+		j.pendB[iter] = append(j.pendB[iter], batch...)
+		g.schedule(j.id, iter)
+	})
+	return out
+}
+
+type joinNode[K comparable, A comparable, B comparable, R comparable] struct {
+	g   *Graph
+	id  int
+	f   func(K, A, B) R
+	out *port[R]
+
+	arrA  map[K]trace[A]
+	arrB  map[K]trace[B]
+	pendA map[int][]Entry[KV[K, A]]
+	pendB map[int][]Entry[KV[K, B]]
+}
+
+func (j *joinNode[K, A, B, R]) process(iter int) {
+	produced := make(map[int]map[R]Diff)
+	add := func(at int, r R, d Diff) {
+		if d == 0 {
+			return
+		}
+		m := produced[at]
+		if m == nil {
+			m = make(map[R]Diff)
+			produced[at] = m
+		}
+		m[r] += d
+	}
+
+	// Drain side A: join each difference against B's arrangement, then
+	// merge it into A's arrangement. Doing A fully before B means the
+	// cross term (deltaA x deltaB) is produced exactly once, by B's pass.
+	if batch := j.pendA[iter]; len(batch) > 0 {
+		delete(j.pendA, iter)
+		j.g.stats.Entries += len(batch)
+		for _, e := range batch {
+			if tb, ok := j.arrB[e.Val.K]; ok {
+				for bv, h := range tb {
+					for _, td := range h {
+						at := iter
+						if int(td.iter) > at {
+							at = int(td.iter)
+						}
+						add(at, j.f(e.Val.K, e.Val.V, bv), e.Diff*td.diff)
+					}
+				}
+			}
+			ta := j.arrA[e.Val.K]
+			if ta == nil {
+				ta = make(trace[A])
+				j.arrA[e.Val.K] = ta
+			}
+			ta.add(e.Val.V, iter, e.Diff)
+			if len(ta) == 0 {
+				delete(j.arrA, e.Val.K)
+			}
+		}
+	}
+
+	if batch := j.pendB[iter]; len(batch) > 0 {
+		delete(j.pendB, iter)
+		j.g.stats.Entries += len(batch)
+		for _, e := range batch {
+			if ta, ok := j.arrA[e.Val.K]; ok {
+				for av, h := range ta {
+					for _, td := range h {
+						at := iter
+						if int(td.iter) > at {
+							at = int(td.iter)
+						}
+						add(at, j.f(e.Val.K, av, e.Val.V), e.Diff*td.diff)
+					}
+				}
+			}
+			tb := j.arrB[e.Val.K]
+			if tb == nil {
+				tb = make(trace[B])
+				j.arrB[e.Val.K] = tb
+			}
+			tb.add(e.Val.V, iter, e.Diff)
+			if len(tb) == 0 {
+				delete(j.arrB, e.Val.K)
+			}
+		}
+	}
+
+	if len(produced) == 0 {
+		return
+	}
+	at := make([]int, 0, len(produced))
+	for i := range produced {
+		at = append(at, i)
+	}
+	sort.Ints(at)
+	for _, i := range at {
+		m := produced[i]
+		batch := make([]Entry[R], 0, len(m))
+		for r, d := range m {
+			if d != 0 {
+				batch = append(batch, Entry[R]{Val: r, Diff: d})
+			}
+		}
+		j.out.emit(i, batch)
+	}
+}
+
+// JoinKeys is Join retaining both values under their key.
+func JoinKeys[K comparable, A comparable, B comparable](
+	a Collection[KV[K, A]], b Collection[KV[K, B]],
+) Collection[KV[K, KV[A, B]]] {
+	return Join(a, b, func(k K, av A, bv B) KV[K, KV[A, B]] {
+		return KV[K, KV[A, B]]{K: k, V: KV[A, B]{K: av, V: bv}}
+	})
+}
+
+// SemiJoin keeps the records of a whose key appears in keys (made
+// distinct first, so multiplicities of keys do not inflate the result).
+func SemiJoin[K comparable, A comparable](a Collection[KV[K, A]], keys Collection[K]) Collection[KV[K, A]] {
+	marked := Map(Distinct(keys), func(k K) KV[K, struct{}] { return KV[K, struct{}]{K: k} })
+	return Join(a, marked, func(k K, av A, _ struct{}) KV[K, A] { return KV[K, A]{K: k, V: av} })
+}
+
+// AntiJoin keeps the records of a whose key does NOT appear in keys.
+func AntiJoin[K comparable, A comparable](a Collection[KV[K, A]], keys Collection[K]) Collection[KV[K, A]] {
+	return Concat(a, Negate(SemiJoin(a, keys)))
+}

@@ -1,0 +1,104 @@
+package dd
+
+import "testing"
+
+func TestJoinBasicAndIncremental(t *testing.T) {
+	g := NewGraph()
+	left := NewInput[KV[int, string]](g)
+	right := NewInput[KV[int, int]](g)
+	joined := Join(left.Collection(), right.Collection(), func(k int, s string, n int) KV[string, int] {
+		return MkKV(s, n*k)
+	})
+	out := NewOutput(joined)
+
+	left.Insert(MkKV(1, "a"))
+	left.Insert(MkKV(2, "b"))
+	right.Insert(MkKV(1, 10))
+	g.MustAdvance()
+	expectState(t, out, map[KV[string, int]]Diff{MkKV("a", 10): 1})
+
+	// Add a matching right record for key 2; only the new pair appears.
+	right.Insert(MkKV(2, 20))
+	g.MustAdvance()
+	expectState(t, out, map[KV[string, int]]Diff{MkKV("a", 10): 1, MkKV("b", 40): 1})
+	if len(out.Changes()) != 1 {
+		t.Errorf("incremental join produced %d changes, want 1", len(out.Changes()))
+	}
+
+	// Delete a left record; its pairs retract.
+	left.Delete(MkKV(1, "a"))
+	g.MustAdvance()
+	expectState(t, out, map[KV[string, int]]Diff{MkKV("b", 40): 1})
+}
+
+func TestJoinMultiplicitiesMultiply(t *testing.T) {
+	g := NewGraph()
+	left := NewInput[KV[int, string]](g)
+	right := NewInput[KV[int, string]](g)
+	out := NewOutput(Join(left.Collection(), right.Collection(), func(k int, a, b string) string {
+		return a + b
+	}))
+	left.Update(MkKV(1, "x"), 2)
+	right.Update(MkKV(1, "y"), 3)
+	g.MustAdvance()
+	expectState(t, out, map[string]Diff{"xy": 6})
+}
+
+func TestJoinSimultaneousDeltasCountedOnce(t *testing.T) {
+	// Both sides change in the same epoch: the cross term must appear
+	// exactly once.
+	g := NewGraph()
+	left := NewInput[KV[int, string]](g)
+	right := NewInput[KV[int, string]](g)
+	out := NewOutput(Join(left.Collection(), right.Collection(), func(k int, a, b string) string {
+		return a + b
+	}))
+	left.Insert(MkKV(7, "l"))
+	right.Insert(MkKV(7, "r"))
+	g.MustAdvance()
+	expectState(t, out, map[string]Diff{"lr": 1})
+
+	// And simultaneous retraction cancels exactly.
+	left.Delete(MkKV(7, "l"))
+	right.Delete(MkKV(7, "r"))
+	g.MustAdvance()
+	expectState(t, out, map[string]Diff{})
+}
+
+func TestSemiJoinAndAntiJoin(t *testing.T) {
+	g := NewGraph()
+	recs := NewInput[KV[string, int]](g)
+	keys := NewInput[string](g)
+	semi := NewOutput(SemiJoin(recs.Collection(), keys.Collection()))
+	anti := NewOutput(AntiJoin(recs.Collection(), keys.Collection()))
+
+	recs.Insert(MkKV("a", 1))
+	recs.Insert(MkKV("b", 2))
+	keys.Insert("a")
+	keys.Insert("a") // duplicate key must not double the semijoin
+	g.MustAdvance()
+	expectState(t, semi, map[KV[string, int]]Diff{MkKV("a", 1): 1})
+	expectState(t, anti, map[KV[string, int]]Diff{MkKV("b", 2): 1})
+
+	// Flip membership.
+	keys.Delete("a")
+	keys.Delete("a")
+	keys.Insert("b")
+	g.MustAdvance()
+	expectState(t, semi, map[KV[string, int]]Diff{MkKV("b", 2): 1})
+	expectState(t, anti, map[KV[string, int]]Diff{MkKV("a", 1): 1})
+}
+
+func TestJoinKeysRetainsBothValues(t *testing.T) {
+	g := NewGraph()
+	a := NewInput[KV[int, string]](g)
+	b := NewInput[KV[int, int]](g)
+	out := NewOutput(JoinKeys(a.Collection(), b.Collection()))
+	a.Insert(MkKV(1, "v"))
+	b.Insert(MkKV(1, 9))
+	g.MustAdvance()
+	want := KV[int, KV[string, int]]{K: 1, V: MkKV("v", 9)}
+	if !out.Contains(want) {
+		t.Errorf("JoinKeys missing %v; state %v", want, out.State())
+	}
+}

@@ -1,0 +1,93 @@
+package dd
+
+// Stateless operators. These fuse into the upstream emission path: they
+// transform difference batches synchronously and never appear as
+// scheduled graph nodes, so chains of Map/Filter cost a function call per
+// batch, not a scheduling round-trip.
+
+// Map transforms each element of c by f. f must be a pure function.
+func Map[T comparable, U comparable](c Collection[T], f func(T) U) Collection[U] {
+	out, p := newCollection[U](c.g)
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		mapped := make([]Entry[U], len(batch))
+		for i, e := range batch {
+			mapped[i] = Entry[U]{Val: f(e.Val), Diff: e.Diff}
+		}
+		p.emit(iter, mapped)
+	})
+	return out
+}
+
+// FlatMap transforms each element into zero or more elements. f must be
+// pure; the multiplicity of each produced element follows the source.
+func FlatMap[T comparable, U comparable](c Collection[T], f func(T) []U) Collection[U] {
+	out, p := newCollection[U](c.g)
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		mapped := make([]Entry[U], 0, len(batch))
+		for _, e := range batch {
+			for _, u := range f(e.Val) {
+				mapped = append(mapped, Entry[U]{Val: u, Diff: e.Diff})
+			}
+		}
+		p.emit(iter, mapped)
+	})
+	return out
+}
+
+// Filter keeps the elements for which pred returns true.
+func Filter[T comparable](c Collection[T], pred func(T) bool) Collection[T] {
+	out, p := newCollection[T](c.g)
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		kept := make([]Entry[T], 0, len(batch))
+		for _, e := range batch {
+			if pred(e.Val) {
+				kept = append(kept, e)
+			}
+		}
+		p.emit(iter, kept)
+	})
+	return out
+}
+
+// Negate flips the sign of every multiplicity. Combined with Concat it
+// expresses subtraction.
+func Negate[T comparable](c Collection[T]) Collection[T] {
+	out, p := newCollection[T](c.g)
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		neg := make([]Entry[T], len(batch))
+		for i, e := range batch {
+			neg[i] = Entry[T]{Val: e.Val, Diff: -e.Diff}
+		}
+		p.emit(iter, neg)
+	})
+	return out
+}
+
+// Concat merges any number of collections (multiset union; multiplicities
+// add).
+func Concat[T comparable](cs ...Collection[T]) Collection[T] {
+	if len(cs) == 0 {
+		panic("dd: Concat of no collections")
+	}
+	out, p := newCollection[T](cs[0].g)
+	for _, c := range cs {
+		if c.g != cs[0].g {
+			panic("dd: Concat across graphs")
+		}
+		c.p.subscribe(func(iter int, batch []Entry[T]) {
+			p.emit(iter, batch)
+		})
+	}
+	return out
+}
+
+// Inspect invokes f on every difference batch flowing through c, for
+// debugging and instrumentation, and passes the batch on unchanged.
+func Inspect[T comparable](c Collection[T], f func(iter int, batch []Entry[T])) Collection[T] {
+	out, p := newCollection[T](c.g)
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		f(iter, batch)
+		p.emit(iter, batch)
+	})
+	return out
+}

@@ -1,0 +1,66 @@
+package dd
+
+// Output is a sink that materializes a collection: it maintains the
+// accumulated contents and records the net change of each epoch, which is
+// what downstream consumers (e.g. the data plane model updater) act on.
+type Output[T comparable] struct {
+	state   map[T]Diff
+	changes map[T]Diff // net change during the current/last epoch
+}
+
+// NewOutput attaches a materializing sink to c.
+func NewOutput[T comparable](c Collection[T]) *Output[T] {
+	o := &Output[T]{state: make(map[T]Diff), changes: make(map[T]Diff)}
+	c.p.subscribe(func(iter int, batch []Entry[T]) {
+		for _, e := range batch {
+			o.changes[e.Val] += e.Diff
+			if o.changes[e.Val] == 0 {
+				delete(o.changes, e.Val)
+			}
+			o.state[e.Val] += e.Diff
+			if o.state[e.Val] == 0 {
+				delete(o.state, e.Val)
+			}
+		}
+	})
+	// Reset the change log at the start of every epoch, before inputs
+	// flush (flushing can synchronously deliver batches through fused
+	// stateless chains).
+	c.g.resetters = append(c.g.resetters, func() { o.changes = make(map[T]Diff) })
+	return o
+}
+
+// State returns the accumulated multiplicity of every present value. The
+// returned map is live; callers must not modify it.
+func (o *Output[T]) State() map[T]Diff { return o.state }
+
+// Contains reports whether val is present (multiplicity > 0).
+func (o *Output[T]) Contains(val T) bool { return o.state[val] > 0 }
+
+// Len returns the number of distinct present values.
+func (o *Output[T]) Len() int { return len(o.state) }
+
+// Values returns the distinct present values in unspecified order.
+func (o *Output[T]) Values() []T {
+	vals := make([]T, 0, len(o.state))
+	for v, d := range o.state {
+		if d > 0 {
+			vals = append(vals, v)
+		}
+	}
+	return vals
+}
+
+// Changes returns the net per-value change of the last completed epoch.
+// The returned map is live; callers must not modify it.
+func (o *Output[T]) Changes() map[T]Diff { return o.changes }
+
+// ChangeList returns the last epoch's net changes as entries, insertions
+// and deletions mixed, in unspecified order.
+func (o *Output[T]) ChangeList() []Entry[T] {
+	out := make([]Entry[T], 0, len(o.changes))
+	for v, d := range o.changes {
+		out = append(out, Entry[T]{Val: v, Diff: d})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package dd
+
+// Group is one element of a reduction group: a value and its accumulated
+// multiplicity (always positive when presented to a reduction function).
+type Group[V comparable] struct {
+	Val   V
+	Count Diff
+}
+
+// Reduce groups the records of c by key and applies f to each group's
+// accumulated contents, producing zero or more results per key (each with
+// multiplicity one; return a value twice for multiplicity two). f must be
+// pure and order-independent: the group slice is in unspecified order.
+//
+// Reduce is the non-monotonic operator that makes incremental control
+// plane simulation hard (best-route selection *replaces* results rather
+// than accumulating them). It is exact under retraction: when a key's
+// input changes at some iteration, the key is re-evaluated at that
+// iteration and additionally at every later iteration where it has
+// history, the "interesting times" rule of differential dataflow.
+func Reduce[K comparable, V comparable, R comparable](
+	c Collection[KV[K, V]], f func(k K, group []Group[V]) []R,
+) Collection[KV[K, R]] {
+	g := c.g
+	out, p := newCollection[KV[K, R]](g)
+	r := &reduceNode[K, V, R]{
+		g: g, f: f, out: p,
+		in:       make(map[K]trace[V]),
+		outHist:  make(map[K]trace[R]),
+		pend:     make(map[int][]Entry[KV[K, V]]),
+		pendKeys: make(map[int]map[K]struct{}),
+	}
+	r.id = g.addNode(r)
+	c.p.subscribe(func(iter int, batch []Entry[KV[K, V]]) {
+		r.pend[iter] = append(r.pend[iter], batch...)
+		g.schedule(r.id, iter)
+	})
+	return out
+}
+
+type reduceNode[K comparable, V comparable, R comparable] struct {
+	g   *Graph
+	id  int
+	f   func(K, []Group[V]) []R
+	out *port[KV[K, R]]
+
+	in       map[K]trace[V]
+	outHist  map[K]trace[R]
+	pend     map[int][]Entry[KV[K, V]]
+	pendKeys map[int]map[K]struct{}
+}
+
+func (r *reduceNode[K, V, R]) process(iter int) {
+	keys := make(map[K]struct{})
+	if batch := r.pend[iter]; len(batch) > 0 {
+		delete(r.pend, iter)
+		r.g.stats.Entries += len(batch)
+		for _, e := range batch {
+			tr := r.in[e.Val.K]
+			if tr == nil {
+				tr = make(trace[V])
+				r.in[e.Val.K] = tr
+			}
+			tr.add(e.Val.V, iter, e.Diff)
+			if len(tr) == 0 {
+				delete(r.in, e.Val.K)
+			}
+			keys[e.Val.K] = struct{}{}
+		}
+	}
+	if pk := r.pendKeys[iter]; pk != nil {
+		delete(r.pendKeys, iter)
+		for k := range pk {
+			keys[k] = struct{}{}
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+
+	var emit []Entry[KV[K, R]]
+	var future []int
+	for k := range keys {
+		// Accumulate the input group as of this iteration.
+		var group []Group[V]
+		if tr := r.in[k]; tr != nil {
+			for v, h := range tr {
+				if c := h.upTo(iter); c > 0 {
+					group = append(group, Group[V]{Val: v, Count: c})
+				}
+			}
+		}
+		var target map[R]Diff
+		if len(group) > 0 {
+			res := r.f(k, group)
+			if len(res) > 0 {
+				target = make(map[R]Diff, len(res))
+				for _, v := range res {
+					target[v]++
+				}
+			}
+		}
+		// Diff against the accumulated output and emit corrections.
+		oh := r.outHist[k]
+		for rv, h := range oh {
+			acc := h.upTo(iter)
+			want := target[rv]
+			if want != acc {
+				emit = append(emit, Entry[KV[K, R]]{Val: KV[K, R]{K: k, V: rv}, Diff: want - acc})
+			}
+			delete(target, rv)
+		}
+		for rv, want := range target {
+			if want != 0 {
+				emit = append(emit, Entry[KV[K, R]]{Val: KV[K, R]{K: k, V: rv}, Diff: want})
+			}
+		}
+		// Schedule re-evaluation at every later iteration where this key
+		// has input or output history: a change "now" alters the
+		// accumulation those times see.
+		future = future[:0]
+		if tr := r.in[k]; tr != nil {
+			for _, h := range tr {
+				future = h.itersAbove(iter, future)
+			}
+		}
+		if oh != nil {
+			for _, h := range oh {
+				future = h.itersAbove(iter, future)
+			}
+		}
+		for _, j := range future {
+			pk := r.pendKeys[j]
+			if pk == nil {
+				pk = make(map[K]struct{})
+				r.pendKeys[j] = pk
+			}
+			if _, ok := pk[k]; !ok {
+				pk[k] = struct{}{}
+				r.g.schedule(r.id, j)
+			}
+		}
+	}
+	// Merge the corrections into the output history (after the key loop,
+	// so we never mutate a history while ranging over it), then emit.
+	for _, e := range emit {
+		oh := r.outHist[e.Val.K]
+		if oh == nil {
+			oh = make(trace[R])
+			r.outHist[e.Val.K] = oh
+		}
+		oh.add(e.Val.V, iter, e.Diff)
+		if len(oh) == 0 {
+			delete(r.outHist, e.Val.K)
+		}
+	}
+	r.out.emit(iter, emit)
+}
+
+// Distinct converts a multiset into a set: every value with positive
+// accumulated multiplicity appears exactly once.
+func Distinct[T comparable](c Collection[T]) Collection[T] {
+	keyed := Map(c, func(t T) KV[T, struct{}] { return KV[T, struct{}]{K: t} })
+	reduced := Reduce(keyed, func(_ T, _ []Group[struct{}]) []struct{} {
+		return []struct{}{{}}
+	})
+	return Map(reduced, func(kv KV[T, struct{}]) T { return kv.K })
+}
+
+// Count reduces each key to the total multiplicity of its group.
+func Count[K comparable, V comparable](c Collection[KV[K, V]]) Collection[KV[K, Diff]] {
+	return Reduce(c, func(_ K, group []Group[V]) []Diff {
+		var n Diff
+		for _, g := range group {
+			n += g.Count
+		}
+		return []Diff{n}
+	})
+}
+
+// ReduceMin keeps, per key, the single least value according to less.
+// Ties are broken towards the value that less orders first; less must be
+// a strict weak ordering so the result is deterministic.
+func ReduceMin[K comparable, V comparable](c Collection[KV[K, V]], less func(a, b V) bool) Collection[KV[K, V]] {
+	return Reduce(c, func(_ K, group []Group[V]) []V {
+		best := group[0].Val
+		for _, g := range group[1:] {
+			if less(g.Val, best) {
+				best = g.Val
+			}
+		}
+		return []V{best}
+	})
+}
+
+// ReduceMinAll keeps, per key, every value tied for the least preference
+// class according to classLess (a strict weak order in which distinct
+// values may compare equal, e.g. "lower distance" for ECMP route
+// selection). Each surviving value appears once.
+func ReduceMinAll[K comparable, V comparable](c Collection[KV[K, V]], classLess func(a, b V) bool) Collection[KV[K, V]] {
+	return Reduce(c, func(_ K, group []Group[V]) []V {
+		best := group[0].Val
+		for _, g := range group[1:] {
+			if classLess(g.Val, best) {
+				best = g.Val
+			}
+		}
+		var out []V
+		for _, g := range group {
+			if !classLess(best, g.Val) {
+				out = append(out, g.Val)
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,125 @@
+package netcfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.0.0.1", 0, false},
+		{"01.2.3.4", 0, false},
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePrefixMasksHostBits(t *testing.T) {
+	p := MustPrefix("10.1.2.3/16")
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("prefix = %s, want 10.1.0.0/16", p)
+	}
+	if !p.Contains(MustAddr("10.1.255.255")) {
+		t.Error("Contains failed for in-range address")
+	}
+	if p.Contains(MustAddr("10.2.0.0")) {
+		t.Error("Contains matched out-of-range address")
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, in := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8", "10.0.0.0/a"} {
+		if _, err := ParsePrefix(in); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestPrefixContainsPrefixAndOverlaps(t *testing.T) {
+	p16 := MustPrefix("10.1.0.0/16")
+	p24 := MustPrefix("10.1.5.0/24")
+	other := MustPrefix("10.2.0.0/16")
+	if !p16.ContainsPrefix(p24) {
+		t.Error("/16 should contain /24")
+	}
+	if p24.ContainsPrefix(p16) {
+		t.Error("/24 should not contain /16")
+	}
+	if !p16.Overlaps(p24) || !p24.Overlaps(p16) {
+		t.Error("overlap should be symmetric")
+	}
+	if p16.Overlaps(other) {
+		t.Error("disjoint prefixes reported overlapping")
+	}
+	def := Prefix{}
+	if !def.ContainsPrefix(p16) || !def.IsDefault() {
+		t.Error("default prefix should contain everything")
+	}
+}
+
+func TestPrefixZeroLenMask(t *testing.T) {
+	if (Prefix{}).Mask() != 0 {
+		t.Error("mask of /0 must be 0")
+	}
+	if MustPrefix("1.2.3.4/32").Mask() != 0xffffffff {
+		t.Error("mask of /32 must be all ones")
+	}
+}
+
+func TestInterfaceAddrKeepsHostBits(t *testing.T) {
+	ia := MustInterfaceAddr("10.0.1.7/24")
+	if ia.Addr != MustAddr("10.0.1.7") {
+		t.Error("host bits lost")
+	}
+	if ia.Prefix() != MustPrefix("10.0.1.0/24") {
+		t.Errorf("Prefix() = %v", ia.Prefix())
+	}
+	if ia.IsZero() {
+		t.Error("IsZero on set address")
+	}
+	if !(InterfaceAddr{}).IsZero() {
+		t.Error("IsZero on zero value")
+	}
+}
+
+func TestPrefixRoundTripQuick(t *testing.T) {
+	f := func(a uint32, l uint8) bool {
+		p := Prefix{Addr: Addr(a), Len: l % 33}
+		p.Addr &= p.Mask()
+		back, err := ParsePrefix(p.String())
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

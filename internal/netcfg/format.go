@@ -1,0 +1,161 @@
+package netcfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders the configuration in the canonical text form understood
+// by Parse. Formatting then parsing round-trips exactly, and two
+// semantically equal configurations format identically, which makes
+// line-level diffs meaningful.
+func (c *Config) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n", c.Hostname)
+
+	intfs := append([]*Interface(nil), c.Interfaces...)
+	sort.Slice(intfs, func(i, j int) bool { return intfs[i].Name < intfs[j].Name })
+	for _, i := range intfs {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "interface %s\n", i.Name)
+		if !i.Addr.IsZero() {
+			fmt.Fprintf(&b, " ip address %s\n", i.Addr)
+		}
+		if i.OSPFCost != 0 {
+			fmt.Fprintf(&b, " ip ospf cost %d\n", i.OSPFCost)
+		}
+		if i.ACLIn != "" {
+			fmt.Fprintf(&b, " ip access-group %s in\n", i.ACLIn)
+		}
+		if i.ACLOut != "" {
+			fmt.Fprintf(&b, " ip access-group %s out\n", i.ACLOut)
+		}
+		if i.Shutdown {
+			b.WriteString(" shutdown\n")
+		}
+	}
+
+	if o := c.OSPF; o != nil {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "router ospf %d\n", o.ProcessID)
+		nets := append([]Prefix(nil), o.Networks...)
+		sort.Slice(nets, func(i, j int) bool { return lessPrefix(nets[i], nets[j]) })
+		for _, n := range nets {
+			fmt.Fprintf(&b, " network %s\n", n)
+		}
+		formatRedists(&b, o.Redistribute)
+	}
+
+	if bgp := c.BGP; bgp != nil {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "router bgp %d\n", bgp.ASN)
+		nets := append([]Prefix(nil), bgp.Networks...)
+		sort.Slice(nets, func(i, j int) bool { return lessPrefix(nets[i], nets[j]) })
+		for _, n := range nets {
+			fmt.Fprintf(&b, " network %s\n", n)
+		}
+		aggs := append([]Prefix(nil), bgp.Aggregates...)
+		sort.Slice(aggs, func(i, j int) bool { return lessPrefix(aggs[i], aggs[j]) })
+		for _, a := range aggs {
+			fmt.Fprintf(&b, " aggregate-address %s\n", a)
+		}
+		nbrs := append([]*Neighbor(nil), bgp.Neighbors...)
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i].Addr < nbrs[j].Addr })
+		for _, n := range nbrs {
+			fmt.Fprintf(&b, " neighbor %s remote-as %d\n", n.Addr, n.RemoteAS)
+			if n.LocalPref != 0 {
+				fmt.Fprintf(&b, " neighbor %s local-preference %d\n", n.Addr, n.LocalPref)
+			}
+			if n.FilterIn != "" {
+				fmt.Fprintf(&b, " neighbor %s prefix-list %s in\n", n.Addr, n.FilterIn)
+			}
+			if n.FilterOut != "" {
+				fmt.Fprintf(&b, " neighbor %s prefix-list %s out\n", n.Addr, n.FilterOut)
+			}
+		}
+		formatRedists(&b, bgp.Redistribute)
+	}
+
+	if len(c.StaticRoutes) > 0 {
+		b.WriteString("!\n")
+		srs := append([]StaticRoute(nil), c.StaticRoutes...)
+		sort.Slice(srs, func(i, j int) bool {
+			if srs[i].Prefix != srs[j].Prefix {
+				return lessPrefix(srs[i].Prefix, srs[j].Prefix)
+			}
+			return srs[i].NextHop < srs[j].NextHop
+		})
+		for _, r := range srs {
+			if r.Drop {
+				fmt.Fprintf(&b, "ip route %s drop\n", r.Prefix)
+			} else {
+				fmt.Fprintf(&b, "ip route %s %s\n", r.Prefix, r.NextHop)
+			}
+		}
+	}
+
+	pls := append([]*PrefixList(nil), c.PrefixLists...)
+	sort.Slice(pls, func(i, j int) bool { return pls[i].Name < pls[j].Name })
+	for _, pl := range pls {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "prefix-list %s\n", pl.Name)
+		entries := append([]PrefixListEntry(nil), pl.Entries...)
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+		for _, e := range entries {
+			exact := ""
+			if e.Exact {
+				exact = " exact"
+			}
+			fmt.Fprintf(&b, " %d %s %s%s\n", e.Seq, e.Action, e.Prefix, exact)
+		}
+	}
+
+	acls := append([]*ACL(nil), c.ACLs...)
+	sort.Slice(acls, func(i, j int) bool { return acls[i].Name < acls[j].Name })
+	for _, a := range acls {
+		b.WriteString("!\n")
+		fmt.Fprintf(&b, "access-list %s\n", a.Name)
+		lines := append([]ACLLine(nil), a.Lines...)
+		sort.Slice(lines, func(i, j int) bool { return lines[i].Seq < lines[j].Seq })
+		for _, l := range lines {
+			fmt.Fprintf(&b, " %s\n", formatACLLine(l))
+		}
+	}
+	return b.String()
+}
+
+func formatRedists(b *strings.Builder, rs []Redistribution) {
+	sorted := append([]Redistribution(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	for _, r := range sorted {
+		fmt.Fprintf(b, " redistribute %s metric %d\n", r.From, r.Metric)
+	}
+}
+
+func formatACLLine(l ACLLine) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d %s %s %s %s", l.Seq, l.Action, l.Proto, prefixOrAny(l.Src), prefixOrAny(l.Dst))
+	if l.DstPortLo != 0 || l.DstPortHi != 0 {
+		if l.DstPortLo == l.DstPortHi {
+			fmt.Fprintf(&b, " port %d", l.DstPortLo)
+		} else {
+			fmt.Fprintf(&b, " port %d %d", l.DstPortLo, l.DstPortHi)
+		}
+	}
+	return b.String()
+}
+
+func prefixOrAny(p Prefix) string {
+	if p.IsDefault() {
+		return "any"
+	}
+	return p.String()
+}
+
+func lessPrefix(a, b Prefix) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Len < b.Len
+}

@@ -1,0 +1,431 @@
+package netcfg
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a device configuration in the canonical vendor-style text
+// format produced by Config.Format. Blank lines and '!' separators are
+// ignored; unknown statements are errors (a verifier must not silently
+// drop configuration).
+func Parse(text string) (*Config, error) {
+	p := &parser{cfg: &Config{}}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		p.lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '!' || line[0] == '#' {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, fmt.Errorf("netcfg: line %d: %w", p.lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p.cfg, nil
+}
+
+// MustParse is Parse that panics, for literals in tests and generators.
+func MustParse(text string) *Config {
+	c, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type parseMode uint8
+
+const (
+	modeTop parseMode = iota
+	modeIntf
+	modeOSPF
+	modeBGP
+	modeACL
+	modePrefixList
+)
+
+type parser struct {
+	cfg    *Config
+	lineno int
+	mode   parseMode
+	intf   *Interface
+	acl    *ACL
+	plist  *PrefixList
+}
+
+func (p *parser) line(line string) error {
+	f := strings.Fields(line)
+	// Section starters reset the mode regardless of the current one.
+	switch f[0] {
+	case "hostname":
+		if len(f) != 2 {
+			return fmt.Errorf("want %q", "hostname <name>")
+		}
+		p.cfg.Hostname = f[1]
+		p.mode = modeTop
+		return nil
+	case "interface":
+		if len(f) != 2 {
+			return fmt.Errorf("want %q", "interface <name>")
+		}
+		if p.cfg.Intf(f[1]) != nil {
+			return fmt.Errorf("duplicate interface %q", f[1])
+		}
+		p.intf = &Interface{Name: f[1]}
+		p.cfg.Interfaces = append(p.cfg.Interfaces, p.intf)
+		p.mode = modeIntf
+		return nil
+	case "router":
+		if len(f) != 3 {
+			return fmt.Errorf("want %q", "router ospf|bgp <id>")
+		}
+		n, err := strconv.Atoi(f[2])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad process/AS number %q", f[2])
+		}
+		switch f[1] {
+		case "ospf":
+			if p.cfg.OSPF != nil {
+				return fmt.Errorf("duplicate router ospf")
+			}
+			p.cfg.OSPF = &OSPF{ProcessID: n}
+			p.mode = modeOSPF
+		case "bgp":
+			if p.cfg.BGP != nil {
+				return fmt.Errorf("duplicate router bgp")
+			}
+			p.cfg.BGP = &BGP{ASN: uint32(n)}
+			p.mode = modeBGP
+		default:
+			return fmt.Errorf("unknown routing process %q", f[1])
+		}
+		return nil
+	case "access-list":
+		if len(f) != 2 {
+			return fmt.Errorf("want %q", "access-list <name>")
+		}
+		if p.cfg.ACL(f[1]) != nil {
+			return fmt.Errorf("duplicate access-list %q", f[1])
+		}
+		p.acl = &ACL{Name: f[1]}
+		p.cfg.ACLs = append(p.cfg.ACLs, p.acl)
+		p.mode = modeACL
+		return nil
+	case "prefix-list":
+		if len(f) != 2 {
+			return fmt.Errorf("want %q", "prefix-list <name>")
+		}
+		if p.cfg.PrefixList(f[1]) != nil {
+			return fmt.Errorf("duplicate prefix-list %q", f[1])
+		}
+		p.plist = &PrefixList{Name: f[1]}
+		p.cfg.PrefixLists = append(p.cfg.PrefixLists, p.plist)
+		p.mode = modePrefixList
+		return nil
+	case "ip":
+		if len(f) >= 2 && f[1] == "route" {
+			p.mode = modeTop
+			return p.staticRoute(f)
+		}
+	}
+
+	switch p.mode {
+	case modeIntf:
+		return p.intfLine(f)
+	case modeOSPF:
+		return p.ospfLine(f)
+	case modeBGP:
+		return p.bgpLine(f)
+	case modeACL:
+		return p.aclLine(f, line)
+	case modePrefixList:
+		return p.prefixListLine(f, line)
+	}
+	return fmt.Errorf("unknown statement %q", line)
+}
+
+func (p *parser) prefixListLine(f []string, raw string) error {
+	if len(f) != 3 && len(f) != 4 {
+		return fmt.Errorf("want %q, got %q", "<seq> permit|deny <prefix> [exact]", raw)
+	}
+	seq, err := strconv.Atoi(f[0])
+	if err != nil || seq < 0 {
+		return fmt.Errorf("bad sequence number %q", f[0])
+	}
+	var e PrefixListEntry
+	e.Seq = seq
+	switch f[1] {
+	case "permit":
+		e.Action = Permit
+	case "deny":
+		e.Action = Deny
+	default:
+		return fmt.Errorf("bad action %q", f[1])
+	}
+	if e.Prefix, err = ParsePrefix(f[2]); err != nil {
+		return err
+	}
+	if len(f) == 4 {
+		if f[3] != "exact" {
+			return fmt.Errorf("trailing token %q (want %q)", f[3], "exact")
+		}
+		e.Exact = true
+	}
+	for _, ex := range p.plist.Entries {
+		if ex.Seq == seq {
+			return fmt.Errorf("duplicate sequence number %d in prefix-list %s", seq, p.plist.Name)
+		}
+	}
+	// Keep entries sorted by sequence number: Permits evaluates in order.
+	i := len(p.plist.Entries)
+	for i > 0 && p.plist.Entries[i-1].Seq > seq {
+		i--
+	}
+	p.plist.Entries = append(p.plist.Entries, PrefixListEntry{})
+	copy(p.plist.Entries[i+1:], p.plist.Entries[i:])
+	p.plist.Entries[i] = e
+	return nil
+}
+
+func (p *parser) staticRoute(f []string) error {
+	if len(f) != 4 {
+		return fmt.Errorf("want %q", "ip route <prefix> <nexthop>|drop")
+	}
+	pfx, err := ParsePrefix(f[2])
+	if err != nil {
+		return err
+	}
+	if f[3] == "drop" {
+		p.cfg.StaticRoutes = append(p.cfg.StaticRoutes, StaticRoute{Prefix: pfx, Drop: true})
+		return nil
+	}
+	nh, err := ParseAddr(f[3])
+	if err != nil {
+		return err
+	}
+	p.cfg.StaticRoutes = append(p.cfg.StaticRoutes, StaticRoute{Prefix: pfx, NextHop: nh})
+	return nil
+}
+
+func (p *parser) intfLine(f []string) error {
+	switch {
+	case len(f) == 3 && f[0] == "ip" && f[1] == "address":
+		ia, err := ParseInterfaceAddr(f[2])
+		if err != nil {
+			return err
+		}
+		p.intf.Addr = ia
+		return nil
+	case len(f) == 4 && f[0] == "ip" && f[1] == "ospf" && f[2] == "cost":
+		n, err := strconv.Atoi(f[3])
+		if err != nil || n <= 0 || n > 1<<24 {
+			return fmt.Errorf("bad ospf cost %q", f[3])
+		}
+		p.intf.OSPFCost = uint32(n)
+		return nil
+	case len(f) == 4 && f[0] == "ip" && f[1] == "access-group":
+		switch f[3] {
+		case "in":
+			p.intf.ACLIn = f[2]
+		case "out":
+			p.intf.ACLOut = f[2]
+		default:
+			return fmt.Errorf("access-group direction must be in|out, got %q", f[3])
+		}
+		return nil
+	case len(f) == 1 && f[0] == "shutdown":
+		p.intf.Shutdown = true
+		return nil
+	}
+	return fmt.Errorf("unknown interface statement %q", strings.Join(f, " "))
+}
+
+func (p *parser) ospfLine(f []string) error {
+	switch {
+	case len(f) == 2 && f[0] == "network":
+		pfx, err := ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		p.cfg.OSPF.Networks = append(p.cfg.OSPF.Networks, pfx)
+		return nil
+	case f[0] == "redistribute":
+		r, err := parseRedist(f)
+		if err != nil {
+			return err
+		}
+		p.cfg.OSPF.Redistribute = append(p.cfg.OSPF.Redistribute, r)
+		return nil
+	}
+	return fmt.Errorf("unknown ospf statement %q", strings.Join(f, " "))
+}
+
+func (p *parser) bgpLine(f []string) error {
+	switch {
+	case len(f) == 2 && f[0] == "network":
+		pfx, err := ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		p.cfg.BGP.Networks = append(p.cfg.BGP.Networks, pfx)
+		return nil
+	case len(f) == 2 && f[0] == "aggregate-address":
+		pfx, err := ParsePrefix(f[1])
+		if err != nil {
+			return err
+		}
+		p.cfg.BGP.Aggregates = append(p.cfg.BGP.Aggregates, pfx)
+		return nil
+	case len(f) == 4 && f[0] == "neighbor":
+		addr, err := ParseAddr(f[1])
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad number %q", f[3])
+		}
+		switch f[2] {
+		case "remote-as":
+			if p.cfg.Neighbor(addr) != nil {
+				return fmt.Errorf("duplicate neighbor %s", addr)
+			}
+			p.cfg.BGP.Neighbors = append(p.cfg.BGP.Neighbors, &Neighbor{Addr: addr, RemoteAS: uint32(n)})
+		case "local-preference":
+			nb := p.cfg.Neighbor(addr)
+			if nb == nil {
+				return fmt.Errorf("local-preference for unknown neighbor %s", addr)
+			}
+			nb.LocalPref = uint32(n)
+		default:
+			return fmt.Errorf("unknown neighbor attribute %q", f[2])
+		}
+		return nil
+	case len(f) == 5 && f[0] == "neighbor" && f[2] == "prefix-list":
+		addr, err := ParseAddr(f[1])
+		if err != nil {
+			return err
+		}
+		nb := p.cfg.Neighbor(addr)
+		if nb == nil {
+			return fmt.Errorf("prefix-list for unknown neighbor %s", addr)
+		}
+		switch f[4] {
+		case "in":
+			nb.FilterIn = f[3]
+		case "out":
+			nb.FilterOut = f[3]
+		default:
+			return fmt.Errorf("prefix-list direction must be in|out, got %q", f[4])
+		}
+		return nil
+	case f[0] == "redistribute":
+		r, err := parseRedist(f)
+		if err != nil {
+			return err
+		}
+		p.cfg.BGP.Redistribute = append(p.cfg.BGP.Redistribute, r)
+		return nil
+	}
+	return fmt.Errorf("unknown bgp statement %q", strings.Join(f, " "))
+}
+
+func parseRedist(f []string) (Redistribution, error) {
+	if len(f) != 4 || f[2] != "metric" {
+		return Redistribution{}, fmt.Errorf("want %q", "redistribute <proto> metric <n>")
+	}
+	var from Protocol
+	switch f[1] {
+	case "connected":
+		from = ProtoConnected
+	case "static":
+		from = ProtoStatic
+	case "ospf":
+		from = ProtoOSPF
+	case "bgp":
+		from = ProtoBGP
+	default:
+		return Redistribution{}, fmt.Errorf("unknown protocol %q", f[1])
+	}
+	n, err := strconv.Atoi(f[3])
+	if err != nil || n < 0 {
+		return Redistribution{}, fmt.Errorf("bad metric %q", f[3])
+	}
+	return Redistribution{From: from, Metric: uint32(n)}, nil
+}
+
+func (p *parser) aclLine(f []string, raw string) error {
+	if len(f) < 5 {
+		return fmt.Errorf("short access-list line %q", raw)
+	}
+	seq, err := strconv.Atoi(f[0])
+	if err != nil || seq < 0 {
+		return fmt.Errorf("bad sequence number %q", f[0])
+	}
+	var l ACLLine
+	l.Seq = seq
+	switch f[1] {
+	case "permit":
+		l.Action = Permit
+	case "deny":
+		l.Action = Deny
+	default:
+		return fmt.Errorf("bad action %q", f[1])
+	}
+	switch f[2] {
+	case "ip":
+		l.Proto = ProtoIPAny
+	case "icmp":
+		l.Proto = ProtoICMP
+	case "tcp":
+		l.Proto = ProtoTCP
+	case "udp":
+		l.Proto = ProtoUDP
+	default:
+		return fmt.Errorf("bad protocol %q", f[2])
+	}
+	if l.Src, err = parsePrefixOrAny(f[3]); err != nil {
+		return err
+	}
+	if l.Dst, err = parsePrefixOrAny(f[4]); err != nil {
+		return err
+	}
+	rest := f[5:]
+	if len(rest) > 0 {
+		if rest[0] != "port" || (len(rest) != 2 && len(rest) != 3) {
+			return fmt.Errorf("trailing tokens %q (want %q)", strings.Join(rest, " "), "port <lo> [<hi>]")
+		}
+		lo, err := strconv.Atoi(rest[1])
+		if err != nil || lo < 0 || lo > 65535 {
+			return fmt.Errorf("bad port %q", rest[1])
+		}
+		hi := lo
+		if len(rest) == 3 {
+			hi, err = strconv.Atoi(rest[2])
+			if err != nil || hi < lo || hi > 65535 {
+				return fmt.Errorf("bad port range %q-%q", rest[1], rest[2])
+			}
+		}
+		l.DstPortLo, l.DstPortHi = uint16(lo), uint16(hi)
+	}
+	for _, ex := range p.acl.Lines {
+		if ex.Seq == seq {
+			return fmt.Errorf("duplicate sequence number %d in access-list %s", seq, p.acl.Name)
+		}
+	}
+	p.acl.Lines = append(p.acl.Lines, l)
+	return nil
+}
+
+func parsePrefixOrAny(s string) (Prefix, error) {
+	if s == "any" {
+		return Prefix{}, nil
+	}
+	return ParsePrefix(s)
+}

@@ -1,0 +1,212 @@
+package netcfg
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleConfig = `hostname edge0
+!
+interface eth0
+ ip address 10.0.1.1/30
+ ip ospf cost 5
+ ip access-group blockssh in
+!
+interface lo0
+ ip address 10.9.0.1/24
+!
+interface eth1
+ ip address 10.0.2.1/30
+ shutdown
+!
+router ospf 1
+ network 10.0.0.0/8
+ redistribute connected metric 20
+!
+router bgp 65001
+ network 10.9.0.0/24
+ neighbor 10.0.1.2 remote-as 65002
+ neighbor 10.0.1.2 local-preference 150
+!
+ip route 0.0.0.0/0 10.0.1.2
+ip route 10.99.0.0/24 drop
+!
+access-list blockssh
+ 10 deny tcp any any port 22
+ 20 permit ip any any
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := Parse(sampleConfig)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Hostname != "edge0" {
+		t.Errorf("hostname = %q", c.Hostname)
+	}
+	if len(c.Interfaces) != 3 {
+		t.Fatalf("got %d interfaces", len(c.Interfaces))
+	}
+	eth0 := c.Intf("eth0")
+	if eth0.Addr != MustInterfaceAddr("10.0.1.1/30") || eth0.OSPFCost != 5 || eth0.ACLIn != "blockssh" {
+		t.Errorf("eth0 = %+v", eth0)
+	}
+	if !c.Intf("eth1").Shutdown {
+		t.Error("eth1 not shutdown")
+	}
+	if c.OSPF == nil || c.OSPF.ProcessID != 1 || len(c.OSPF.Networks) != 1 {
+		t.Errorf("ospf = %+v", c.OSPF)
+	}
+	if len(c.OSPF.Redistribute) != 1 || c.OSPF.Redistribute[0] != (Redistribution{From: ProtoConnected, Metric: 20}) {
+		t.Errorf("ospf redistribute = %+v", c.OSPF.Redistribute)
+	}
+	if c.BGP == nil || c.BGP.ASN != 65001 {
+		t.Fatalf("bgp = %+v", c.BGP)
+	}
+	nb := c.Neighbor(MustAddr("10.0.1.2"))
+	if nb == nil || nb.RemoteAS != 65002 || nb.LocalPref != 150 {
+		t.Errorf("neighbor = %+v", nb)
+	}
+	if len(c.StaticRoutes) != 2 || !c.StaticRoutes[1].Drop {
+		t.Errorf("static routes = %+v", c.StaticRoutes)
+	}
+	acl := c.ACL("blockssh")
+	if acl == nil || len(acl.Lines) != 2 {
+		t.Fatalf("acl = %+v", acl)
+	}
+	if acl.Lines[0].Action != Deny || acl.Lines[0].Proto != ProtoTCP || acl.Lines[0].DstPortLo != 22 || acl.Lines[0].DstPortHi != 22 {
+		t.Errorf("acl line 0 = %+v", acl.Lines[0])
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	c := MustParse(sampleConfig)
+	text := c.Format()
+	c2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if text2 := c2.Format(); text2 != text {
+		t.Errorf("format not stable:\n--- first\n%s\n--- second\n%s", text, text2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus statement",
+		"interface eth0\ninterface eth0",                            // duplicate interface
+		"interface eth0\n ip address banana",                        // bad addr
+		"interface eth0\n ip ospf cost zero",                        // bad cost
+		"interface eth0\n ip access-group x sideways",               // bad direction
+		"router ospf 1\nrouter ospf 2",                              // duplicate ospf
+		"router bgp 1\nrouter bgp 2",                                // duplicate bgp
+		"router frobnicate 1",                                       // unknown process
+		"router ospf 1\n redistribute magic metric 1",               // unknown proto
+		"router bgp 1\n neighbor 1.2.3.4 frob 5",                    // unknown attr
+		"router bgp 1\n neighbor 1.2.3.4 local-preference 5",        // pref before remote-as
+		"ip route 1.2.3.0/24",                                       // short static
+		"access-list a\n x permit ip any any",                       // bad seq
+		"access-list a\n 10 permit ip any any\n 10 deny ip any any", // dup seq
+		"access-list a\n 10 zap ip any any",                         // bad action
+		"access-list a\n 10 permit gre any any",                     // bad proto
+		"access-list a\n 10 permit ip any any port 99999",
+		"access-list a\n 10 permit ip any any port 20 10",
+		"access-list a\n 10 permit ip any any frag",
+		"hostname",
+		" network 1.0.0.0/8", // network outside router mode
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	c, err := Parse("# a comment\n\n!\nhostname x\n")
+	if err != nil || c.Hostname != "x" {
+		t.Fatalf("c=%+v err=%v", c, err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := MustParse(sampleConfig)
+	c2 := c.Clone()
+	c2.Intf("eth0").OSPFCost = 99
+	c2.OSPF.Networks[0] = MustPrefix("99.0.0.0/8")
+	c2.BGP.Neighbors[0].LocalPref = 1
+	c2.ACLs[0].Lines[0].Action = Permit
+	c2.StaticRoutes[0].Drop = true
+	if c.Intf("eth0").OSPFCost != 5 ||
+		c.OSPF.Networks[0] != MustPrefix("10.0.0.0/8") ||
+		c.BGP.Neighbors[0].LocalPref != 150 ||
+		c.ACLs[0].Lines[0].Action != Deny ||
+		c.StaticRoutes[0].Drop {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestTopologyParseFormatRoundTrip(t *testing.T) {
+	text := "# test topo\nlink a eth0 b eth0\nlink b eth1 c eth0\n"
+	topo, err := ParseTopology(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Links) != 2 {
+		t.Fatalf("links = %+v", topo.Links)
+	}
+	topo2, err := ParseTopology(topo.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo2.Format() != topo.Format() {
+		t.Error("topology format unstable")
+	}
+	if _, err := ParseTopology("link a b c"); err == nil {
+		t.Error("short link line accepted")
+	}
+}
+
+func TestTopologyAddRemoveCanonical(t *testing.T) {
+	topo := &Topology{}
+	topo.Add("b", "e1", "a", "e0") // reversed order canonicalizes
+	topo.Add("a", "e0", "b", "e1") // duplicate
+	if len(topo.Links) != 1 {
+		t.Fatalf("links = %+v", topo.Links)
+	}
+	if !topo.Remove("b", "e1", "a", "e0") {
+		t.Fatal("Remove failed")
+	}
+	if topo.Remove("b", "e1", "a", "e0") {
+		t.Fatal("Remove of absent link succeeded")
+	}
+}
+
+func TestTopologyNeighbors(t *testing.T) {
+	topo := &Topology{}
+	topo.Add("a", "e0", "b", "e0")
+	topo.Add("a", "e1", "c", "e0")
+	nbrs := topo.Neighbors("a")
+	if len(nbrs) != 2 || nbrs["e0"] != [2]string{"b", "e0"} || nbrs["e1"] != [2]string{"c", "e0"} {
+		t.Errorf("neighbors = %v", nbrs)
+	}
+}
+
+func TestNetworkFindIntfByAddr(t *testing.T) {
+	n := NewNetwork()
+	n.Devices["r1"] = MustParse("hostname r1\ninterface eth0\n ip address 10.0.0.1/30\n")
+	dev, i := n.FindIntfByAddr(MustAddr("10.0.0.1"))
+	if dev != "r1" || i == nil || i.Name != "eth0" {
+		t.Errorf("found %q %+v", dev, i)
+	}
+	if dev, _ := n.FindIntfByAddr(MustAddr("9.9.9.9")); dev != "" {
+		t.Error("found interface for unknown address")
+	}
+}
+
+func TestParseRejectsTrailingACLTokens(t *testing.T) {
+	_, err := Parse("access-list a\n 10 permit ip any any port 22 23 24\n")
+	if err == nil || !strings.Contains(err.Error(), "port") {
+		t.Errorf("err = %v", err)
+	}
+}

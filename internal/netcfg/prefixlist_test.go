@@ -1,0 +1,184 @@
+package netcfg
+
+import "testing"
+
+func TestPrefixListPermits(t *testing.T) {
+	pl := &PrefixList{Name: "f", Entries: []PrefixListEntry{
+		{Seq: 5, Action: Deny, Prefix: MustPrefix("10.1.5.0/24"), Exact: true},
+		{Seq: 10, Action: Permit, Prefix: MustPrefix("10.1.0.0/16")},
+		{Seq: 20, Action: Deny, Prefix: MustPrefix("10.0.0.0/8")},
+	}}
+	cases := []struct {
+		p    string
+		want bool
+	}{
+		{"10.1.5.0/24", false},    // exact deny
+		{"10.1.5.0/25", true},     // not exact: falls to seq 10 permit
+		{"10.1.9.0/24", true},     // inside /16 permit
+		{"10.2.0.0/16", false},    // inside /8 deny
+		{"192.168.0.0/16", false}, // no match: implicit deny
+	}
+	for _, c := range cases {
+		if got := pl.Permits(MustPrefix(c.p)); got != c.want {
+			t.Errorf("Permits(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Nil list permits everything.
+	var nilPL *PrefixList
+	if !nilPL.Permits(MustPrefix("1.0.0.0/8")) {
+		t.Error("nil prefix list denied")
+	}
+	// Empty list denies everything.
+	if (&PrefixList{}).Permits(MustPrefix("1.0.0.0/8")) {
+		t.Error("empty prefix list permitted")
+	}
+}
+
+const bgpPolicyConfig = `hostname r1
+interface eth0
+ ip address 172.16.0.1/30
+router bgp 65001
+ network 10.9.0.0/24
+ aggregate-address 10.0.0.0/8
+ neighbor 172.16.0.2 remote-as 65002
+ neighbor 172.16.0.2 prefix-list imports in
+ neighbor 172.16.0.2 prefix-list exports out
+!
+prefix-list imports
+ 10 permit 10.0.0.0/8
+ 20 deny 0.0.0.0/0
+!
+prefix-list exports
+ 10 deny 10.9.9.0/24 exact
+ 20 permit 0.0.0.0/0
+`
+
+func TestParseBGPPolicyConstructs(t *testing.T) {
+	c := MustParse(bgpPolicyConfig)
+	if len(c.BGP.Aggregates) != 1 || c.BGP.Aggregates[0] != MustPrefix("10.0.0.0/8") {
+		t.Errorf("aggregates = %v", c.BGP.Aggregates)
+	}
+	nb := c.Neighbor(MustAddr("172.16.0.2"))
+	if nb.FilterIn != "imports" || nb.FilterOut != "exports" {
+		t.Errorf("neighbor filters = %q %q", nb.FilterIn, nb.FilterOut)
+	}
+	imp := c.PrefixList("imports")
+	if imp == nil || len(imp.Entries) != 2 {
+		t.Fatalf("imports = %+v", imp)
+	}
+	exp := c.PrefixList("exports")
+	if !exp.Entries[0].Exact || exp.Entries[0].Action != Deny {
+		t.Errorf("exports[0] = %+v", exp.Entries[0])
+	}
+	// Round trip.
+	if MustParse(c.Format()).Format() != c.Format() {
+		t.Error("format unstable with policy constructs")
+	}
+}
+
+func TestParsePrefixListOrderAndErrors(t *testing.T) {
+	// Out-of-order sequence numbers are sorted on parse.
+	c := MustParse("prefix-list f\n 20 deny 0.0.0.0/0\n 10 permit 10.0.0.0/8\n")
+	pl := c.PrefixList("f")
+	if pl.Entries[0].Seq != 10 || pl.Entries[1].Seq != 20 {
+		t.Errorf("entries not sorted: %+v", pl.Entries)
+	}
+	bad := []string{
+		"prefix-list f\nprefix-list f",                             // duplicate list
+		"prefix-list f\n x permit 10.0.0.0/8",                      // bad seq
+		"prefix-list f\n 10 zap 10.0.0.0/8",                        // bad action
+		"prefix-list f\n 10 permit banana",                         // bad prefix
+		"prefix-list f\n 10 permit 10.0.0.0/8 loose",               // bad modifier
+		"prefix-list f\n 10 permit 10.0.0.0/8\n 10 deny 0.0.0.0/0", // dup seq
+		"router bgp 1\n aggregate-address banana",
+		"router bgp 1\n neighbor 1.2.3.4 prefix-list x sideways",
+		"router bgp 1\n neighbor 1.2.3.4 prefix-list x in", // unknown neighbor
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestPolicyChangesApply(t *testing.T) {
+	n := NewNetwork()
+	n.Devices["r1"] = MustParse(bgpPolicyConfig)
+	entries := []PrefixListEntry{{Seq: 10, Action: Permit, Prefix: MustPrefix("10.0.0.0/8")}}
+	steps := []Change{
+		SetPrefixList{Device: "r1", Name: "newpl", Entries: entries},
+		BindNeighborFilter{Device: "r1", Neighbor: MustAddr("172.16.0.2"), Name: "newpl", In: true},
+		SetAggregate{Device: "r1", Prefix: MustPrefix("10.8.0.0/13")},
+	}
+	for _, s := range steps {
+		if err := s.Apply(n); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if s.String() == "" {
+			t.Errorf("%T empty String", s)
+		}
+	}
+	cfg := n.Devices["r1"]
+	if cfg.PrefixList("newpl") == nil {
+		t.Error("prefix list not created")
+	}
+	if cfg.Neighbor(MustAddr("172.16.0.2")).FilterIn != "newpl" {
+		t.Error("filter not bound")
+	}
+	if len(cfg.BGP.Aggregates) != 2 {
+		t.Error("aggregate not added")
+	}
+	// Replace and remove.
+	if err := (SetPrefixList{Device: "r1", Name: "newpl", Entries: []PrefixListEntry{{Seq: 5, Action: Deny, Prefix: Prefix{}}}}).Apply(n); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.PrefixList("newpl").Entries) != 1 || cfg.PrefixList("newpl").Entries[0].Seq != 5 {
+		t.Error("prefix list not replaced")
+	}
+	undo := []Change{
+		SetPrefixList{Device: "r1", Name: "newpl", Entries: nil},
+		SetAggregate{Device: "r1", Prefix: MustPrefix("10.8.0.0/13"), Remove: true},
+		BindNeighborFilter{Device: "r1", Neighbor: MustAddr("172.16.0.2"), Name: "", In: true},
+	}
+	for _, s := range undo {
+		if err := s.Apply(n); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	if cfg.PrefixList("newpl") != nil || len(cfg.BGP.Aggregates) != 1 || cfg.Neighbor(MustAddr("172.16.0.2")).FilterIn != "" {
+		t.Error("undo incomplete")
+	}
+	// Errors.
+	bad := []Change{
+		SetPrefixList{Device: "ghost", Name: "x", Entries: entries},
+		SetPrefixList{Device: "r1", Name: "ghost", Entries: nil},
+		BindNeighborFilter{Device: "r1", Neighbor: MustAddr("9.9.9.9"), Name: "x", In: true},
+		BindNeighborFilter{Device: "ghost", Neighbor: MustAddr("9.9.9.9"), Name: "x", In: true},
+		SetAggregate{Device: "r1", Prefix: MustPrefix("10.0.0.0/8")},               // duplicate
+		SetAggregate{Device: "r1", Prefix: MustPrefix("99.0.0.0/8"), Remove: true}, // absent
+		SetAggregate{Device: "ghost", Prefix: MustPrefix("10.0.0.0/8")},
+	}
+	for _, s := range bad {
+		if err := s.Apply(n); err == nil {
+			t.Errorf("%v applied without error", s)
+		}
+	}
+	noBGP := MustParse("hostname r2\n")
+	n.Devices["r2"] = noBGP
+	if err := (SetAggregate{Device: "r2", Prefix: MustPrefix("10.0.0.0/8")}).Apply(n); err == nil {
+		t.Error("aggregate on non-BGP device accepted")
+	}
+}
+
+func TestCloneCopiesPolicyConstructs(t *testing.T) {
+	c := MustParse(bgpPolicyConfig)
+	c2 := c.Clone()
+	c2.PrefixList("exports").Entries[0].Action = Permit
+	c2.BGP.Aggregates[0] = MustPrefix("99.0.0.0/8")
+	c2.BGP.Neighbors[0].FilterIn = "other"
+	if c.PrefixList("exports").Entries[0].Action != Deny ||
+		c.BGP.Aggregates[0] != MustPrefix("10.0.0.0/8") ||
+		c.BGP.Neighbors[0].FilterIn != "imports" {
+		t.Error("Clone shares policy state")
+	}
+}

@@ -1,0 +1,153 @@
+package netcfg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConfig builds a syntactically arbitrary but semantically valid
+// configuration exercising every construct the format supports.
+func randomConfig(rng *rand.Rand) *Config {
+	c := &Config{Hostname: "r" + string(rune('a'+rng.Intn(26)))}
+	nIntf := 1 + rng.Intn(4)
+	for i := 0; i < nIntf; i++ {
+		intf := &Interface{Name: []string{"eth0", "eth1", "eth2", "lo0"}[i]}
+		if rng.Intn(5) > 0 {
+			intf.Addr = InterfaceAddr{Addr: Addr(rng.Uint32()), Len: uint8(8 + rng.Intn(25))}
+		}
+		if rng.Intn(3) == 0 {
+			intf.OSPFCost = uint32(1 + rng.Intn(1000))
+		}
+		intf.Shutdown = rng.Intn(4) == 0
+		c.Interfaces = append(c.Interfaces, intf)
+	}
+	randPrefix := func() Prefix {
+		p := Prefix{Addr: Addr(rng.Uint32()), Len: uint8(rng.Intn(33))}
+		p.Addr &= p.Mask()
+		return p
+	}
+	if rng.Intn(2) == 0 {
+		c.OSPF = &OSPF{ProcessID: 1 + rng.Intn(9)}
+		for i := 0; i <= rng.Intn(3); i++ {
+			c.OSPF.Networks = append(c.OSPF.Networks, randPrefix())
+		}
+		if rng.Intn(2) == 0 {
+			c.OSPF.Redistribute = append(c.OSPF.Redistribute,
+				Redistribution{From: ProtoConnected, Metric: uint32(rng.Intn(100))})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		c.BGP = &BGP{ASN: uint32(1 + rng.Intn(65000))}
+		for i := 0; i <= rng.Intn(2); i++ {
+			c.BGP.Networks = append(c.BGP.Networks, randPrefix())
+		}
+		if rng.Intn(2) == 0 {
+			c.BGP.Aggregates = append(c.BGP.Aggregates, randPrefix())
+		}
+		seen := map[Addr]bool{}
+		for i := 0; i <= rng.Intn(3); i++ {
+			addr := Addr(rng.Uint32())
+			if seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			nb := &Neighbor{Addr: addr, RemoteAS: uint32(1 + rng.Intn(65000))}
+			if rng.Intn(2) == 0 {
+				nb.LocalPref = uint32(1 + rng.Intn(300))
+			}
+			if rng.Intn(3) == 0 {
+				nb.FilterIn = "fin"
+			}
+			if rng.Intn(3) == 0 {
+				nb.FilterOut = "fout"
+			}
+			c.BGP.Neighbors = append(c.BGP.Neighbors, nb)
+		}
+		if rng.Intn(2) == 0 {
+			c.BGP.Redistribute = append(c.BGP.Redistribute,
+				Redistribution{From: ProtoOSPF, Metric: uint32(rng.Intn(100))})
+		}
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		sr := StaticRoute{Prefix: randPrefix()}
+		if rng.Intn(3) == 0 {
+			sr.Drop = true
+		} else {
+			sr.NextHop = Addr(rng.Uint32())
+		}
+		dup := false
+		for _, ex := range c.StaticRoutes {
+			if ex == sr {
+				dup = true
+			}
+		}
+		if !dup {
+			c.StaticRoutes = append(c.StaticRoutes, sr)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		acl := &ACL{Name: "acl" + string(rune('a'+rng.Intn(3)))}
+		for i := 0; i <= rng.Intn(4); i++ {
+			l := ACLLine{
+				Seq:    (i + 1) * 10,
+				Action: ACLAction(rng.Intn(2)),
+				Proto:  []IPProto{ProtoIPAny, ProtoTCP, ProtoUDP, ProtoICMP}[rng.Intn(4)],
+				Src:    randPrefix(),
+				Dst:    randPrefix(),
+			}
+			if l.Proto == ProtoTCP || l.Proto == ProtoUDP {
+				lo := uint16(1 + rng.Intn(60000))
+				l.DstPortLo, l.DstPortHi = lo, lo+uint16(rng.Intn(100))
+			}
+			acl.Lines = append(acl.Lines, l)
+		}
+		c.ACLs = append(c.ACLs, acl)
+		c.Interfaces[0].ACLIn = acl.Name
+	}
+	for _, name := range []string{"fin", "fout"} {
+		pl := &PrefixList{Name: name}
+		for i := 0; i <= rng.Intn(3); i++ {
+			pl.Entries = append(pl.Entries, PrefixListEntry{
+				Seq:    (i + 1) * 5,
+				Action: ACLAction(rng.Intn(2)),
+				Prefix: randPrefix(),
+				Exact:  rng.Intn(2) == 0,
+			})
+		}
+		c.PrefixLists = append(c.PrefixLists, pl)
+	}
+	return c
+}
+
+// TestRandomConfigRoundTrip: Format then Parse must reproduce the
+// canonical text exactly, for arbitrary configurations.
+func TestRandomConfigRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		c := randomConfig(rng)
+		text := c.Format()
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, text)
+		}
+		if got := parsed.Format(); got != text {
+			t.Fatalf("trial %d: round trip unstable:\n--- formatted\n%s\n--- reparsed\n%s", trial, text, got)
+		}
+		// Clone must format identically too.
+		if c.Clone().Format() != text {
+			t.Fatalf("trial %d: clone formats differently", trial)
+		}
+	}
+}
+
+// TestRandomConfigDiffSelfIsEmpty: a config diffed against its clone has
+// no changes.
+func TestRandomConfigDiffSelfIsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		c := randomConfig(rng)
+		if d := DiffLines(c.Format(), c.Clone().Format()); len(d) != 0 {
+			t.Fatalf("trial %d: self-diff = %v", trial, d)
+		}
+	}
+}

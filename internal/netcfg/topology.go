@@ -1,0 +1,112 @@
+package netcfg
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Link is a physical connection between two device interfaces. Links are
+// stored in canonical order (lexicographically smaller endpoint first) so
+// equal links compare equal.
+type Link struct {
+	DevA, IntfA string
+	DevB, IntfB string
+}
+
+// NewLink returns the canonical form of the link between the endpoints.
+func NewLink(devA, intfA, devB, intfB string) Link {
+	if devA > devB || (devA == devB && intfA > intfB) {
+		devA, intfA, devB, intfB = devB, intfB, devA, intfA
+	}
+	return Link{DevA: devA, IntfA: intfA, DevB: devB, IntfB: intfB}
+}
+
+func (l Link) String() string {
+	return fmt.Sprintf("link %s %s %s %s", l.DevA, l.IntfA, l.DevB, l.IntfB)
+}
+
+// Topology is the set of physical links.
+type Topology struct {
+	Links []Link
+}
+
+// Clone deep-copies the topology.
+func (t *Topology) Clone() *Topology {
+	if t == nil {
+		return &Topology{}
+	}
+	return &Topology{Links: append([]Link(nil), t.Links...)}
+}
+
+// Add appends a link (canonicalized) if not already present.
+func (t *Topology) Add(devA, intfA, devB, intfB string) {
+	l := NewLink(devA, intfA, devB, intfB)
+	for _, ex := range t.Links {
+		if ex == l {
+			return
+		}
+	}
+	t.Links = append(t.Links, l)
+}
+
+// Remove deletes a link in either orientation, reporting whether it was
+// present.
+func (t *Topology) Remove(devA, intfA, devB, intfB string) bool {
+	l := NewLink(devA, intfA, devB, intfB)
+	for i, ex := range t.Links {
+		if ex == l {
+			t.Links = append(t.Links[:i], t.Links[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns, for a device, a map from its interface name to the
+// (device, interface) at the other end of the link.
+func (t *Topology) Neighbors(dev string) map[string][2]string {
+	out := make(map[string][2]string)
+	for _, l := range t.Links {
+		if l.DevA == dev {
+			out[l.IntfA] = [2]string{l.DevB, l.IntfB}
+		}
+		if l.DevB == dev {
+			out[l.IntfB] = [2]string{l.DevA, l.IntfA}
+		}
+	}
+	return out
+}
+
+// Format renders the topology in the text format read by ParseTopology,
+// one "link" line per link, sorted.
+func (t *Topology) Format() string {
+	lines := make([]string, len(t.Links))
+	for i, l := range t.Links {
+		lines[i] = l.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// ParseTopology reads "link devA intfA devB intfB" lines. Blank lines and
+// lines starting with '#' or '!' are ignored.
+func ParseTopology(text string) (*Topology, error) {
+	t := &Topology{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '!' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] != "link" {
+			return nil, fmt.Errorf("netcfg: topology line %d: want %q, got %q", lineno, "link devA intfA devB intfB", line)
+		}
+		t.Add(fields[1], fields[2], fields[3], fields[4])
+	}
+	return t, sc.Err()
+}

@@ -1,0 +1,382 @@
+// Package policy is RealConfig's incremental network policy checker. It
+// consumes data plane model changes (EC port transfers from the apkeep
+// model) and recomputes forwarding outcomes only for affected equivalence
+// classes, maintaining the two maps the paper describes: each EC's
+// forwarding behaviour (paths), and each node pair's deliverable ECs.
+// Registered policies (reachability, waypoint, loop-freedom,
+// blackhole-freedom) are indexed by the packets they "register" on, so a
+// change rechecks only the policies whose header space intersects an
+// affected EC.
+package policy
+
+import (
+	"sort"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+)
+
+// Kind classifies the fate of a packet injected at a device.
+type Kind uint8
+
+// Outcome kinds.
+const (
+	// Delivered: the packet reached a device that delivers its
+	// destination locally.
+	Delivered Kind = iota
+	// Dropped: a device had no route (or a drop route) for it.
+	Dropped
+	// Filtered: an ACL discarded it on the way.
+	Filtered
+	// Looped: it entered a forwarding loop.
+	Looped
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Filtered:
+		return "filtered"
+	default:
+		return "looped"
+	}
+}
+
+// Outcome is the fate of an EC's packets injected at some device.
+type Outcome struct {
+	Kind Kind
+	// At is where the fate was sealed: the delivering device, the
+	// dropping device, or the device whose filter discarded the packet.
+	At string
+}
+
+// Pair is a directed (source, destination-device) pair.
+type Pair struct {
+	Src, Dst string
+}
+
+// ecResult caches one EC's forwarding behaviour.
+type ecResult struct {
+	outcomes map[string]Outcome
+	// next is the EC's functional forwarding graph: each device's
+	// successor (devices whose packets terminate locally are absent).
+	next  map[string]string
+	pairs map[Pair]struct{} // delivered pairs
+}
+
+// Checker incrementally maintains forwarding outcomes and policy
+// verdicts over an apkeep data plane model.
+type Checker struct {
+	model *apkeep.Model
+
+	devices []string
+	// ingress maps (device, egress interface) to the neighbor and its
+	// ingress interface, for ACL lookups along walks.
+	ingress map[[2]string][2]string
+
+	ecs   map[bdd.Node]*ecResult
+	pairs map[Pair]map[bdd.Node]struct{}
+
+	policies map[string]Policy
+	verdicts map[string]bool
+
+	// parallelism is the worker count for EC walks (<=1 = sequential).
+	parallelism int
+}
+
+// SetParallelism enables the paper's section-6 "parallelize verification
+// over independent ECs" optimization: affected ECs' forwarding walks are
+// recomputed by n workers. Walks only read the model, so this is safe;
+// results are merged sequentially, keeping output deterministic.
+func (c *Checker) SetParallelism(n int) { c.parallelism = n }
+
+// NewChecker creates a checker over a model. Call SetTopology before the
+// first Update.
+func NewChecker(m *apkeep.Model) *Checker {
+	return &Checker{
+		model:    m,
+		ingress:  make(map[[2]string][2]string),
+		ecs:      make(map[bdd.Node]*ecResult),
+		pairs:    make(map[Pair]map[bdd.Node]struct{}),
+		policies: make(map[string]Policy),
+		verdicts: make(map[string]bool),
+	}
+}
+
+// SetTopology installs the device list and adjacency view used for walks
+// and filter lookups. Call again whenever the topology changes.
+func (c *Checker) SetTopology(devices []string, adjs []dataplane.Adjacency) {
+	c.devices = append([]string(nil), devices...)
+	sort.Strings(c.devices)
+	c.ingress = make(map[[2]string][2]string, len(adjs))
+	for _, a := range adjs {
+		c.ingress[[2]string{a.Dev, a.LocalIntf}] = [2]string{a.Peer, a.PeerIntf}
+	}
+}
+
+// Ingress resolves a (device, egress interface) to the neighbor and its
+// ingress interface, per the installed topology.
+func (c *Checker) Ingress(dev, outIntf string) ([2]string, bool) {
+	in, ok := c.ingress[[2]string{dev, outIntf}]
+	return in, ok
+}
+
+// PairECs returns the ECs deliverable from src to dst (live; do not
+// modify).
+func (c *Checker) PairECs(src, dst string) map[bdd.Node]struct{} {
+	return c.pairs[Pair{Src: src, Dst: dst}]
+}
+
+// NumPairs returns how many (src, dst) pairs currently have at least one
+// deliverable EC.
+func (c *Checker) NumPairs() int { return len(c.pairs) }
+
+// OutcomeOf returns the cached fate of ec injected at src.
+func (c *Checker) OutcomeOf(ec bdd.Node, src string) (Outcome, bool) {
+	r := c.ecs[ec]
+	if r == nil {
+		return Outcome{}, false
+	}
+	o, ok := r.outcomes[src]
+	return o, ok
+}
+
+// PolicyEvent reports a policy whose satisfaction flipped.
+type PolicyEvent struct {
+	Policy    string
+	Satisfied bool
+}
+
+// Result summarizes one incremental check.
+type Result struct {
+	// AffectedECs is the number of ECs whose behaviour was recomputed.
+	AffectedECs int
+	// AffectedPairs lists pairs whose deliverable-EC set changed.
+	AffectedPairs []Pair
+	// Events are policy satisfaction flips (including first
+	// evaluations of newly violated policies).
+	Events []PolicyEvent
+	// PoliciesChecked counts policy re-evaluations performed.
+	PoliciesChecked int
+}
+
+// Update processes a batch of model changes: it recomputes outcomes for
+// affected ECs (moved ports, filter flips, splits), updates the pair
+// map, and rechecks exactly the registered policies whose header space
+// intersects an affected EC. When the model re-minimized its partition
+// (AutoMerge), pass the merge events so transfers on merged-away classes
+// are attributed to their surviving union.
+func (c *Checker) Update(transfers []apkeep.Transfer, ftransfers []apkeep.FilterTransfer, merges ...apkeep.MergeEvent) *Result {
+	res := &Result{}
+	alias := make(map[bdd.Node]bdd.Node, 2*len(merges))
+	for _, me := range merges {
+		alias[me.A] = me.Result
+		alias[me.B] = me.Result
+	}
+	resolve := func(ec bdd.Node) bdd.Node {
+		for {
+			next, ok := alias[ec]
+			if !ok {
+				return ec
+			}
+			ec = next
+		}
+	}
+	affected := make(map[bdd.Node]struct{})
+	// changedDevs tracks, per EC, the devices whose behaviour for that
+	// EC changed; paths through them are the "modified paths" whose end
+	// points define the affected pairs (the paper's #Pairs metric).
+	changedDevs := make(map[bdd.Node]map[string]struct{})
+	mark := func(ec bdd.Node, dev string) {
+		affected[ec] = struct{}{}
+		set := changedDevs[ec]
+		if set == nil {
+			set = make(map[string]struct{})
+			changedDevs[ec] = set
+		}
+		set[dev] = struct{}{}
+	}
+	for _, t := range transfers {
+		mark(resolve(t.EC), t.Device)
+	}
+	for _, t := range ftransfers {
+		mark(resolve(t.EC), t.Key.Device)
+	}
+	// ECs created by splits (present in the model, absent here) must be
+	// computed; vanished ECs (split away) must be retired.
+	current := c.model.ECs()
+	for ec := range current {
+		if _, ok := c.ecs[ec]; !ok {
+			affected[ec] = struct{}{}
+		}
+	}
+	for ec := range c.ecs {
+		if _, ok := current[ec]; !ok {
+			c.retire(ec, res)
+		}
+	}
+	live := make([]bdd.Node, 0, len(affected))
+	for ec := range affected {
+		if _, ok := current[ec]; ok {
+			live = append(live, ec)
+		} // else: transferred then split away within the batch
+	}
+	results := c.walkAll(live)
+	for i, ec := range live {
+		c.merge(ec, results[i], changedDevs[ec], res)
+		res.AffectedECs++
+	}
+
+	// Recheck policies registered on affected packets.
+	for name, p := range c.policies {
+		relevant := false
+		for ec := range affected {
+			if p.Relevant(c.model.H, ec) {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			continue
+		}
+		res.PoliciesChecked++
+		now := p.Eval(c)
+		if was, known := c.verdicts[name]; !known || was != now {
+			c.verdicts[name] = now
+			res.Events = append(res.Events, PolicyEvent{Policy: name, Satisfied: now})
+		}
+	}
+	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].Policy < res.Events[j].Policy })
+	sort.Slice(res.AffectedPairs, func(i, j int) bool {
+		a, b := res.AffectedPairs[i], res.AffectedPairs[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	return res
+}
+
+// retire removes a vanished EC and its pair contributions.
+func (c *Checker) retire(ec bdd.Node, res *Result) {
+	r := c.ecs[ec]
+	if r == nil {
+		return
+	}
+	delete(c.ecs, ec)
+	for p := range r.pairs {
+		if set := c.pairs[p]; set != nil {
+			delete(set, ec)
+			if len(set) == 0 {
+				delete(c.pairs, p)
+			}
+			res.AffectedPairs = appendPair(res.AffectedPairs, p)
+		}
+	}
+}
+
+// merge installs a freshly walked result for an EC: it refreshes the
+// pair map with the delta and collects the pairs whose paths were
+// modified — the end points of every old or new path traversing a device
+// whose behaviour for this EC changed.
+func (c *Checker) merge(ec bdd.Node, r *ecResult, devs map[string]struct{}, res *Result) {
+	old := c.ecs[ec]
+	c.ecs[ec] = r
+	// Pair map maintenance (delivery-set delta).
+	for p := range r.pairs {
+		if old == nil || !contains(old.pairs, p) {
+			set := c.pairs[p]
+			if set == nil {
+				set = make(map[bdd.Node]struct{})
+				c.pairs[p] = set
+			}
+			set[ec] = struct{}{}
+		}
+	}
+	if old != nil {
+		for p := range old.pairs {
+			if !contains(r.pairs, p) {
+				if set := c.pairs[p]; set != nil {
+					delete(set, ec)
+					if len(set) == 0 {
+						delete(c.pairs, p)
+					}
+				}
+			}
+		}
+	}
+	if len(devs) == 0 {
+		return // pure split: behaviour unchanged, no modified paths
+	}
+	// Sources whose old or new walk traverses a changed device.
+	sources := make(map[string]struct{}, len(devs))
+	if old != nil {
+		reverseReach(old.next, devs, sources)
+	}
+	reverseReach(r.next, devs, sources)
+	for s := range sources {
+		if old != nil {
+			if o, ok := old.outcomes[s]; ok && o.Kind == Delivered {
+				res.AffectedPairs = appendPair(res.AffectedPairs, Pair{Src: s, Dst: o.At})
+			}
+		}
+		if o, ok := r.outcomes[s]; ok && o.Kind == Delivered {
+			res.AffectedPairs = appendPair(res.AffectedPairs, Pair{Src: s, Dst: o.At})
+		}
+	}
+}
+
+// reverseReach adds to out every device that reaches one of the targets
+// by following next pointers (targets included).
+func reverseReach(next map[string]string, targets map[string]struct{}, out map[string]struct{}) {
+	rev := make(map[string][]string, len(next))
+	for s, d := range next {
+		rev[d] = append(rev[d], s)
+	}
+	var stack []string
+	for d := range targets {
+		if _, ok := out[d]; !ok {
+			out[d] = struct{}{}
+		}
+		stack = append(stack, d)
+	}
+	// BFS over reverse edges; out doubles as the visited set, so callers
+	// accumulating across graphs must pass a fresh set per EC.
+	seen := make(map[string]struct{}, len(targets))
+	for d := range targets {
+		seen[d] = struct{}{}
+	}
+	for len(stack) > 0 {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range rev[d] {
+			if _, ok := seen[s]; ok {
+				continue
+			}
+			seen[s] = struct{}{}
+			out[s] = struct{}{}
+			stack = append(stack, s)
+		}
+	}
+}
+
+func contains(set map[Pair]struct{}, p Pair) bool {
+	_, ok := set[p]
+	return ok
+}
+
+// appendPair appends p if not already the most recent entries;
+// deduplication is finalized by the caller's sort (duplicates are
+// removed below).
+func appendPair(list []Pair, p Pair) []Pair {
+	for _, ex := range list {
+		if ex == p {
+			return list
+		}
+	}
+	return append(list, p)
+}

@@ -1,0 +1,217 @@
+package policy
+
+import (
+	"fmt"
+
+	"realconfig/internal/bdd"
+)
+
+// Policy is a forwarding property registered with the checker. Policies
+// declare which packets they "register" on via Relevant, so the checker
+// can skip them when unrelated ECs change — the key to incremental
+// policy checking.
+type Policy interface {
+	Name() string
+	// Relevant reports whether a change to ec can affect this policy.
+	Relevant(h *bdd.Headers, ec bdd.Node) bool
+	// Eval computes the policy's satisfaction from the checker state.
+	Eval(c *Checker) bool
+}
+
+// AddPolicy registers a policy and evaluates it immediately, returning
+// the initial verdict.
+func (c *Checker) AddPolicy(p Policy) bool {
+	c.policies[p.Name()] = p
+	v := p.Eval(c)
+	c.verdicts[p.Name()] = v
+	return v
+}
+
+// RemovePolicy unregisters a policy by name.
+func (c *Checker) RemovePolicy(name string) {
+	delete(c.policies, name)
+	delete(c.verdicts, name)
+}
+
+// Verdict returns a policy's last verdict.
+func (c *Checker) Verdict(name string) (satisfied, known bool) {
+	v, ok := c.verdicts[name]
+	return v, ok
+}
+
+// Verdicts returns a copy of all verdicts.
+func (c *Checker) Verdicts() map[string]bool {
+	out := make(map[string]bool, len(c.verdicts))
+	for k, v := range c.verdicts {
+		out[k] = v
+	}
+	return out
+}
+
+// ReachMode selects reachability semantics.
+type ReachMode uint8
+
+// Reachability modes.
+const (
+	// ReachAll: every packet in the header space injected at Src is
+	// delivered at Dst.
+	ReachAll ReachMode = iota
+	// ReachSome: at least one packet is delivered at Dst.
+	ReachSome
+	// ReachNone: no packet is delivered at Dst (isolation).
+	ReachNone
+)
+
+// Reachability is the paper's example policy shape: "only HTTP traffic
+// should be allowed between subnet A and subnet B" decomposes into
+// Reachability policies over header predicates.
+type Reachability struct {
+	PolicyName string
+	Src, Dst   string
+	Hdr        bdd.Node // packet space the policy registers on
+	Mode       ReachMode
+}
+
+// Name implements Policy.
+func (p Reachability) Name() string { return p.PolicyName }
+
+// Relevant implements Policy.
+func (p Reachability) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Hdr, ec) }
+
+// Eval implements Policy.
+func (p Reachability) Eval(c *Checker) bool {
+	delivered, total := 0, 0
+	for ec := range c.model.ECs() {
+		if !c.model.H.Overlaps(p.Hdr, ec) {
+			continue
+		}
+		total++
+		if o, ok := c.OutcomeOf(ec, p.Src); ok && o.Kind == Delivered && o.At == p.Dst {
+			delivered++
+		}
+	}
+	switch p.Mode {
+	case ReachAll:
+		return total > 0 && delivered == total
+	case ReachSome:
+		return delivered > 0
+	default: // ReachNone
+		return delivered == 0
+	}
+}
+
+// Waypoint requires every delivered path from Src to Dst (for packets in
+// Hdr) to traverse Via.
+type Waypoint struct {
+	PolicyName string
+	Src, Dst   string
+	Via        string
+	Hdr        bdd.Node
+}
+
+// Name implements Policy.
+func (p Waypoint) Name() string { return p.PolicyName }
+
+// Relevant implements Policy.
+func (p Waypoint) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Hdr, ec) }
+
+// Eval implements Policy.
+func (p Waypoint) Eval(c *Checker) bool {
+	for ec := range c.model.ECs() {
+		if !c.model.H.Overlaps(p.Hdr, ec) {
+			continue
+		}
+		o, ok := c.OutcomeOf(ec, p.Src)
+		if !ok || o.Kind != Delivered || o.At != p.Dst {
+			continue
+		}
+		through := false
+		for _, dev := range c.TracePath(ec, p.Src) {
+			if dev == p.Via {
+				through = true
+				break
+			}
+		}
+		if !through {
+			return false
+		}
+	}
+	return true
+}
+
+// LoopFree requires that no packet in Scope loops, from any device: the
+// paper's example of a universal invariant.
+type LoopFree struct {
+	PolicyName string
+	Scope      bdd.Node
+}
+
+// Name implements Policy.
+func (p LoopFree) Name() string { return p.PolicyName }
+
+// Relevant implements Policy.
+func (p LoopFree) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Scope, ec) }
+
+// Eval implements Policy.
+func (p LoopFree) Eval(c *Checker) bool {
+	for ec, r := range c.ecs {
+		if !c.model.H.Overlaps(p.Scope, ec) {
+			continue
+		}
+		for _, o := range r.outcomes {
+			if o.Kind == Looped {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BlackholeFree requires that no packet in Scope is dropped by a device
+// without a route (static drop routes count as drops too).
+type BlackholeFree struct {
+	PolicyName string
+	Scope      bdd.Node
+}
+
+// Name implements Policy.
+func (p BlackholeFree) Name() string { return p.PolicyName }
+
+// Relevant implements Policy.
+func (p BlackholeFree) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Scope, ec) }
+
+// Eval implements Policy.
+func (p BlackholeFree) Eval(c *Checker) bool {
+	for ec, r := range c.ecs {
+		if !c.model.H.Overlaps(p.Scope, ec) {
+			continue
+		}
+		for _, o := range r.outcomes {
+			if o.Kind == Dropped {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Explain renders a human-readable account of why a reachability-style
+// check currently fails between src and dst for packets in hdr.
+func (c *Checker) Explain(src, dst string, hdr bdd.Node) string {
+	for ec := range c.model.ECs() {
+		if !c.model.H.Overlaps(hdr, ec) {
+			continue
+		}
+		o, ok := c.OutcomeOf(ec, src)
+		if ok && o.Kind == Delivered && o.At == dst {
+			continue
+		}
+		pkt, _ := c.Witness(c.model.H.And(hdr, ec))
+		path := c.TracePath(ec, src)
+		if !ok {
+			return fmt.Sprintf("packet %v: no outcome at %s", pkt, src)
+		}
+		return fmt.Sprintf("packet %v: %s at %s (path %v)", pkt, o.Kind, o.At, path)
+	}
+	return "all packets delivered"
+}

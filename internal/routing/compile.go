@@ -1,0 +1,195 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+)
+
+// relations is the compiled form of a network: the tuples fed to the
+// dataflow inputs. Compilation is linear in configuration size and runs
+// on every SetNetwork; the expensive route computation stays incremental.
+type relations struct {
+	ospfAdj     []dd.KV[string, ospfHop]
+	ospfSeeds   []dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]
+	bgpSess     []dd.KV[string, bgpSess]
+	bgpOrigins  []dd.KV[dataplane.RouteKey, dataplane.BGPRoute]
+	ribDirect   []dd.KV[dataplane.RouteKey, dataplane.RIBEntry]
+	ospfFromBGP []dd.KV[string, uint32]
+	bgpFromOSPF []dd.KV[string, struct{}]
+	bgpAgg      []dd.KV[string, netcfg.Prefix]
+	// filterDefs maps content-addressed keys referenced by bgpSess
+	// tuples to immutable prefix-list snapshots.
+	filterDefs map[string]*netcfg.PrefixList
+}
+
+// filterKey returns a content-addressed key for a prefix list (the same
+// entries always produce the same key, independent of the list's name),
+// registering an immutable snapshot in defs. A nil list (dangling
+// reference) compiles to an empty list, which denies everything.
+func filterKey(pl *netcfg.PrefixList, defs map[string]*netcfg.PrefixList) string {
+	snapshot := &netcfg.PrefixList{}
+	if pl != nil {
+		snapshot.Entries = append([]netcfg.PrefixListEntry(nil), pl.Entries...)
+	}
+	var b strings.Builder
+	b.WriteString("pl:")
+	for _, e := range snapshot.Entries {
+		fmt.Fprintf(&b, "%d,%d,%08x/%d,%v;", e.Seq, e.Action, uint32(e.Prefix.Addr), e.Prefix.Len, e.Exact)
+	}
+	key := b.String()
+	if _, ok := defs[key]; !ok {
+		defs[key] = snapshot
+	}
+	return key
+}
+
+func compile(net *netcfg.Network) relations {
+	rel := relations{filterDefs: make(map[string]*netcfg.PrefixList)}
+	adjs := dataplane.Adjacencies(net)
+	connected := dataplane.ConnectedRoutes(net)
+	connByDev := make(map[string][]dataplane.ConnectedRoute)
+	for _, c := range connected {
+		connByDev[c.Device] = append(connByDev[c.Device], c)
+	}
+
+	// OSPF adjacency tuples, keyed by the advertising side.
+	for _, a := range dataplane.OSPFAdjacencies(net) {
+		rel.ospfAdj = append(rel.ospfAdj, dd.MkKV(a.Peer, ospfHop{
+			Dev:  a.Dev,
+			Intf: a.LocalIntf,
+			Cost: a.Cost,
+		}))
+	}
+
+	// BGP session tuples, keyed by the advertising side. Prefix-list
+	// references become content-addressed keys: only sessions whose
+	// filter CONTENT changes produce input differences.
+	for _, s := range dataplane.BGPSessions(net) {
+		t := bgpSess{
+			Dev:    s.Dev,
+			Intf:   s.LocalIntf,
+			DevAS:  net.Devices[s.Dev].BGP.ASN,
+			PeerAS: s.PeerAS,
+			Pref:   s.LocalPref,
+		}
+		if s.FilterIn != nil || s.DenyIn {
+			t.FIn = filterKey(s.FilterIn, rel.filterDefs)
+		}
+		if s.FilterOut != nil || s.DenyOut {
+			t.FOut = filterKey(s.FilterOut, rel.filterDefs)
+		}
+		rel.bgpSess = append(rel.bgpSess, dd.MkKV(s.Peer, t))
+	}
+
+	// Static routes resolve at compile time.
+	type resolved struct {
+		dev     string
+		prefix  netcfg.Prefix
+		drop    bool
+		nextHop string
+		outIntf string
+	}
+	var statics []resolved
+	for _, name := range net.DeviceNames() {
+		for _, sr := range net.Devices[name].StaticRoutes {
+			if sr.Drop {
+				statics = append(statics, resolved{dev: name, prefix: sr.Prefix, drop: true})
+				continue
+			}
+			if peer, intf, ok := dataplane.ResolveStatic(net, name, sr.NextHop, adjs); ok {
+				statics = append(statics, resolved{dev: name, prefix: sr.Prefix, nextHop: peer, outIntf: intf})
+			}
+		}
+	}
+
+	ospfSeed := func(dev string, p netcfg.Prefix, metric uint32) {
+		rel.ospfSeeds = append(rel.ospfSeeds,
+			dd.MkKV(dataplane.RouteKey{Device: dev, Prefix: p}, dataplane.OSPFRoute{Dist: metric}))
+	}
+	bgpOrigin := func(dev string, p netcfg.Prefix) {
+		rel.bgpOrigins = append(rel.bgpOrigins,
+			dd.MkKV(dataplane.RouteKey{Device: dev, Prefix: p},
+				dataplane.BGPRoute{LocalPref: netcfg.DefaultLocalPref}))
+	}
+
+	for _, name := range net.DeviceNames() {
+		cfg := net.Devices[name]
+		if o := cfg.OSPF; o != nil {
+			for _, i := range cfg.Interfaces {
+				if i.Shutdown || i.Addr.IsZero() {
+					continue
+				}
+				if o.Enabled(i.Addr) {
+					ospfSeed(name, i.Addr.Prefix(), 0)
+				}
+			}
+			for _, r := range o.Redistribute {
+				switch r.From {
+				case netcfg.ProtoConnected:
+					for _, c := range connByDev[name] {
+						ospfSeed(name, c.Prefix, r.Metric)
+					}
+				case netcfg.ProtoStatic:
+					for _, s := range statics {
+						if s.dev == name {
+							ospfSeed(name, s.prefix, r.Metric)
+						}
+					}
+				case netcfg.ProtoBGP:
+					rel.ospfFromBGP = append(rel.ospfFromBGP, dd.MkKV(name, r.Metric))
+				}
+			}
+		}
+		if b := cfg.BGP; b != nil {
+			for _, p := range b.Networks {
+				bgpOrigin(name, p)
+			}
+			for _, a := range b.Aggregates {
+				rel.bgpAgg = append(rel.bgpAgg, dd.MkKV(name, a))
+			}
+			for _, r := range b.Redistribute {
+				switch r.From {
+				case netcfg.ProtoConnected:
+					for _, c := range connByDev[name] {
+						bgpOrigin(name, c.Prefix)
+					}
+				case netcfg.ProtoStatic:
+					for _, s := range statics {
+						if s.dev == name {
+							bgpOrigin(name, s.prefix)
+						}
+					}
+				case netcfg.ProtoOSPF:
+					rel.bgpFromOSPF = append(rel.bgpFromOSPF, dd.MkKV(name, struct{}{}))
+				}
+			}
+		}
+	}
+
+	// Direct RIB entries: connected and static routes.
+	for _, c := range connected {
+		rel.ribDirect = append(rel.ribDirect, dd.MkKV(
+			dataplane.RouteKey{Device: c.Device, Prefix: c.Prefix},
+			dataplane.RIBEntry{
+				Proto: netcfg.ProtoConnected, AD: netcfg.ProtoConnected.AdminDistance(),
+				Action: dataplane.Deliver, OutIntf: c.Intf,
+			}))
+	}
+	for _, s := range statics {
+		e := dataplane.RIBEntry{Proto: netcfg.ProtoStatic, AD: netcfg.ProtoStatic.AdminDistance()}
+		if s.drop {
+			e.Action = dataplane.Drop
+		} else {
+			e.Action = dataplane.Forward
+			e.NextHop = s.nextHop
+			e.OutIntf = s.outIntf
+		}
+		rel.ribDirect = append(rel.ribDirect, dd.MkKV(
+			dataplane.RouteKey{Device: s.dev, Prefix: s.prefix}, e))
+	}
+	return rel
+}

@@ -1,0 +1,363 @@
+// Package routing is RealConfig's incremental data plane generator: it
+// expresses control plane semantics (connected routes, static routes,
+// OSPF, BGP, route redistribution) as dataflow programs over the dd
+// engine, so that configuration changes translate into input differences
+// and only the affected routes are recomputed. This is the Go counterpart
+// of the paper's DDlog program running on Differential Dataflow.
+//
+// Packet filters are not simulated: as the paper notes, filtering rules
+// are explicit in configurations, so their changes are extracted directly
+// (see Generator.Filters).
+package routing
+
+import (
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+)
+
+// Options configures a Generator.
+type Options struct {
+	// MaxIter bounds fixpoint iterations per epoch (0 = engine default).
+	MaxIter int
+	// DetectOscillation attaches recurring-state detectors to the BGP
+	// and OSPF fixpoints, turning non-convergent configurations (e.g.
+	// BGP dispute wheels) into errors instead of hangs.
+	DetectOscillation bool
+	// ECMP installs every equal-cost OSPF path (and every tied RIB
+	// entry) instead of a single deterministically tie-broken best path.
+	// BGP remains single-path, as on real routers without multipath.
+	// ECMP is a generator-level feature: the data plane model and policy
+	// checker assume single-path forwarding.
+	ECMP bool
+}
+
+// Generator owns the dataflow graph computing a network's data plane.
+// Build one with New, load a network with SetNetwork, run epochs with
+// Step, and read the FIB and its per-epoch changes.
+type Generator struct {
+	g *dd.Graph
+
+	// Inputs (compiled relations).
+	ospfAdj   *dd.Input[dd.KV[string, ospfHop]]
+	ospfSeeds *dd.Input[dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]]
+	bgpSess   *dd.Input[dd.KV[string, bgpSess]]
+	bgpOrigin *dd.Input[dd.KV[dataplane.RouteKey, dataplane.BGPRoute]]
+	ribDirect *dd.Input[dd.KV[dataplane.RouteKey, dataplane.RIBEntry]]
+	ospfFromB *dd.Input[dd.KV[string, uint32]]        // device -> metric (OSPF redistributes BGP)
+	bgpFromO  *dd.Input[dd.KV[string, struct{}]]      // device set (BGP redistributes OSPF)
+	bgpAgg    *dd.Input[dd.KV[string, netcfg.Prefix]] // device -> aggregate-address
+
+	// filterDefs resolves content-addressed prefix-list keys used in
+	// session tuples. Entries are immutable once inserted (the key is a
+	// hash of the content), which preserves operator purity.
+	filterDefs map[string]*netcfg.PrefixList
+
+	// Outputs.
+	ospfBest *dd.Output[dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]]
+	bgpBest  *dd.Output[dd.KV[dataplane.RouteKey, dataplane.BGPRoute]]
+	fib      *dd.Output[dataplane.Rule]
+
+	// Packet filters, extracted directly from configurations.
+	filters       map[dataplane.FilterRule]bool
+	filterChanges []dd.Entry[dataplane.FilterRule]
+}
+
+// ospfHop says: the keyed device (the advertiser) has a neighbor Dev that
+// can import its routes over interface Intf at link cost Cost.
+type ospfHop struct {
+	Dev  string
+	Intf string
+	Cost uint32
+}
+
+// bgpSess says: the keyed device (the advertiser) has an established
+// session to Dev, which imports with local preference Pref; DevAS is the
+// importer's own AS (for loop rejection) and PeerAS the advertiser's.
+// FIn and FOut are content-addressed keys of the session's import and
+// export prefix lists ("" = none): because the key changes whenever the
+// referenced list's content changes, session tuples change too and the
+// dataflow recomputes exactly the affected candidates, keeping operator
+// functions pure.
+type bgpSess struct {
+	Dev    string
+	Intf   string
+	DevAS  uint32
+	PeerAS uint32
+	Pref   uint32
+	FIn    string
+	FOut   string
+}
+
+// maxOSPFDist caps accumulated OSPF distances, guarding against overflow
+// on pathological cost configurations.
+const maxOSPFDist = 1 << 30
+
+// New builds the dataflow graph. The graph is network-independent:
+// networks are loaded as data via SetNetwork.
+func New(opts Options) *Generator {
+	g := dd.NewGraph()
+	if opts.MaxIter > 0 {
+		g.MaxIter = opts.MaxIter
+	}
+	gen := &Generator{
+		g:          g,
+		ospfAdj:    dd.NewInput[dd.KV[string, ospfHop]](g),
+		ospfSeeds:  dd.NewInput[dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]](g),
+		bgpSess:    dd.NewInput[dd.KV[string, bgpSess]](g),
+		bgpOrigin:  dd.NewInput[dd.KV[dataplane.RouteKey, dataplane.BGPRoute]](g),
+		ribDirect:  dd.NewInput[dd.KV[dataplane.RouteKey, dataplane.RIBEntry]](g),
+		ospfFromB:  dd.NewInput[dd.KV[string, uint32]](g),
+		bgpFromO:   dd.NewInput[dd.KV[string, struct{}]](g),
+		bgpAgg:     dd.NewInput[dd.KV[string, netcfg.Prefix]](g),
+		filterDefs: make(map[string]*netcfg.PrefixList),
+		filters:    make(map[dataplane.FilterRule]bool),
+	}
+
+	// The two protocol fixpoints feed each other through redistribution,
+	// so both loop variables are declared first and closed after.
+	ospfVar := dd.NewVar[dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]](g)
+	bgpVar := dd.NewVar[dd.KV[dataplane.RouteKey, dataplane.BGPRoute]](g)
+
+	// --- OSPF ------------------------------------------------------------
+	// Seeds: compiled announcements plus BGP bests redistributed into
+	// OSPF at devices configured to do so.
+	bgpByDev := dd.Map(bgpVar.Collection(),
+		func(kv dd.KV[dataplane.RouteKey, dataplane.BGPRoute]) dd.KV[string, netcfg.Prefix] {
+			return dd.MkKV(kv.K.Device, kv.K.Prefix)
+		})
+	ospfRedistSeeds := dd.Join(bgpByDev, gen.ospfFromB.Collection(),
+		func(dev string, prefix netcfg.Prefix, metric uint32) dd.KV[dataplane.RouteKey, dataplane.OSPFRoute] {
+			return dd.MkKV(dataplane.RouteKey{Device: dev, Prefix: prefix}, dataplane.OSPFRoute{Dist: metric})
+		})
+	// Propagation: a route at device v reaches each OSPF neighbor u at
+	// cost(u->v) more.
+	ospfByDev := dd.Map(ospfVar.Collection(),
+		func(kv dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]) dd.KV[string, dd.KV[netcfg.Prefix, uint32]] {
+			return dd.MkKV(kv.K.Device, dd.MkKV(kv.K.Prefix, kv.V.Dist))
+		})
+	ospfCands := dd.Join(ospfByDev, gen.ospfAdj.Collection(),
+		func(v string, pd dd.KV[netcfg.Prefix, uint32], hop ospfHop) dd.KV[dataplane.RouteKey, dataplane.OSPFRoute] {
+			return dd.MkKV(
+				dataplane.RouteKey{Device: hop.Dev, Prefix: pd.K},
+				dataplane.OSPFRoute{Dist: pd.V + hop.Cost, NextHop: v, OutIntf: hop.Intf},
+			)
+		})
+	ospfCands = dd.Filter(ospfCands, func(kv dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]) bool {
+		return kv.V.Dist < maxOSPFDist
+	})
+	ospfAll := dd.Concat(gen.ospfSeeds.Collection(), ospfRedistSeeds, ospfCands)
+	var ospfBest dd.Collection[dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]]
+	if opts.ECMP {
+		ospfBest = dd.ReduceMinAll(ospfAll, func(a, b dataplane.OSPFRoute) bool { return a.Dist < b.Dist })
+	} else {
+		ospfBest = dd.ReduceMin(ospfAll, func(a, b dataplane.OSPFRoute) bool { return a.Better(b) })
+	}
+	ospfVar.Feedback(ospfBest)
+
+	// --- BGP --------------------------------------------------------------
+	// Origins: compiled network statements / compile-time redistributions
+	// plus OSPF bests redistributed into BGP.
+	ospfBestByDev := dd.Map(ospfVar.Collection(),
+		func(kv dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]) dd.KV[string, netcfg.Prefix] {
+			return dd.MkKV(kv.K.Device, kv.K.Prefix)
+		})
+	bgpRedistOrigins := dd.Join(ospfBestByDev, gen.bgpFromO.Collection(),
+		func(dev string, prefix netcfg.Prefix, _ struct{}) dd.KV[dataplane.RouteKey, dataplane.BGPRoute] {
+			return dd.MkKV(dataplane.RouteKey{Device: dev, Prefix: prefix},
+				dataplane.BGPRoute{LocalPref: netcfg.DefaultLocalPref})
+		})
+	// Propagation: the advertiser (keyed) prepends its AS; the importer
+	// rejects AS-path loops and over-long paths, and assigns the
+	// session's local preference.
+	bgpByAdvertiser := dd.Map(bgpVar.Collection(),
+		func(kv dd.KV[dataplane.RouteKey, dataplane.BGPRoute]) dd.KV[string, dd.KV[netcfg.Prefix, dd.KV[uint8, string]]] {
+			return dd.MkKV(kv.K.Device, dd.MkKV(kv.K.Prefix, dd.MkKV(kv.V.PathLen, kv.V.Path)))
+		})
+	bgpCands := dd.Join(bgpByAdvertiser, gen.bgpSess.Collection(),
+		func(v string, adv dd.KV[netcfg.Prefix, dd.KV[uint8, string]], s bgpSess) dd.KV[dataplane.RouteKey, dataplane.BGPRoute] {
+			pathLen, path := adv.V.K, adv.V.V
+			if pathLen+1 > dataplane.MaxASPathLen {
+				return dd.KV[dataplane.RouteKey, dataplane.BGPRoute]{} // filtered below
+			}
+			if !gen.permits(s.FOut, adv.K) || !gen.permits(s.FIn, adv.K) {
+				return dd.KV[dataplane.RouteKey, dataplane.BGPRoute]{}
+			}
+			newPath := dataplane.PathPrepend(s.PeerAS, path)
+			if dataplane.PathContains(newPath, s.DevAS) {
+				return dd.KV[dataplane.RouteKey, dataplane.BGPRoute]{}
+			}
+			return dd.MkKV(
+				dataplane.RouteKey{Device: s.Dev, Prefix: adv.K},
+				dataplane.BGPRoute{
+					LocalPref: s.Pref,
+					PathLen:   pathLen + 1,
+					Path:      newPath,
+					PeerAS:    s.PeerAS,
+					NextHop:   v,
+					OutIntf:   s.Intf,
+				},
+			)
+		})
+	bgpCands = dd.Filter(bgpCands, func(kv dd.KV[dataplane.RouteKey, dataplane.BGPRoute]) bool {
+		return kv.K.Device != "" // drop the rejected sentinel
+	})
+	// Aggregates: an aggregate-address originates (as a discard route)
+	// exactly while some strictly more-specific BGP route exists at the
+	// device; deriving it from the loop variable makes activation and
+	// deactivation fully incremental.
+	aggMatches := dd.Join(bgpByDev, gen.bgpAgg.Collection(),
+		func(dev string, p netcfg.Prefix, agg netcfg.Prefix) dd.KV[dataplane.RouteKey, bool] {
+			ok := p != agg && agg.ContainsPrefix(p)
+			return dd.MkKV(dataplane.RouteKey{Device: dev, Prefix: agg}, ok)
+		})
+	aggActive := dd.Distinct(dd.Map(
+		dd.Filter(aggMatches, func(kv dd.KV[dataplane.RouteKey, bool]) bool { return kv.V }),
+		func(kv dd.KV[dataplane.RouteKey, bool]) dataplane.RouteKey { return kv.K }))
+	aggOrigins := dd.Map(aggActive, func(k dataplane.RouteKey) dd.KV[dataplane.RouteKey, dataplane.BGPRoute] {
+		return dd.MkKV(k, dataplane.BGPRoute{LocalPref: netcfg.DefaultLocalPref, Discard: true})
+	})
+
+	bgpAll := dd.Concat(gen.bgpOrigin.Collection(), bgpRedistOrigins, aggOrigins, bgpCands)
+	bgpBest := dd.ReduceMin(bgpAll, func(a, b dataplane.BGPRoute) bool { return a.Better(b) })
+	bgpVar.Feedback(bgpBest)
+
+	if opts.DetectOscillation {
+		dd.Watch(bgpBest, "bgp")
+		dd.Watch(ospfBest, "ospf")
+	}
+
+	// --- RIB / FIB ---------------------------------------------------------
+	ospfRIB := dd.Map(ospfBest, func(kv dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]) dd.KV[dataplane.RouteKey, dataplane.RIBEntry] {
+		e := dataplane.RIBEntry{
+			Proto: netcfg.ProtoOSPF, AD: netcfg.ProtoOSPF.AdminDistance(), Metric: kv.V.Dist,
+			Action: dataplane.Forward, NextHop: kv.V.NextHop, OutIntf: kv.V.OutIntf,
+		}
+		if kv.V.NextHop == "" {
+			e.Action = dataplane.Deliver
+			e.OutIntf = ""
+		}
+		return dd.MkKV(kv.K, e)
+	})
+	// Locally originated BGP routes (network statement / redistribution)
+	// never install: the origin routes the prefix via the source
+	// protocol, and the low BGP administrative distance would wrongly
+	// shadow it. Aggregates DO install, as discard routes.
+	bgpInstallable := dd.Filter(bgpBest, func(kv dd.KV[dataplane.RouteKey, dataplane.BGPRoute]) bool {
+		return kv.V.NextHop != "" || kv.V.Discard
+	})
+	bgpRIB := dd.Map(bgpInstallable, func(kv dd.KV[dataplane.RouteKey, dataplane.BGPRoute]) dd.KV[dataplane.RouteKey, dataplane.RIBEntry] {
+		e := dataplane.RIBEntry{
+			Proto: netcfg.ProtoBGP, AD: netcfg.ProtoBGP.AdminDistance(),
+			Action: dataplane.Forward, NextHop: kv.V.NextHop, OutIntf: kv.V.OutIntf,
+		}
+		if kv.V.NextHop == "" {
+			e.OutIntf = ""
+			e.Action = dataplane.Drop // aggregate null route at the origin
+		}
+		return dd.MkKV(kv.K, e)
+	})
+	rib := dd.Concat(gen.ribDirect.Collection(), ospfRIB, bgpRIB)
+	var fibBest dd.Collection[dd.KV[dataplane.RouteKey, dataplane.RIBEntry]]
+	if opts.ECMP {
+		fibBest = dd.ReduceMinAll(rib, func(a, b dataplane.RIBEntry) bool { return a.ClassBetter(b) })
+	} else {
+		fibBest = dd.ReduceMin(rib, func(a, b dataplane.RIBEntry) bool { return a.Better(b) })
+	}
+	rules := dd.Map(fibBest, func(kv dd.KV[dataplane.RouteKey, dataplane.RIBEntry]) dataplane.Rule {
+		return kv.V.Rule(kv.K.Device, kv.K.Prefix)
+	})
+
+	gen.ospfBest = dd.NewOutput(ospfBest)
+	gen.bgpBest = dd.NewOutput(bgpBest)
+	gen.fib = dd.NewOutput(rules)
+	return gen
+}
+
+// SetNetwork compiles the network into relation tuples and stages the
+// difference against the currently loaded relations. The dataflow then
+// recomputes incrementally on the next Step: loading a slightly changed
+// network costs work proportional to the change.
+func (gen *Generator) SetNetwork(net *netcfg.Network) {
+	rel := compile(net)
+	for key, pl := range rel.filterDefs {
+		if _, ok := gen.filterDefs[key]; !ok {
+			gen.filterDefs[key] = pl
+		}
+	}
+	gen.ospfAdj.Set(rel.ospfAdj)
+	gen.ospfSeeds.Set(rel.ospfSeeds)
+	gen.bgpSess.Set(rel.bgpSess)
+	gen.bgpOrigin.Set(rel.bgpOrigins)
+	gen.ribDirect.Set(rel.ribDirect)
+	gen.ospfFromB.Set(rel.ospfFromBGP)
+	gen.bgpFromO.Set(rel.bgpFromOSPF)
+	gen.bgpAgg.Set(rel.bgpAgg)
+
+	// Packet filters: direct extraction and set-difference.
+	gen.filterChanges = gen.filterChanges[:0]
+	next := make(map[dataplane.FilterRule]bool)
+	for _, f := range dataplane.ExtractFilters(net) {
+		next[f] = true
+		if !gen.filters[f] {
+			gen.filterChanges = append(gen.filterChanges, dd.Entry[dataplane.FilterRule]{Val: f, Diff: 1})
+		}
+	}
+	for f := range gen.filters {
+		if !next[f] {
+			gen.filterChanges = append(gen.filterChanges, dd.Entry[dataplane.FilterRule]{Val: f, Diff: -1})
+		}
+	}
+	gen.filters = next
+}
+
+// Step runs one epoch, returning engine statistics. After an error the
+// generator must be discarded.
+func (gen *Generator) Step() (dd.EpochStats, error) { return gen.g.Advance() }
+
+// FIB returns the accumulated forwarding rules (live map, do not modify).
+func (gen *Generator) FIB() map[dataplane.Rule]dd.Diff { return gen.fib.State() }
+
+// FIBChanges returns the net FIB rule changes of the last Step.
+func (gen *Generator) FIBChanges() []dd.Entry[dataplane.Rule] { return gen.fib.ChangeList() }
+
+// Filters returns the current packet filter rules.
+func (gen *Generator) Filters() []dataplane.FilterRule {
+	out := make([]dataplane.FilterRule, 0, len(gen.filters))
+	for f := range gen.filters {
+		out = append(out, f)
+	}
+	return out
+}
+
+// FilterChanges returns the filter rule changes staged by the last
+// SetNetwork (they take effect immediately; no Step needed).
+func (gen *Generator) FilterChanges() []dd.Entry[dataplane.FilterRule] { return gen.filterChanges }
+
+// OSPFBest returns the accumulated best OSPF routes.
+func (gen *Generator) OSPFBest() map[dd.KV[dataplane.RouteKey, dataplane.OSPFRoute]]dd.Diff {
+	return gen.ospfBest.State()
+}
+
+// BGPBest returns the accumulated best BGP routes.
+func (gen *Generator) BGPBest() map[dd.KV[dataplane.RouteKey, dataplane.BGPRoute]]dd.Diff {
+	return gen.bgpBest.State()
+}
+
+// Stats returns the statistics of the last epoch.
+func (gen *Generator) Stats() dd.EpochStats { return gen.g.Stats() }
+
+// permits evaluates a content-addressed prefix-list key against a route
+// prefix. The empty key permits everything; a registered key applies its
+// list's first-match semantics (an empty list denies all, which is how
+// dangling references compile).
+func (gen *Generator) permits(key string, p netcfg.Prefix) bool {
+	if key == "" {
+		return true
+	}
+	pl, ok := gen.filterDefs[key]
+	if !ok {
+		return false // unreachable: compile registers every key it emits
+	}
+	return pl.Permits(p)
+}

@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"realconfig/internal/netcfg"
+	"realconfig/internal/topology"
+)
+
+// TestGeneratorDeviceGrowth grows a network device by device (the
+// paper's section-2 "network growth" maintenance scenario: a month where
+// the router count grew 30%) and shrinks it again, checking against the
+// from-scratch oracle at every step.
+func TestGeneratorDeviceGrowth(t *testing.T) {
+	// Start from a 3-node OSPF line and append two more routers.
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	subnetBase := netcfg.MustAddr("172.31.0.0")
+	for i := 3; i < 5; i++ {
+		name := fmt.Sprintf("r%02d", i)
+		prev := fmt.Sprintf("r%02d", i-1)
+		sub := subnetBase + netcfg.Addr((i-3)*4)
+		cfg := &netcfg.Config{
+			Hostname: name,
+			Interfaces: []*netcfg.Interface{
+				{Name: "lo0", Addr: netcfg.InterfaceAddr{Addr: topology.HostPrefixOf(i).Addr + 1, Len: 24}},
+				{Name: "eth0", Addr: netcfg.InterfaceAddr{Addr: sub + 2, Len: 30}},
+			},
+			OSPF: &netcfg.OSPF{ProcessID: 1, Networks: []netcfg.Prefix{
+				netcfg.MustPrefix("10.0.0.0/8"), netcfg.MustPrefix("172.16.0.0/12"),
+			}},
+		}
+		net.Devices[name] = cfg
+		// New uplink interface on the previous tail router.
+		prevCfg := net.Devices[prev]
+		upIntf := fmt.Sprintf("eth%d", len(prevCfg.Interfaces)-1)
+		prevCfg.Interfaces = append(prevCfg.Interfaces, &netcfg.Interface{
+			Name: upIntf, Addr: netcfg.InterfaceAddr{Addr: sub + 1, Len: 30},
+		})
+		net.Topology.Add(prev, upIntf, name, "eth0")
+
+		loadAndStep(t, gen, net.Network)
+		checkAgainstSimulator(t, gen, net.Network)
+		// The original head must reach the new tail.
+		found := false
+		for rule, d := range gen.FIB() {
+			if d > 0 && rule.Device == "r00" && rule.Prefix == topology.HostPrefixOf(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("r00 has no route to new device %s", name)
+		}
+	}
+
+	// Now remove the last device again (decommissioning).
+	net.Topology.Remove("r03", "eth2", "r04", "eth0")
+	delete(net.Devices, "r04")
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	for rule, d := range gen.FIB() {
+		if d > 0 && (rule.Device == "r04" || rule.Prefix == topology.HostPrefixOf(4)) {
+			t.Errorf("stale state for removed device: %v", rule)
+		}
+	}
+}
+
+// TestGeneratorProtocolMigration flips a line network from OSPF to BGP
+// device by device, a section-2 "network-wide deployment of new
+// functionality" scenario; connectivity via the remaining protocol
+// fragments must always match the oracle.
+func TestGeneratorProtocolMigration(t *testing.T) {
+	net, err := topology.Line(4, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	// Add BGP alongside OSPF on each device in turn (ships-in-the-night),
+	// then remove OSPF from all.
+	for i, name := range net.NodeNames {
+		cfg := net.Devices[name]
+		cfg.BGP = &netcfg.BGP{
+			ASN:      topology.BaseASN + uint32(i),
+			Networks: []netcfg.Prefix{net.HostPrefix[name]},
+		}
+		loadAndStep(t, gen, net.Network)
+		checkAgainstSimulator(t, gen, net.Network)
+	}
+	// Wire the BGP sessions.
+	for _, l := range net.Topology.Links {
+		a, b := net.Devices[l.DevA], net.Devices[l.DevB]
+		ia, ib := a.Intf(l.IntfA), b.Intf(l.IntfB)
+		a.BGP.Neighbors = append(a.BGP.Neighbors, &netcfg.Neighbor{Addr: ib.Addr.Addr, RemoteAS: b.BGP.ASN})
+		b.BGP.Neighbors = append(b.BGP.Neighbors, &netcfg.Neighbor{Addr: ia.Addr.Addr, RemoteAS: a.BGP.ASN})
+	}
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	// Decommission OSPF entirely: BGP carries the host prefixes now.
+	for _, name := range net.NodeNames {
+		net.Devices[name].OSPF = nil
+		loadAndStep(t, gen, net.Network)
+		checkAgainstSimulator(t, gen, net.Network)
+	}
+	p3 := net.HostPrefix["r03"]
+	found := false
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Device == "r00" && rule.Prefix == p3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("r00 lost connectivity after the migration")
+	}
+}

@@ -1,0 +1,291 @@
+package routing
+
+import (
+	"testing"
+
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/topology"
+)
+
+// TestBGPImportFilterMatchesOracle puts an import prefix-list on one
+// session of a BGP line and checks both engines agree, including after
+// incremental filter edits.
+func TestBGPImportFilterMatchesOracle(t *testing.T) {
+	net, err := topology.Line(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	// r01 rejects r02's host prefix on import from r02.
+	var r02Addr netcfg.Addr
+	for _, peer := range net.Topology.Neighbors("r01") {
+		if peer[0] == "r02" {
+			r02Addr = net.Devices["r02"].Intf(peer[1]).Addr.Addr
+		}
+	}
+	blocked := net.HostPrefix["r02"]
+	changes := []netcfg.Change{
+		netcfg.SetPrefixList{Device: "r01", Name: "nop2", Entries: []netcfg.PrefixListEntry{
+			{Seq: 10, Action: netcfg.Deny, Prefix: blocked, Exact: true},
+			{Seq: 20, Action: netcfg.Permit, Prefix: netcfg.Prefix{}},
+		}},
+		netcfg.BindNeighborFilter{Device: "r01", Neighbor: r02Addr, Name: "nop2", In: true},
+	}
+	for _, ch := range changes {
+		if err := ch.Apply(net.Network); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	// r01 and r00 must have lost the route to r02's prefix (r00's only
+	// path is via r01), while r03 keeps its direct route.
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Prefix == blocked && (rule.Device == "r00" || rule.Device == "r01") {
+			t.Errorf("filtered route still installed: %v", rule)
+		}
+	}
+
+	// Edit the list content (permit everything): routes come back. The
+	// content-addressed key changes, retriggering exactly this session.
+	if err := (netcfg.SetPrefixList{Device: "r01", Name: "nop2", Entries: []netcfg.PrefixListEntry{
+		{Seq: 10, Action: netcfg.Permit, Prefix: netcfg.Prefix{}},
+	}}).Apply(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	found := false
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Prefix == blocked && rule.Device == "r00" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("route did not return after filter relaxation")
+	}
+}
+
+// TestBGPExportFilterMatchesOracle filters on the advertiser's side.
+func TestBGPExportFilterMatchesOracle(t *testing.T) {
+	net, err := topology.Line(3, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r01 refuses to export r02's prefix toward r00.
+	var r00Addr netcfg.Addr
+	for _, peer := range net.Topology.Neighbors("r01") {
+		if peer[0] == "r00" {
+			r00Addr = net.Devices["r00"].Intf(peer[1]).Addr.Addr
+		}
+	}
+	blocked := net.HostPrefix["r02"]
+	gen := New(Options{})
+	for _, ch := range []netcfg.Change{
+		netcfg.SetPrefixList{Device: "r01", Name: "noexp", Entries: []netcfg.PrefixListEntry{
+			{Seq: 10, Action: netcfg.Deny, Prefix: blocked},
+			{Seq: 20, Action: netcfg.Permit, Prefix: netcfg.Prefix{}},
+		}},
+		netcfg.BindNeighborFilter{Device: "r01", Neighbor: r00Addr, Name: "noexp", In: false},
+	} {
+		if err := ch.Apply(net.Network); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Device == "r00" && rule.Prefix == blocked {
+			t.Errorf("export-filtered route installed at r00: %v", rule)
+		}
+	}
+	// r01 itself keeps the route.
+	has := false
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Device == "r01" && rule.Prefix == blocked {
+			has = true
+		}
+	}
+	if !has {
+		t.Error("r01 lost its own route")
+	}
+}
+
+// TestDanglingFilterDeniesAll binds an undefined prefix list: the safe
+// interpretation is deny-everything on that session.
+func TestDanglingFilterDeniesAll(t *testing.T) {
+	net, err := topology.Line(3, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r01Addr netcfg.Addr
+	for _, peer := range net.Topology.Neighbors("r00") {
+		if peer[0] == "r01" {
+			r01Addr = net.Devices["r01"].Intf(peer[1]).Addr.Addr
+		}
+	}
+	if err := (netcfg.BindNeighborFilter{Device: "r00", Neighbor: r01Addr, Name: "ghost", In: true}).Apply(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	for kv, d := range gen.BGPBest() {
+		if d > 0 && kv.K.Device == "r00" && kv.V.NextHop != "" {
+			t.Errorf("r00 learned %v despite deny-all import", kv.K)
+		}
+	}
+}
+
+// TestAggregateActivation checks aggregate-address semantics end to end:
+// activation while a contributor exists, the discard rule at the origin,
+// propagation of the aggregate, and deactivation when the last
+// contributor disappears.
+func TestAggregateActivation(t *testing.T) {
+	net, err := topology.Line(3, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := netcfg.MustPrefix("10.0.0.0/8") // covers all host prefixes
+	if err := (netcfg.SetAggregate{Device: "r02", Prefix: agg}).Apply(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	// The origin installs a discard rule; neighbors install forwarding
+	// rules toward the aggregate.
+	wantDrop := dataplane.Rule{Device: "r02", Prefix: agg, Action: dataplane.Drop}
+	if gen.FIB()[wantDrop] <= 0 {
+		t.Errorf("aggregate discard rule missing; FIB for r02: %v", rulesOf(gen, "r02"))
+	}
+	foundFwd := false
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Device == "r00" && rule.Prefix == agg && rule.Action == dataplane.Forward {
+			foundFwd = true
+		}
+	}
+	if !foundFwd {
+		t.Error("aggregate not propagated to r00")
+	}
+
+	// Remove the contributor: r02's own host prefix is its only BGP
+	// route inside 10/8 (others are learned... they are also inside 10/8,
+	// so shut down r02's sessions entirely by failing its link).
+	var link netcfg.Link
+	for _, l := range net.Topology.Links {
+		if l.DevA == "r01" && l.DevB == "r02" || l.DevA == "r02" && l.DevB == "r01" {
+			link = l
+		}
+	}
+	if err := (netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true}).Apply(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	// r02 still originates its own host prefix, so the aggregate stays
+	// active at r02 but cannot reach r00 anymore.
+	for rule, d := range gen.FIB() {
+		if d > 0 && rule.Device == "r00" && rule.Prefix == agg {
+			t.Errorf("stale aggregate at r00: %v", rule)
+		}
+	}
+
+	// Remove the network statement: no contributor remains, the
+	// aggregate deactivates even at the origin.
+	net.Devices["r02"].BGP.Networks = nil
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	if gen.FIB()[wantDrop] > 0 {
+		t.Error("aggregate still active without contributors")
+	}
+}
+
+func rulesOf(gen *Generator, dev string) []dataplane.Rule {
+	var out []dataplane.Rule
+	for r, d := range gen.FIB() {
+		if d > 0 && r.Device == dev {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestAggregateDoesNotSelfContribute: an aggregate must not keep itself
+// alive (A contributes only strictly more-specific routes).
+func TestAggregateDoesNotSelfContribute(t *testing.T) {
+	net, err := topology.Line(2, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := netcfg.MustPrefix("10.0.0.0/8")
+	// r00 aggregates 10/8; its contributor is its own /24 network.
+	if err := (netcfg.SetAggregate{Device: "r00", Prefix: agg}).Apply(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	// Remove every contributor: drop r00's own /24 AND cut the session
+	// to r01 (whose host prefix would otherwise contribute). The
+	// aggregate must vanish even though the aggregate route itself was
+	// a 10/8 BGP route at r00 (it must not sustain itself).
+	net.Devices["r00"].BGP.Networks = nil
+	link := net.Topology.Links[0]
+	if err := (netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true}).Apply(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+	for kv, d := range gen.BGPBest() {
+		if d > 0 && kv.K.Device == "r00" && kv.K.Prefix == agg {
+			t.Errorf("self-sustaining aggregate: %v", kv)
+		}
+	}
+}
+
+// TestFilteredFatTreeMatchesOracle runs a fat-tree where every edge
+// switch only exports its own host prefix (a realistic BGP policy), with
+// incremental changes on top.
+func TestFilteredFatTreeMatchesOracle(t *testing.T) {
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every device filters imports to host space only (10/8).
+	for name, cfg := range net.Devices {
+		cfg.PrefixLists = append(cfg.PrefixLists, &netcfg.PrefixList{
+			Name: "hosts-only",
+			Entries: []netcfg.PrefixListEntry{
+				{Seq: 10, Action: netcfg.Permit, Prefix: netcfg.MustPrefix("10.0.0.0/8")},
+			},
+		})
+		for _, nb := range cfg.BGP.Neighbors {
+			nb.FilterIn = "hosts-only"
+		}
+		_ = name
+	}
+	gen := New(Options{})
+	loadAndStep(t, gen, net.Network)
+	checkAgainstSimulator(t, gen, net.Network)
+
+	link := net.Topology.Links[5]
+	peer := net.Devices[link.DevB].Intf(link.IntfB).Addr.Addr
+	for _, ch := range []netcfg.Change{
+		netcfg.SetLocalPref{Device: link.DevA, Neighbor: peer, LocalPref: 150},
+		netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true},
+		netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: false},
+	} {
+		if err := ch.Apply(net.Network); err != nil {
+			t.Fatal(err)
+		}
+		loadAndStep(t, gen, net.Network)
+		checkAgainstSimulator(t, gen, net.Network)
+	}
+}

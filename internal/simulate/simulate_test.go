@@ -1,0 +1,349 @@
+package simulate
+
+import (
+	"testing"
+
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/topology"
+)
+
+func mustRun(t *testing.T, net *netcfg.Network) *Result {
+	t.Helper()
+	res, err := Run(net)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// findRule returns the FIB rule for (device, prefix), failing if absent.
+func findRule(t *testing.T, res *Result, dev string, p netcfg.Prefix) dataplane.Rule {
+	t.Helper()
+	for r := range res.Rules {
+		if r.Device == dev && r.Prefix == p {
+			return r
+		}
+	}
+	t.Fatalf("no rule on %s for %s; rules: %v", dev, p, res.SortedRules())
+	return dataplane.Rule{}
+}
+
+func TestOSPFLineNetwork(t *testing.T) {
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, net.Network)
+
+	// r00 must reach r02's host prefix via r01.
+	p2 := net.HostPrefix["r02"]
+	r := findRule(t, res, "r00", p2)
+	if r.Action != dataplane.Forward || r.NextHop != "r01" {
+		t.Errorf("r00 -> %s: %v", p2, r)
+	}
+	// r02 delivers its own prefix (connected beats OSPF).
+	own := findRule(t, res, "r02", p2)
+	if own.Action != dataplane.Deliver {
+		t.Errorf("r02 own prefix: %v", own)
+	}
+	// OSPF distances: r00 to r02's loopback subnet is 2 hops.
+	if rt := res.OSPF[RouteKey{Device: "r00", Prefix: p2}]; rt.Dist != 2 || rt.NextHop != "r01" {
+		t.Errorf("ospf route = %+v", rt)
+	}
+}
+
+func TestOSPFCostSteersPath(t *testing.T) {
+	// Square: a-b-d and a-c-d. Raising cost on a's link to b must steer
+	// a->d traffic via c.
+	net, err := topology.Ring(4, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring r00-r01-r02-r03-r00. From r00 to r02 both ways cost 2;
+	// tie-break picks lexicographically smaller next hop r01.
+	res := mustRun(t, net.Network)
+	p := net.HostPrefix["r02"]
+	if r := findRule(t, res, "r00", p); r.NextHop != "r01" {
+		t.Errorf("tie-break next hop = %q, want r01", r.NextHop)
+	}
+	// Raise the cost toward r01: traffic flips to r03.
+	nbrs := net.Topology.Neighbors("r00")
+	for intf, peer := range nbrs {
+		if peer[0] == "r01" {
+			net.Devices["r00"].Intf(intf).OSPFCost = 10
+		}
+	}
+	res = mustRun(t, net.Network)
+	if r := findRule(t, res, "r00", p); r.NextHop != "r03" {
+		t.Errorf("after cost change next hop = %q, want r03", r.NextHop)
+	}
+}
+
+func TestOSPFLinkFailureReroutes(t *testing.T) {
+	net, err := topology.Ring(4, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shut down r00's interface toward r01: r00 must reach r01 the long
+	// way around.
+	for intf, peer := range net.Topology.Neighbors("r00") {
+		if peer[0] == "r01" {
+			net.Devices["r00"].Intf(intf).Shutdown = true
+		}
+	}
+	res := mustRun(t, net.Network)
+	p1 := net.HostPrefix["r01"]
+	r := findRule(t, res, "r00", p1)
+	if r.NextHop != "r03" {
+		t.Errorf("r00 -> r01 after failure: %v", r)
+	}
+	if rt := res.OSPF[RouteKey{Device: "r00", Prefix: p1}]; rt.Dist != 3 {
+		t.Errorf("detour distance = %d, want 3", rt.Dist)
+	}
+}
+
+func TestBGPLineNetwork(t *testing.T) {
+	net, err := topology.Line(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, net.Network)
+	p3 := net.HostPrefix["r03"]
+	r := findRule(t, res, "r00", p3)
+	if r.Action != dataplane.Forward || r.NextHop != "r01" {
+		t.Errorf("r00 -> %s: %v", p3, r)
+	}
+	rt := res.BGP[RouteKey{Device: "r00", Prefix: p3}]
+	if rt.PathLen != 3 {
+		t.Errorf("AS path length = %d, want 3", rt.PathLen)
+	}
+	asns := dataplane.PathASNs(rt.Path)
+	want := []uint32{topology.BaseASN + 1, topology.BaseASN + 2, topology.BaseASN + 3}
+	if len(asns) != 3 || asns[0] != want[0] || asns[1] != want[1] || asns[2] != want[2] {
+		t.Errorf("AS path = %v, want %v", asns, want)
+	}
+}
+
+func TestBGPLocalPrefSteersPath(t *testing.T) {
+	net, err := topology.Ring(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, net.Network)
+	p := net.HostPrefix["r02"]
+	// Both paths are 2 ASes; tie-break lowest peer AS = via r01.
+	if r := findRule(t, res, "r00", p); r.NextHop != "r01" {
+		t.Errorf("next hop = %q, want r01", r.NextHop)
+	}
+	// Prefer routes from r03 on r00: local-pref 150 beats path length.
+	var r03Addr netcfg.Addr
+	for intf, peer := range net.Topology.Neighbors("r00") {
+		if peer[0] == "r03" {
+			r03Addr = net.Devices["r03"].Intf(peer[1]).Addr.Addr
+			_ = intf
+		}
+	}
+	net.Devices["r00"].Neighbor(r03Addr).LocalPref = 150
+	res = mustRun(t, net.Network)
+	if r := findRule(t, res, "r00", p); r.NextHop != "r03" {
+		t.Errorf("after LP change next hop = %q, want r03", r.NextHop)
+	}
+}
+
+func TestBGPLoopPreventionOnIsolation(t *testing.T) {
+	// Break r01-r02 on a line: r00 must lose the route to r03 entirely
+	// (no count-to-infinity through AS-path loops).
+	net, err := topology.Line(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for intf, peer := range net.Topology.Neighbors("r01") {
+		if peer[0] == "r02" {
+			net.Devices["r01"].Intf(intf).Shutdown = true
+		}
+	}
+	res := mustRun(t, net.Network)
+	p3 := net.HostPrefix["r03"]
+	if _, ok := res.BGP[RouteKey{Device: "r00", Prefix: p3}]; ok {
+		t.Error("r00 still has a BGP route to an unreachable prefix")
+	}
+	for r := range res.Rules {
+		if r.Device == "r00" && r.Prefix == p3 {
+			t.Errorf("r00 still has FIB rule %v", r)
+		}
+	}
+}
+
+func TestStaticRouteAndDrop(t *testing.T) {
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static default route on r00 toward r01, and a drop route.
+	var nh netcfg.Addr
+	for intf, peer := range net.Topology.Neighbors("r00") {
+		if peer[0] == "r01" {
+			nh = net.Devices["r01"].Intf(peer[1]).Addr.Addr
+			_ = intf
+		}
+	}
+	cfg := net.Devices["r00"]
+	cfg.StaticRoutes = append(cfg.StaticRoutes,
+		netcfg.StaticRoute{Prefix: netcfg.MustPrefix("0.0.0.0/0"), NextHop: nh},
+		netcfg.StaticRoute{Prefix: netcfg.MustPrefix("203.0.113.0/24"), Drop: true},
+		netcfg.StaticRoute{Prefix: netcfg.MustPrefix("198.51.100.0/24"), NextHop: netcfg.MustAddr("9.9.9.9")}, // unresolvable
+	)
+	res := mustRun(t, net.Network)
+	if r := findRule(t, res, "r00", netcfg.MustPrefix("0.0.0.0/0")); r.Action != dataplane.Forward || r.NextHop != "r01" {
+		t.Errorf("default route: %v", r)
+	}
+	if r := findRule(t, res, "r00", netcfg.MustPrefix("203.0.113.0/24")); r.Action != dataplane.Drop {
+		t.Errorf("drop route: %v", r)
+	}
+	for r := range res.Rules {
+		if r.Prefix == netcfg.MustPrefix("198.51.100.0/24") {
+			t.Errorf("unresolvable static installed: %v", r)
+		}
+	}
+	// Static beats OSPF for an equal prefix: add static for r02's prefix.
+	cfg.StaticRoutes = append(cfg.StaticRoutes, netcfg.StaticRoute{Prefix: net.HostPrefix["r02"], Drop: true})
+	res = mustRun(t, net.Network)
+	if r := findRule(t, res, "r00", net.HostPrefix["r02"]); r.Action != dataplane.Drop {
+		t.Errorf("static did not beat OSPF: %v", r)
+	}
+}
+
+func TestRedistributeStaticIntoOSPF(t *testing.T) {
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := netcfg.MustPrefix("203.0.113.0/24")
+	cfg := net.Devices["r02"]
+	cfg.StaticRoutes = append(cfg.StaticRoutes, netcfg.StaticRoute{Prefix: ext, Drop: true})
+	cfg.OSPF.Redistribute = append(cfg.OSPF.Redistribute, netcfg.Redistribution{From: netcfg.ProtoStatic, Metric: 10})
+	res := mustRun(t, net.Network)
+	r := findRule(t, res, "r00", ext)
+	if r.Action != dataplane.Forward || r.NextHop != "r01" {
+		t.Errorf("redistributed route at r00: %v", r)
+	}
+	if rt := res.OSPF[RouteKey{Device: "r00", Prefix: ext}]; rt.Dist != 12 {
+		t.Errorf("redistributed metric = %d, want 10+2", rt.Dist)
+	}
+}
+
+func TestRedistributeOSPFIntoBGP(t *testing.T) {
+	// r00 -- r01 run OSPF; r01 -- r02 run BGP. r01 redistributes OSPF
+	// into BGP so r02 learns r00's prefix.
+	net := netcfg.NewNetwork()
+	mk := func(host string) *netcfg.Config {
+		c := &netcfg.Config{Hostname: host}
+		net.Devices[host] = c
+		return c
+	}
+	a := mk("a")
+	b := mk("b")
+	c := mk("c")
+	a.Interfaces = []*netcfg.Interface{
+		{Name: "lo0", Addr: netcfg.MustInterfaceAddr("10.0.0.1/24")},
+		{Name: "eth0", Addr: netcfg.MustInterfaceAddr("172.16.0.1/30")},
+	}
+	a.OSPF = &netcfg.OSPF{ProcessID: 1, Networks: []netcfg.Prefix{netcfg.MustPrefix("0.0.0.0/0")}}
+	b.Interfaces = []*netcfg.Interface{
+		{Name: "eth0", Addr: netcfg.MustInterfaceAddr("172.16.0.2/30")},
+		{Name: "eth1", Addr: netcfg.MustInterfaceAddr("172.16.0.5/30")},
+	}
+	b.OSPF = &netcfg.OSPF{ProcessID: 1, Networks: []netcfg.Prefix{netcfg.MustPrefix("172.16.0.0/30")}}
+	b.BGP = &netcfg.BGP{ASN: 65001,
+		Neighbors:    []*netcfg.Neighbor{{Addr: netcfg.MustAddr("172.16.0.6"), RemoteAS: 65002}},
+		Redistribute: []netcfg.Redistribution{{From: netcfg.ProtoOSPF, Metric: 0}},
+	}
+	c.Interfaces = []*netcfg.Interface{
+		{Name: "eth0", Addr: netcfg.MustInterfaceAddr("172.16.0.6/30")},
+	}
+	c.BGP = &netcfg.BGP{ASN: 65002,
+		Neighbors: []*netcfg.Neighbor{{Addr: netcfg.MustAddr("172.16.0.5"), RemoteAS: 65001}},
+	}
+	net.Topology.Add("a", "eth0", "b", "eth0")
+	net.Topology.Add("b", "eth1", "c", "eth0")
+
+	res := mustRun(t, net)
+	r := findRule(t, res, "c", netcfg.MustPrefix("10.0.0.0/24"))
+	if r.Action != dataplane.Forward || r.NextHop != "b" {
+		t.Errorf("c -> redistributed prefix: %v", r)
+	}
+}
+
+func TestCircularRedistributionRejected(t *testing.T) {
+	net, err := topology.Line(2, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := net.Devices["r00"]
+	cfg.BGP = &netcfg.BGP{ASN: 65000, Redistribute: []netcfg.Redistribution{{From: netcfg.ProtoOSPF}}}
+	cfg.OSPF.Redistribute = append(cfg.OSPF.Redistribute, netcfg.Redistribution{From: netcfg.ProtoBGP})
+	if _, err := Run(net.Network); err != ErrCircularRedistribution {
+		t.Errorf("err = %v, want ErrCircularRedistribution", err)
+	}
+}
+
+func TestFatTreeOSPFAllPairsReachable(t *testing.T) {
+	net, err := topology.FatTree(4, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, net.Network)
+	// Every device must have a route to every host prefix.
+	for _, dev := range net.DeviceNames() {
+		for peer, p := range net.HostPrefix {
+			if dev == peer {
+				continue
+			}
+			if _, ok := res.OSPF[RouteKey{Device: dev, Prefix: p}]; !ok {
+				t.Fatalf("%s has no OSPF route to %s's prefix", dev, peer)
+			}
+		}
+	}
+}
+
+func TestFatTreeBGPAllPairsReachable(t *testing.T) {
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, net.Network)
+	for _, dev := range net.DeviceNames() {
+		for peer, p := range net.HostPrefix {
+			if dev == peer {
+				continue
+			}
+			if _, ok := res.BGP[RouteKey{Device: dev, Prefix: p}]; !ok {
+				t.Fatalf("%s has no BGP route to %s's prefix", dev, peer)
+			}
+		}
+	}
+	if res.BGPIterations < 2 {
+		t.Errorf("BGP converged suspiciously fast: %d rounds", res.BGPIterations)
+	}
+}
+
+func TestFiltersExtracted(t *testing.T) {
+	net, err := topology.Line(2, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := net.Devices["r00"]
+	cfg.ACLs = append(cfg.ACLs, &netcfg.ACL{Name: "f", Lines: []netcfg.ACLLine{
+		{Seq: 10, Action: netcfg.Deny, Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22},
+		{Seq: 20, Action: netcfg.Permit},
+	}})
+	cfg.Interfaces[1].ACLIn = "f"
+	res := mustRun(t, net.Network)
+	if len(res.Filters) != 2 {
+		t.Fatalf("filters = %v", res.Filters)
+	}
+	if res.Filters[0].Device != "r00" || res.Filters[0].Dir != dataplane.In || res.Filters[0].Seq != 10 {
+		t.Errorf("filter[0] = %+v", res.Filters[0])
+	}
+}

@@ -1,0 +1,286 @@
+// Package topology generates synthetic networks with complete device
+// configurations: fat-trees (the paper's evaluation topology), grids,
+// rings, lines and random graphs, running OSPF or BGP.
+//
+// Addressing scheme: node i owns host prefix 10.(i/256).(i%256).0/24 on
+// loopback lo0; link j uses the /30 subnet 172.16.0.0 + 4j with endpoint
+// addresses .1 and .2. In OSPF mode every device runs one process
+// covering 10/8 and 172.16/12; in BGP mode device i is its own AS
+// (BaseASN+i) peering with every physical neighbor and originating its
+// host prefix, exactly the setup of the paper's section 5.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"realconfig/internal/netcfg"
+)
+
+// Mode selects the routing protocol the generated network runs.
+type Mode uint8
+
+// Generation modes.
+const (
+	OSPF Mode = iota
+	BGP
+)
+
+func (m Mode) String() string {
+	if m == BGP {
+		return "bgp"
+	}
+	return "ospf"
+}
+
+// BaseASN is the AS number of node 0 in BGP mode.
+const BaseASN = 64512
+
+// Net is a generated network plus the metadata benchmarks and examples
+// need: deterministic node order and each node's host prefix.
+type Net struct {
+	*netcfg.Network
+	NodeNames  []string                 // insertion order = node index
+	HostPrefix map[string]netcfg.Prefix // device -> its /24
+	Mode       Mode
+}
+
+// HostPrefixOf returns node index i's host prefix.
+func HostPrefixOf(i int) netcfg.Prefix {
+	return netcfg.Prefix{Addr: netcfg.MustAddr("10.0.0.0") + netcfg.Addr(i)<<8, Len: 24}
+}
+
+// linkSubnet returns the /30 of the j-th link.
+func linkSubnet(j int) netcfg.Prefix {
+	return netcfg.Prefix{Addr: netcfg.MustAddr("172.16.0.0") + netcfg.Addr(j)*4, Len: 30}
+}
+
+type builder struct {
+	net   *Net
+	mode  Mode
+	intfN map[string]int
+	links int
+}
+
+func newBuilder(mode Mode) *builder {
+	return &builder{
+		net: &Net{
+			Network:    netcfg.NewNetwork(),
+			HostPrefix: make(map[string]netcfg.Prefix),
+			Mode:       mode,
+		},
+		mode:  mode,
+		intfN: make(map[string]int),
+	}
+}
+
+func (b *builder) addNode(name string) {
+	if _, dup := b.net.Devices[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate node %q", name))
+	}
+	i := len(b.net.NodeNames)
+	hp := HostPrefixOf(i)
+	cfg := &netcfg.Config{Hostname: name}
+	cfg.Interfaces = append(cfg.Interfaces, &netcfg.Interface{
+		Name: "lo0",
+		Addr: netcfg.InterfaceAddr{Addr: hp.Addr + 1, Len: 24},
+	})
+	switch b.mode {
+	case OSPF:
+		cfg.OSPF = &netcfg.OSPF{
+			ProcessID: 1,
+			Networks: []netcfg.Prefix{
+				netcfg.MustPrefix("10.0.0.0/8"),
+				netcfg.MustPrefix("172.16.0.0/12"),
+			},
+		}
+	case BGP:
+		cfg.BGP = &netcfg.BGP{
+			ASN:      BaseASN + uint32(i),
+			Networks: []netcfg.Prefix{hp},
+		}
+	}
+	b.net.Devices[name] = cfg
+	b.net.NodeNames = append(b.net.NodeNames, name)
+	b.net.HostPrefix[name] = hp
+}
+
+func (b *builder) addLink(a, z string) {
+	ca, cz := b.net.Devices[a], b.net.Devices[z]
+	if ca == nil || cz == nil {
+		panic(fmt.Sprintf("topology: link between unknown nodes %q %q", a, z))
+	}
+	sub := linkSubnet(b.links)
+	b.links++
+	ia := &netcfg.Interface{
+		Name: fmt.Sprintf("eth%d", b.intfN[a]),
+		Addr: netcfg.InterfaceAddr{Addr: sub.Addr + 1, Len: 30},
+	}
+	iz := &netcfg.Interface{
+		Name: fmt.Sprintf("eth%d", b.intfN[z]),
+		Addr: netcfg.InterfaceAddr{Addr: sub.Addr + 2, Len: 30},
+	}
+	b.intfN[a]++
+	b.intfN[z]++
+	ca.Interfaces = append(ca.Interfaces, ia)
+	cz.Interfaces = append(cz.Interfaces, iz)
+	if b.mode == BGP {
+		ca.BGP.Neighbors = append(ca.BGP.Neighbors, &netcfg.Neighbor{
+			Addr: iz.Addr.Addr, RemoteAS: cz.BGP.ASN,
+		})
+		cz.BGP.Neighbors = append(cz.BGP.Neighbors, &netcfg.Neighbor{
+			Addr: ia.Addr.Addr, RemoteAS: ca.BGP.ASN,
+		})
+	}
+	b.net.Topology.Add(a, ia.Name, z, iz.Name)
+}
+
+// FatTree builds a k-ary fat-tree (k even): (k/2)^2 core switches, k
+// pods of k/2 aggregation and k/2 edge switches. k=12 gives the paper's
+// 180 nodes and 864 links.
+func FatTree(k int, mode Mode) (*Net, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	b := newBuilder(mode)
+	h := k / 2
+	cores := make([]string, h*h)
+	for i := range cores {
+		cores[i] = fmt.Sprintf("core%02d", i)
+		b.addNode(cores[i])
+	}
+	aggs := make([][]string, k)
+	edges := make([][]string, k)
+	for p := 0; p < k; p++ {
+		aggs[p] = make([]string, h)
+		edges[p] = make([]string, h)
+		for i := 0; i < h; i++ {
+			aggs[p][i] = fmt.Sprintf("agg%02d-%02d", p, i)
+			b.addNode(aggs[p][i])
+		}
+		for i := 0; i < h; i++ {
+			edges[p][i] = fmt.Sprintf("edge%02d-%02d", p, i)
+			b.addNode(edges[p][i])
+		}
+	}
+	for p := 0; p < k; p++ {
+		// Edge <-> aggregation full bipartite within the pod.
+		for e := 0; e < h; e++ {
+			for a := 0; a < h; a++ {
+				b.addLink(edges[p][e], aggs[p][a])
+			}
+		}
+		// Aggregation a connects to cores [a*h, (a+1)*h).
+		for a := 0; a < h; a++ {
+			for c := 0; c < h; c++ {
+				b.addLink(aggs[p][a], cores[a*h+c])
+			}
+		}
+	}
+	return b.net, nil
+}
+
+// Grid builds a w x h grid.
+func Grid(w, h int, mode Mode) (*Net, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: bad grid %dx%d", w, h)
+	}
+	b := newBuilder(mode)
+	name := func(x, y int) string { return fmt.Sprintf("g%02d-%02d", x, y) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.addNode(name(x, y))
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.addLink(name(x, y), name(x+1, y))
+			}
+			if y+1 < h {
+				b.addLink(name(x, y), name(x, y+1))
+			}
+		}
+	}
+	return b.net, nil
+}
+
+// Line builds a linear chain of n nodes.
+func Line(n int, mode Mode) (*Net, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: bad line length %d", n)
+	}
+	b := newBuilder(mode)
+	for i := 0; i < n; i++ {
+		b.addNode(fmt.Sprintf("r%02d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.addLink(b.net.NodeNames[i], b.net.NodeNames[i+1])
+	}
+	return b.net, nil
+}
+
+// Ring builds a cycle of n nodes.
+func Ring(n int, mode Mode) (*Net, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 nodes, got %d", n)
+	}
+	net, err := Line(n, mode)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{net: net, mode: mode, intfN: countIntfs(net), links: len(net.Topology.Links)}
+	b.addLink(net.NodeNames[n-1], net.NodeNames[0])
+	return net, nil
+}
+
+// Random builds a connected random graph: a random spanning tree plus
+// extra random edges up to the requested average degree. Deterministic
+// for a given seed.
+func Random(n int, avgDegree float64, seed int64, mode Mode) (*Net, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: random graph needs >= 2 nodes, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(mode)
+	for i := 0; i < n; i++ {
+		b.addNode(fmt.Sprintf("r%03d", i))
+	}
+	have := make(map[[2]int]bool)
+	addEdge := func(i, j int) bool {
+		if i == j {
+			return false
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if have[[2]int{i, j}] {
+			return false
+		}
+		have[[2]int{i, j}] = true
+		b.addLink(b.net.NodeNames[i], b.net.NodeNames[j])
+		return true
+	}
+	for i := 1; i < n; i++ {
+		addEdge(i, rng.Intn(i)) // random spanning tree
+	}
+	wantEdges := int(avgDegree * float64(n) / 2)
+	for tries := 0; len(have) < wantEdges && tries < 20*wantEdges; tries++ {
+		addEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.net, nil
+}
+
+func countIntfs(net *Net) map[string]int {
+	out := make(map[string]int)
+	for name, cfg := range net.Devices {
+		n := 0
+		for _, i := range cfg.Interfaces {
+			if i.Name != "lo0" {
+				n++
+			}
+		}
+		out[name] = n
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package topology
+
+import (
+	"testing"
+
+	"realconfig/internal/netcfg"
+)
+
+func TestFatTreeCounts(t *testing.T) {
+	cases := []struct{ k, nodes, links int }{
+		{4, 20, 32},
+		{6, 45, 108},
+		{8, 80, 256},
+		{12, 180, 864}, // the paper's evaluation scale
+	}
+	for _, c := range cases {
+		net, err := FatTree(c.k, OSPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(net.Devices) != c.nodes {
+			t.Errorf("k=%d: %d nodes, want %d", c.k, len(net.Devices), c.nodes)
+		}
+		if len(net.Topology.Links) != c.links {
+			t.Errorf("k=%d: %d links, want %d", c.k, len(net.Topology.Links), c.links)
+		}
+	}
+	if _, err := FatTree(3, OSPF); err == nil {
+		t.Error("odd arity accepted")
+	}
+	if _, err := FatTree(0, OSPF); err == nil {
+		t.Error("zero arity accepted")
+	}
+}
+
+func TestFatTreeInterfaceDegrees(t *testing.T) {
+	net, err := FatTree(4, BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a k=4 fat-tree every switch has k=4 links... except edge
+	// switches in this switch-only model, which connect only upward
+	// (k/2 links). Each node also has lo0.
+	for name, cfg := range net.Devices {
+		phys := len(cfg.Interfaces) - 1
+		want := 4
+		if name[0] == 'e' { // edgeXX-YY
+			want = 2
+		}
+		if phys != want {
+			t.Errorf("%s has %d physical interfaces, want %d", name, phys, want)
+		}
+	}
+}
+
+func TestGeneratedConfigsRoundTripThroughParser(t *testing.T) {
+	net, err := FatTree(4, BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range net.Devices {
+		text := cfg.Format()
+		back, err := netcfg.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, text)
+		}
+		if back.Format() != text {
+			t.Fatalf("%s: round-trip unstable", name)
+		}
+	}
+}
+
+func TestBGPNeighborsAreSymmetricAndResolvable(t *testing.T) {
+	net, err := FatTree(4, BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range net.Devices {
+		for _, nb := range cfg.BGP.Neighbors {
+			peerDev, peerIntf := net.FindIntfByAddr(nb.Addr)
+			if peerDev == "" {
+				t.Fatalf("%s neighbor %s unresolvable", name, nb.Addr)
+			}
+			peer := net.Devices[peerDev]
+			if peer.BGP.ASN != nb.RemoteAS {
+				t.Errorf("%s neighbor %s: remote-as %d but %s has ASN %d",
+					name, nb.Addr, nb.RemoteAS, peerDev, peer.BGP.ASN)
+			}
+			// The peer must have a reciprocal session.
+			found := false
+			for _, pn := range peer.BGP.Neighbors {
+				if pn.RemoteAS == cfg.BGP.ASN {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s -> %s BGP session not reciprocal", name, peerDev)
+			}
+			_ = peerIntf
+		}
+	}
+}
+
+func TestHostPrefixesAreUnique(t *testing.T) {
+	net, err := FatTree(6, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[netcfg.Prefix]string)
+	for dev, p := range net.HostPrefix {
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("prefix %v assigned to both %s and %s", p, prev, dev)
+		}
+		seen[p] = dev
+	}
+	if len(seen) != len(net.Devices) {
+		t.Errorf("%d prefixes for %d devices", len(seen), len(net.Devices))
+	}
+}
+
+func TestLinkSubnetsDoNotCollide(t *testing.T) {
+	net, err := FatTree(6, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[netcfg.Prefix]bool)
+	for _, cfg := range net.Devices {
+		for _, i := range cfg.Interfaces {
+			if i.Name == "lo0" {
+				continue
+			}
+			p := i.Addr.Prefix()
+			_ = p
+		}
+	}
+	// Every physical link's two endpoints must share a /30.
+	for _, l := range net.Topology.Links {
+		a := net.Devices[l.DevA].Intf(l.IntfA).Addr.Prefix()
+		z := net.Devices[l.DevB].Intf(l.IntfB).Addr.Prefix()
+		if a != z {
+			t.Fatalf("link %v endpoints in different subnets %v / %v", l, a, z)
+		}
+		if seen[a] {
+			t.Fatalf("subnet %v reused", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestGridRingLineShapes(t *testing.T) {
+	g, err := Grid(3, 4, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Devices) != 12 || len(g.Topology.Links) != 3*3+2*4 {
+		t.Errorf("grid: %d nodes %d links", len(g.Devices), len(g.Topology.Links))
+	}
+	r, err := Ring(5, BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Devices) != 5 || len(r.Topology.Links) != 5 {
+		t.Errorf("ring: %d nodes %d links", len(r.Devices), len(r.Topology.Links))
+	}
+	l, err := Line(4, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Devices) != 4 || len(l.Topology.Links) != 3 {
+		t.Errorf("line: %d nodes %d links", len(l.Devices), len(l.Topology.Links))
+	}
+	for _, bad := range []func() error{
+		func() error { _, e := Grid(0, 1, OSPF); return e },
+		func() error { _, e := Ring(2, OSPF); return e },
+		func() error { _, e := Line(0, OSPF); return e },
+		func() error { _, e := Random(1, 2, 1, OSPF); return e },
+	} {
+		if bad() == nil {
+			t.Error("invalid shape accepted")
+		}
+	}
+}
+
+func TestRandomIsDeterministicAndConnected(t *testing.T) {
+	a, err := Random(30, 3.0, 7, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(30, 3.0, 7, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Topology.Format() != b.Topology.Format() {
+		t.Error("same seed produced different random graphs")
+	}
+	// Connectivity via union-find over links.
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, l := range a.Topology.Links {
+		parent[find(l.DevA)] = find(l.DevB)
+	}
+	roots := make(map[string]bool)
+	for name := range a.Devices {
+		roots[find(name)] = true
+	}
+	if len(roots) != 1 {
+		t.Errorf("random graph has %d components", len(roots))
+	}
+}
+
+func TestRingUsesDistinctInterfaces(t *testing.T) {
+	r, err := Ring(4, OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range r.Devices {
+		seen := map[string]bool{}
+		for _, i := range cfg.Interfaces {
+			if seen[i.Name] {
+				t.Fatalf("%s has duplicate interface %s", name, i.Name)
+			}
+			seen[i.Name] = true
+		}
+	}
+}
