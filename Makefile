@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test check bench-smoke bench-json bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: vet, the full suite under the race detector,
+# and a one-iteration benchmark smoke so the perf harness can't rot.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+	$(MAKE) bench-smoke
+
+# bench-smoke runs every benchmark once — not for numbers, just to prove
+# they still build and complete.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Table3' -benchtime 1x .
+	$(GO) test -run '^$$' -bench '.' -benchtime 1x ./internal/apkeep ./internal/bdd
+
+# bench-json refreshes the machine-readable perf snapshot tracked in git.
+bench-json:
+	$(GO) run ./cmd/rcbench -table all -k 6 -json BENCH_0001.json
+
+# bench reports real numbers for the hot paths.
+bench:
+	$(GO) test -run '^$$' -bench '.' -benchtime 2s ./internal/apkeep ./internal/bdd
+	$(GO) test -run '^$$' -bench 'Table3' .

@@ -5,18 +5,25 @@
 //	rcbench -table 3 -k 12            # Table 3
 //	rcbench -table mining -k 8        # section-2 spec-mining speedup
 //	rcbench -table all -k 8
+//	rcbench -table all -k 6 -json BENCH_0001.json
 //
 // k=12 is the paper's 180-node / 864-link fat-tree; smaller k runs in
 // seconds. Absolute times depend on the host; the paper's *shape*
 // (incremental is 1-7% of full computation; insertion-first touches
 // about half the ECs of deletion-first; spec mining speeds up by an
 // order of magnitude at scale) is what this reproduces.
+//
+// -json FILE additionally writes the measurements as a machine-readable
+// report (times in nanoseconds), so successive commits can track the
+// performance trajectory from checked-in BENCH_*.json snapshots.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"realconfig/internal/bench"
@@ -30,33 +37,95 @@ func main() {
 	}
 }
 
+// jsonTable2Row is a Table2Row with durations flattened to nanoseconds.
+type jsonTable2Row struct {
+	Protocol         string `json:"protocol"`
+	BatfishFullNs    int64  `json:"batfish_full_ns"`
+	RealConfigFullNs int64  `json:"realconfig_full_ns"`
+	LinkFailureNs    int64  `json:"link_failure_ns"`
+	LCLPNs           int64  `json:"lclp_ns"`
+}
+
+// jsonTable3Row is a Table3Row with the order spelled out and durations
+// flattened to nanoseconds.
+type jsonTable3Row struct {
+	Change     string `json:"change"`
+	Order      string `json:"order"`
+	RulesIns   int    `json:"rules_ins"`
+	RulesDel   int    `json:"rules_del"`
+	RulesTotal int    `json:"rules_total"`
+	ECs        int    `json:"ecs"`
+	ModelNs    int64  `json:"model_update_ns"`
+	Pairs      int    `json:"pairs"`
+	PairsTotal int    `json:"pairs_total"`
+	CheckNs    int64  `json:"policy_check_ns"`
+}
+
+type jsonMining struct {
+	Failures         int   `json:"failures"`
+	IncrementalNs    int64 `json:"incremental_ns"`
+	FromScratchGenNs int64 `json:"from_scratch_gen_ns"`
+	FromScratchSimNs int64 `json:"from_scratch_sim_ns"`
+}
+
+// jsonReport is the -json output: one perf snapshot of this commit.
+type jsonReport struct {
+	Date      string          `json:"date"`
+	GoVersion string          `json:"go_version"`
+	GOARCH    string          `json:"goarch"`
+	K         int             `json:"k"`
+	Table2    []jsonTable2Row `json:"table2,omitempty"`
+	Table3    []jsonTable3Row `json:"table3,omitempty"`
+	Mining    *jsonMining     `json:"mining,omitempty"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rcbench", flag.ContinueOnError)
 	table := fs.String("table", "all", "which experiment: 2, 3, mining, all")
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
+	jsonPath := fs.String("json", "", "also write a machine-readable report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	switch *table {
-	case "2":
-		return runTable2(*k, *samples)
-	case "3":
-		return runTable3(*k)
-	case "mining":
-		return runMining(*k, *failures)
-	case "all":
-		if err := runTable2(*k, *samples); err != nil {
-			return err
-		}
-		if err := runTable3(*k); err != nil {
-			return err
-		}
-		return runMining(*k, *failures)
+	rep := &jsonReport{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		K:         *k,
 	}
-	return fmt.Errorf("unknown -table %q", *table)
+	want := func(t string) bool { return *table == t || *table == "all" }
+	if !want("2") && !want("3") && !want("mining") {
+		return fmt.Errorf("unknown -table %q", *table)
+	}
+	if want("2") {
+		if err := runTable2(*k, *samples, rep); err != nil {
+			return err
+		}
+	}
+	if want("3") {
+		if err := runTable3(*k, rep); err != nil {
+			return err
+		}
+	}
+	if want("mining") {
+		if err := runMining(*k, *failures, rep); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
 }
 
 func header(k int, what string) {
@@ -65,7 +134,7 @@ func header(k int, what string) {
 	fmt.Printf("=== %s — fat-tree k=%d (%d nodes, %d links) ===\n", what, k, nodes, links)
 }
 
-func runTable2(k, samples int) error {
+func runTable2(k, samples int, rep *jsonReport) error {
 	header(k, "Table 2: average data plane generation time")
 	t0 := time.Now()
 	rows, err := bench.RunTable2(k, samples)
@@ -74,10 +143,19 @@ func runTable2(k, samples int) error {
 	}
 	fmt.Print(bench.FormatTable2(rows))
 	fmt.Printf("(benchmark wall time %s)\n\n", time.Since(t0).Round(time.Millisecond))
+	for _, r := range rows {
+		rep.Table2 = append(rep.Table2, jsonTable2Row{
+			Protocol:         r.Protocol,
+			BatfishFullNs:    r.BatfishFull.Nanoseconds(),
+			RealConfigFullNs: r.RealConfigFull.Nanoseconds(),
+			LinkFailureNs:    r.LinkFailure.Nanoseconds(),
+			LCLPNs:           r.LCLP.Nanoseconds(),
+		})
+	}
 	return nil
 }
 
-func runTable3(k int) error {
+func runTable3(k int, rep *jsonReport) error {
 	header(k, "Table 3: model update and property checking (BGP)")
 	rows, err := bench.RunTable3(k)
 	if err != nil {
@@ -85,10 +163,24 @@ func runTable3(k int) error {
 	}
 	fmt.Print(bench.FormatTable3(rows))
 	fmt.Println()
+	for _, r := range rows {
+		rep.Table3 = append(rep.Table3, jsonTable3Row{
+			Change:     r.Change,
+			Order:      r.Order.String(),
+			RulesIns:   r.RulesIns,
+			RulesDel:   r.RulesDel,
+			RulesTotal: r.RulesTotal,
+			ECs:        r.ECs,
+			ModelNs:    r.T1.Nanoseconds(),
+			Pairs:      r.Pairs,
+			PairsTotal: r.PairsTotal,
+			CheckNs:    r.T2.Nanoseconds(),
+		})
+	}
 	return nil
 }
 
-func runMining(k, failures int) error {
+func runMining(k, failures int, rep *jsonReport) error {
 	header(k, "Spec mining: incremental vs from-scratch link-failure sweep (OSPF)")
 	res, err := bench.RunSpecMining(k, topology.OSPF, failures)
 	if err != nil {
@@ -100,5 +192,11 @@ func runMining(k, failures int) error {
 		res.FromScratchGen.Round(time.Millisecond), res.Speedup())
 	fmt.Printf("from-scratch simulator:    %s  -> %.1fx speedup\n\n",
 		res.FromScratchSim.Round(time.Millisecond), res.SpeedupVsSimulator())
+	rep.Mining = &jsonMining{
+		Failures:         res.Failures,
+		IncrementalNs:    res.Incremental.Nanoseconds(),
+		FromScratchGenNs: res.FromScratchGen.Nanoseconds(),
+		FromScratchSimNs: res.FromScratchSim.Nanoseconds(),
+	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
@@ -71,6 +72,73 @@ func BenchmarkModelIncrementalUpdate_InsertFirst(b *testing.B) {
 }
 func BenchmarkModelIncrementalUpdate_DeleteFirst(b *testing.B) {
 	benchIncrementalUpdate(b, DeleteFirst)
+}
+
+// BenchmarkLookup measures indexed concrete-packet resolution against a
+// warm model: the destination interval narrows the EC scan to the
+// classes that can hold the packet.
+func BenchmarkLookup(b *testing.B) {
+	m := New()
+	if _, err := m.ApplyBatch(fibBatch(40, 100), InsertFirst); err != nil {
+		b.Fatal(err)
+	}
+	pkt := bdd.Packet{Dst: netcfg.MustAddr("10.0.7.9"), Proto: netcfg.ProtoTCP, DstPort: 80}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup("d003", pkt)
+	}
+}
+
+// BenchmarkLookupFullScan is the pre-index reference path, kept as the
+// baseline the indexed Lookup is measured against.
+func BenchmarkLookupFullScan(b *testing.B) {
+	m := New()
+	if _, err := m.ApplyBatch(fibBatch(40, 100), InsertFirst); err != nil {
+		b.Fatal(err)
+	}
+	pkt := bdd.Packet{Dst: netcfg.MustAddr("10.0.7.9"), Proto: netcfg.ProtoTCP, DstPort: 80}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.refLookup("d003", pkt)
+	}
+}
+
+// BenchmarkEffectiveTrie measures the shadowing-prefix query on a
+// device with a deep nested rule set (trie subtree walk)...
+func BenchmarkEffectiveTrie(b *testing.B) {
+	benchEffective(b, false)
+}
+
+// BenchmarkEffectiveFullScan ...against the linear reference scan.
+func BenchmarkEffectiveFullScan(b *testing.B) {
+	benchEffective(b, true)
+}
+
+func benchEffective(b *testing.B, ref bool) {
+	m := New()
+	// 512 /24 rules plus a few /28s nested under the queried /24: the
+	// trie walks one small subtree, the reference scans all 516.
+	batch := fibBatch(1, 512)
+	for i := 0; i < 4; i++ {
+		batch = append(batch, dd.Entry[dataplane.Rule]{Val: dataplane.Rule{
+			Device: "d000",
+			Prefix: netcfg.Prefix{Addr: netcfg.MustAddr("10.0.7.0") + netcfg.Addr(i*16), Len: 28},
+			Action: dataplane.Forward, NextHop: "d000", OutIntf: "e0",
+		}, Diff: 1})
+	}
+	if _, err := m.ApplyBatch(batch, InsertFirst); err != nil {
+		b.Fatal(err)
+	}
+	ds := m.devs["d000"]
+	p := netcfg.MustPrefix("10.0.7.0/24") // the shape of a real rule update
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ref {
+			m.refEffective(ds, p)
+		} else {
+			m.effective(ds, p)
+		}
+	}
 }
 
 // BenchmarkECSplit measures the worst case: a filter boundary cutting

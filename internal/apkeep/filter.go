@@ -116,7 +116,7 @@ func (m *Model) refreshFilter(k FilterKey) {
 	// Split so every EC is pure w.r.t. the new boundary, then flip
 	// statuses that changed.
 	blockedNow := make(map[bdd.Node]bool)
-	for _, ec := range m.split(deny) {
+	for _, ec := range m.split(deny, fullRange) {
 		blockedNow[ec] = true
 	}
 	for ec := range blockedNow {

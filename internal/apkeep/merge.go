@@ -151,6 +151,8 @@ func (m *Model) mergePair(a, b bdd.Node) bdd.Node {
 	delete(m.dirty, a)
 	delete(m.dirty, b)
 	m.ecs[merged] = struct{}{}
+	m.idx.replace(a, merged)
+	m.idx.replace(b, merged)
 	m.sig[merged] = s
 	m.indexSig(merged, s)
 	for _, ds := range m.devs {

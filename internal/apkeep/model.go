@@ -11,6 +11,12 @@
 // rules on the same device, and deleting a rule hands its space back to
 // the longest covering prefix (or the default drop port).
 //
+// Per-update work is kept proportional to the change, not the model:
+// a destination-interval index (see index.go) narrows every split to
+// the ECs that can intersect the rule's prefix, and per-device prefix
+// tries answer the two LPM queries (shadowing prefixes, covering
+// owner) without scanning the installed rule set.
+//
 // A batch of rule updates is applied in a configurable Order
 // (insertion-first or deletion-first). As the paper's Table 3 shows, the
 // order matters: insertion-first moves ECs directly from old to new
@@ -19,6 +25,7 @@
 package apkeep
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -37,6 +44,11 @@ type Port struct {
 
 // DropPort is the default port: packets with no matching rule.
 var DropPort = Port{Action: dataplane.Drop}
+
+// ErrAbsentRule reports a deletion of a rule the model does not hold.
+// Callers can match it with errors.Is to tell caller error apart from
+// model corruption.
+var ErrAbsentRule = errors.New("apkeep: delete of absent rule")
 
 func (p Port) String() string {
 	switch p.Action {
@@ -72,12 +84,22 @@ type Transfer struct {
 
 // devState is one device's slice of the model.
 type devState struct {
-	// rules stacks the ports installed per prefix; the last element owns
-	// the prefix's packet space. (Two live rules for one prefix only
-	// occur transiently inside a batch, e.g. insertion-before-deletion.)
-	rules map[netcfg.Prefix][]Port
+	// rules indexes the ports installed per prefix; the last element of
+	// a prefix's stack owns its packet space. (Two live rules for one
+	// prefix only occur transiently inside a batch, e.g.
+	// insertion-before-deletion.)
+	rules prefixTrie
 	// ports maps each EC to its port; absent means DropPort.
 	ports map[bdd.Node]Port
+}
+
+// OpStats counts the work the model's hot paths perform. Tests and
+// benchmarks use it to assert that updates examine candidate ECs, not
+// the whole partition.
+type OpStats struct {
+	SplitCalls      int // split invocations
+	SplitCandidates int // ECs examined across all splits
+	SplitFull       int // splits that had no hint and scanned the partition
 }
 
 // Model is the incremental data plane model.
@@ -86,6 +108,8 @@ type Model struct {
 
 	// ecs is the current partition of the packet space.
 	ecs map[bdd.Node]struct{}
+	// idx narrows destination-bounded splits to candidate ECs.
+	idx *ecIndex
 
 	devs    map[string]*devState
 	filters map[FilterKey]*filterState
@@ -104,6 +128,8 @@ type Model struct {
 	sig   map[bdd.Node]uint64
 	bySig map[uint64]map[bdd.Node]struct{}
 	dirty map[bdd.Node]struct{}
+
+	ops OpStats
 }
 
 // New creates a model whose packet space is a single EC (everything
@@ -113,6 +139,7 @@ func New() *Model {
 	m := &Model{
 		H:       h,
 		ecs:     map[bdd.Node]struct{}{bdd.True: {}},
+		idx:     newECIndex(bdd.True),
 		devs:    make(map[string]*devState),
 		filters: make(map[FilterKey]*filterState),
 		sig:     map[bdd.Node]uint64{bdd.True: 0},
@@ -129,6 +156,12 @@ func (m *Model) ECs() map[bdd.Node]struct{} { return m.ecs }
 // NumECs returns the partition size.
 func (m *Model) NumECs() int { return len(m.ecs) }
 
+// Ops returns the accumulated hot-path work counters.
+func (m *Model) Ops() OpStats { return m.ops }
+
+// ResetOps clears the work counters.
+func (m *Model) ResetOps() { m.ops = OpStats{} }
+
 // PortOf returns the port of an EC on a device (DropPort by default).
 func (m *Model) PortOf(dev string, ec bdd.Node) Port {
 	if ds := m.devs[dev]; ds != nil {
@@ -142,7 +175,7 @@ func (m *Model) PortOf(dev string, ec bdd.Node) Port {
 func (m *Model) dev(name string) *devState {
 	ds := m.devs[name]
 	if ds == nil {
-		ds = &devState{rules: make(map[netcfg.Prefix][]Port), ports: make(map[bdd.Node]Port)}
+		ds = &devState{ports: make(map[bdd.Node]Port)}
 		m.devs[name] = ds
 	}
 	return ds
@@ -150,14 +183,30 @@ func (m *Model) dev(name string) *devState {
 
 // split refines the partition so that pred is a union of ECs, and
 // returns the ECs inside pred. Split parts inherit the original EC's
-// port on every device and its status at every filter binding.
-func (m *Model) split(pred bdd.Node) []bdd.Node {
-	var inside []bdd.Node
+// port on every device and its status at every filter binding. The
+// hint bounds pred's destination footprint so only the index's
+// candidate ECs are examined; use fullRange when pred is not
+// destination-bounded.
+func (m *Model) split(pred bdd.Node, hint dstHint) []bdd.Node {
 	if pred == bdd.False {
 		return nil
 	}
-	var toSplit []bdd.Node
-	for ec := range m.ecs {
+	m.ops.SplitCalls++
+	var cands []bdd.Node
+	if hint.dstRange == fullRange.dstRange {
+		m.ops.SplitFull++
+		cands = make([]bdd.Node, 0, len(m.ecs))
+		for ec := range m.ecs {
+			cands = append(cands, ec)
+		}
+	} else {
+		m.idx.prepare(hint.dstRange)
+		cands = m.idx.candidates(hint.dstRange)
+	}
+	m.ops.SplitCandidates += len(cands)
+
+	var inside []bdd.Node
+	for _, ec := range cands {
 		in := m.H.And(ec, pred)
 		if in == bdd.False {
 			continue
@@ -166,15 +215,12 @@ func (m *Model) split(pred bdd.Node) []bdd.Node {
 			inside = append(inside, ec)
 			continue
 		}
-		toSplit = append(toSplit, ec)
-		inside = append(inside, in)
-	}
-	for _, ec := range toSplit {
-		in := m.H.And(ec, pred)
 		out := m.H.Diff(ec, pred)
+		inside = append(inside, in)
 		delete(m.ecs, ec)
 		m.ecs[in] = struct{}{}
 		m.ecs[out] = struct{}{}
+		m.idx.splitEC(ec, in, out, hint)
 		// Children inherit the parent's behaviour, hence its signature.
 		s := m.sig[ec]
 		m.unindexSig(ec, s)
@@ -205,12 +251,12 @@ func (m *Model) split(pred bdd.Node) []bdd.Node {
 
 // moveECs retargets every EC inside pred to newPort on dev, recording
 // transfers for those that actually change port.
-func (m *Model) moveECs(dev string, pred bdd.Node, newPort Port) {
+func (m *Model) moveECs(dev string, pred bdd.Node, newPort Port, hint dstHint) {
 	if pred == bdd.False {
 		return
 	}
 	ds := m.dev(dev)
-	for _, ec := range m.split(pred) {
+	for _, ec := range m.split(pred, hint) {
 		old, ok := ds.ports[ec]
 		if !ok {
 			old = DropPort
@@ -229,41 +275,27 @@ func (m *Model) moveECs(dev string, pred bdd.Node, newPort Port) {
 }
 
 // effective returns rule prefix p's effective packet space on the
-// device: its destination predicate minus every strictly longer prefix
-// that has rules installed.
-func (m *Model) effective(ds *devState, p netcfg.Prefix) bdd.Node {
+// device — its destination predicate minus every strictly longer prefix
+// that has rules installed — together with the destination hint for the
+// subsequent split. The hint is exact when nothing was subtracted.
+func (m *Model) effective(ds *devState, p netcfg.Prefix) (bdd.Node, dstHint) {
 	eff := m.H.DstPrefix(p)
-	for q := range ds.rules {
-		if q.Len > p.Len && p.ContainsPrefix(q) {
-			eff = m.H.Diff(eff, m.H.DstPrefix(q))
-			if eff == bdd.False {
-				break
-			}
-		}
-	}
-	return eff
+	hint := dstHint{dstRange: prefixRange(p), exact: true}
+	ds.rules.longerWithin(p, func(q netcfg.Prefix, _ []Port) bool {
+		hint.exact = false
+		eff = m.H.Diff(eff, m.H.DstPrefix(q))
+		return eff != bdd.False
+	})
+	return eff, hint
 }
 
 // owner returns the port currently owning prefix p's packet space when p
 // itself has no rules: the longest covering prefix's owner, or DropPort.
 func (m *Model) owner(ds *devState, p netcfg.Prefix) Port {
-	best := netcfg.Prefix{}
-	found := false
-	for q, stack := range ds.rules {
-		if len(stack) == 0 || q == p {
-			continue
-		}
-		if q.Len < p.Len && q.ContainsPrefix(p) {
-			if !found || q.Len > best.Len {
-				best, found = q, true
-			}
-		}
+	if stack := ds.rules.owner(p); len(stack) > 0 {
+		return stack[len(stack)-1]
 	}
-	if !found {
-		return DropPort
-	}
-	stack := ds.rules[best]
-	return stack[len(stack)-1]
+	return DropPort
 }
 
 // InsertRule adds a forwarding rule to the model, moving the affected
@@ -271,22 +303,24 @@ func (m *Model) owner(ds *devState, p netcfg.Prefix) Port {
 func (m *Model) InsertRule(r dataplane.Rule) {
 	ds := m.dev(r.Device)
 	port := portOf(r)
-	stack := ds.rules[r.Prefix]
-	ds.rules[r.Prefix] = append(stack, port)
+	stack := ds.rules.get(r.Prefix)
+	ds.rules.set(r.Prefix, append(stack, port))
 	if len(stack) > 0 && stack[len(stack)-1] == port {
 		return // same owner, nothing moves
 	}
 	// The new rule owns the prefix's effective space now.
-	m.moveECs(r.Device, m.effective(ds, r.Prefix), port)
+	eff, hint := m.effective(ds, r.Prefix)
+	m.moveECs(r.Device, eff, port, hint)
 }
 
 // DeleteRule removes a forwarding rule. If the rule owned its prefix's
 // packet space, the space falls back to the remaining owner: a duplicate
 // rule for the prefix, else the longest covering prefix, else drop.
+// Deleting a rule the model does not hold returns ErrAbsentRule.
 func (m *Model) DeleteRule(r dataplane.Rule) error {
 	ds := m.dev(r.Device)
 	port := portOf(r)
-	stack := ds.rules[r.Prefix]
+	stack := ds.rules.get(r.Prefix)
 	idx := -1
 	for i, p := range stack {
 		if p == port {
@@ -294,14 +328,14 @@ func (m *Model) DeleteRule(r dataplane.Rule) error {
 		}
 	}
 	if idx < 0 {
-		return fmt.Errorf("apkeep: delete of absent rule %v", r)
+		return fmt.Errorf("%w: %v", ErrAbsentRule, r)
 	}
 	wasOwner := idx == len(stack)-1
 	stack = append(stack[:idx], stack[idx+1:]...)
 	if len(stack) == 0 {
-		delete(ds.rules, r.Prefix)
+		ds.rules.remove(r.Prefix)
 	} else {
-		ds.rules[r.Prefix] = stack
+		ds.rules.set(r.Prefix, stack)
 	}
 	if !wasOwner {
 		return nil
@@ -315,7 +349,8 @@ func (m *Model) DeleteRule(r dataplane.Rule) error {
 	if heir == port {
 		return nil
 	}
-	m.moveECs(r.Device, m.effective(ds, r.Prefix), heir)
+	eff, hint := m.effective(ds, r.Prefix)
+	m.moveECs(r.Device, eff, heir, hint)
 	return nil
 }
 
@@ -327,9 +362,10 @@ func (m *Model) TakeTransfers() []Transfer {
 }
 
 // Lookup returns the port a concrete packet takes on a device, resolved
-// through the EC partition (the model's view of forwarding).
+// through the EC partition (the model's view of forwarding). Only the
+// ECs indexed on the packet's destination interval are examined.
 func (m *Model) Lookup(dev string, pkt bdd.Packet) Port {
-	for ec := range m.ecs {
+	for ec := range m.idx.at(uint32(pkt.Dst)) {
 		if m.H.Contains(ec, pkt) {
 			return m.PortOf(dev, ec)
 		}
@@ -362,4 +398,103 @@ func (m *Model) CheckPartition() error {
 		return fmt.Errorf("apkeep: ECs do not cover the packet space")
 	}
 	return nil
+}
+
+// CheckIndex verifies the destination-index invariants: the index knows
+// exactly the live ECs, interval structure is sorted and consistent,
+// and every interval's EC set covers the interval's destination slice
+// of the packet space (no EC intersecting an interval is missing from
+// it). Like CheckPartition it is exhaustive and meant for tests.
+func (m *Model) CheckIndex() error {
+	x := m.idx
+	if len(x.byEC) != len(m.ecs) {
+		return fmt.Errorf("apkeep: index tracks %d ECs, partition has %d", len(x.byEC), len(m.ecs))
+	}
+	for ec := range m.ecs {
+		if _, ok := x.byEC[ec]; !ok {
+			return fmt.Errorf("apkeep: live EC missing from index")
+		}
+	}
+	if len(x.starts) != len(x.ivls) || x.starts[0] != 0 {
+		return fmt.Errorf("apkeep: malformed interval structure")
+	}
+	for i, s := range x.starts {
+		if i > 0 && x.starts[i-1] >= s {
+			return fmt.Errorf("apkeep: interval starts out of order")
+		}
+		iv := x.ivls[s]
+		if iv == nil || iv.start != s {
+			return fmt.Errorf("apkeep: interval table inconsistent at %d", s)
+		}
+		for ec := range iv.ecs {
+			if _, ok := x.byEC[ec]; !ok {
+				return fmt.Errorf("apkeep: interval holds dead EC")
+			}
+			if _, ok := x.byEC[ec][iv]; !ok {
+				return fmt.Errorf("apkeep: missing reverse membership")
+			}
+		}
+		hi := ^uint32(0)
+		if i+1 < len(x.starts) {
+			hi = x.starts[i+1] - 1
+		}
+		// Members must cover the interval's slice of the packet space:
+		// since the ECs partition everything, any EC absent from the
+		// set but intersecting [s, hi] would leave a hole here.
+		rangePred := m.H.DstRange(s, hi)
+		covered := bdd.False
+		for ec := range iv.ecs {
+			covered = m.H.Or(covered, m.H.And(ec, rangePred))
+		}
+		if covered != rangePred {
+			return fmt.Errorf("apkeep: interval [%d,%d] candidate set misses an EC", s, hi)
+		}
+	}
+	return nil
+}
+
+// --- reference implementations ---------------------------------------------
+//
+// The pre-index full-scan versions of the model's queries, kept
+// unexported as differential-test oracles (see index_test.go): the
+// indexed paths must agree with them on every input.
+
+// refLookup scans the whole partition.
+func (m *Model) refLookup(dev string, pkt bdd.Packet) Port {
+	for ec := range m.ecs {
+		if m.H.Contains(ec, pkt) {
+			return m.PortOf(dev, ec)
+		}
+	}
+	return DropPort
+}
+
+// refEffective filters every installed prefix linearly.
+func (m *Model) refEffective(ds *devState, p netcfg.Prefix) bdd.Node {
+	eff := m.H.DstPrefix(p)
+	ds.rules.walk(func(q netcfg.Prefix, _ []Port) {
+		if q.Len > p.Len && p.ContainsPrefix(q) {
+			eff = m.H.Diff(eff, m.H.DstPrefix(q))
+		}
+	})
+	return eff
+}
+
+// refOwner filters every installed prefix linearly.
+func (m *Model) refOwner(ds *devState, p netcfg.Prefix) Port {
+	best := netcfg.Prefix{}
+	var bestStack []Port
+	found := false
+	ds.rules.walk(func(q netcfg.Prefix, stack []Port) {
+		if q == p || q.Len >= p.Len || !q.ContainsPrefix(p) {
+			return
+		}
+		if !found || q.Len > best.Len {
+			best, bestStack, found = q, stack, true
+		}
+	})
+	if !found {
+		return DropPort
+	}
+	return bestStack[len(bestStack)-1]
 }

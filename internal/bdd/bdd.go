@@ -27,20 +27,41 @@ type nodeData struct {
 	lo, hi Node  // cofactors for var=0 / var=1
 }
 
-type nodeKey struct {
-	level  int32
-	lo, hi Node
-}
-
-type iteKey struct{ f, g, h Node }
+// iteEntry is one slot of the direct-mapped ITE result cache. A slot
+// with f == False is empty: ITE's terminal shortcuts return before the
+// cache is consulted whenever f is a terminal, so False never appears
+// as the f of a cached triple.
+type iteEntry struct{ f, g, h, result Node }
 
 // Table owns the node store and caches for one variable ordering.
+//
+// Both lookup structures are flat arrays rather than Go maps: the
+// unique table is an open-addressed (linear-probe) hash of node handles
+// keyed by (level, lo, hi), and the ITE cache is a direct-mapped lossy
+// cache in the style of BuDDy/CUDD. Probes are a hash, a mask, and an
+// array read — no map header, no per-key allocation — which matters
+// because every BDD operation bottoms out in millions of these probes.
 type Table struct {
 	numVars int32
 	nodes   []nodeData
-	unique  map[nodeKey]Node
-	cache   map[iteKey]Node
+
+	// unique holds node handles; 0 (False, never interned) marks an
+	// empty slot. Keys live in nodes[], so a probe compares against
+	// nodeData directly.
+	unique     []Node
+	uniqueMask uint32
+	uniqueLive int
+
+	// cache is the direct-mapped ITE cache; collisions overwrite.
+	cache     []iteEntry
+	cacheMask uint32
 }
+
+const (
+	initialUniqueSize = 1 << 13
+	initialCacheSize  = 1 << 13
+	maxCacheSize      = 1 << 22
+)
 
 // New creates a table over numVars boolean variables. Variable 0 is
 // topmost in the order.
@@ -49,9 +70,11 @@ func New(numVars int) *Table {
 		panic(fmt.Sprintf("bdd: bad variable count %d", numVars))
 	}
 	t := &Table{
-		numVars: int32(numVars),
-		unique:  make(map[nodeKey]Node),
-		cache:   make(map[iteKey]Node),
+		numVars:    int32(numVars),
+		unique:     make([]Node, initialUniqueSize),
+		uniqueMask: initialUniqueSize - 1,
+		cache:      make([]iteEntry, initialCacheSize),
+		cacheMask:  initialCacheSize - 1,
 	}
 	// Terminals sit below every variable.
 	t.nodes = append(t.nodes,
@@ -59,6 +82,17 @@ func New(numVars int) *Table {
 		nodeData{level: t.numVars}, // True
 	)
 	return t
+}
+
+// hash3 mixes three 32-bit words into a table index (xxhash-style
+// avalanche over a product combination; cheap and good enough for
+// near-uniform slot occupancy).
+func hash3(a, b, c uint32) uint32 {
+	h := a*0x9e3779b1 ^ b*0x85ebca77 ^ c*0xc2b2ae3d
+	h ^= h >> 15
+	h *= 0x27d4eb2f
+	h ^= h >> 13
+	return h
 }
 
 // NumVars returns the number of variables.
@@ -72,14 +106,48 @@ func (t *Table) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	k := nodeKey{level: level, lo: lo, hi: hi}
-	if n, ok := t.unique[k]; ok {
-		return n
+	i := hash3(uint32(level), uint32(lo), uint32(hi)) & t.uniqueMask
+	for {
+		n := t.unique[i]
+		if n == 0 {
+			break
+		}
+		d := &t.nodes[n]
+		if d.level == level && d.lo == lo && d.hi == hi {
+			return n
+		}
+		i = (i + 1) & t.uniqueMask
 	}
 	n := Node(len(t.nodes))
 	t.nodes = append(t.nodes, nodeData{level: level, lo: lo, hi: hi})
-	t.unique[k] = n
+	t.unique[i] = n
+	t.uniqueLive++
+	// Grow at 3/4 load so probe chains stay short.
+	if uint32(t.uniqueLive) > t.uniqueMask-t.uniqueMask/4 {
+		t.growUnique()
+	}
 	return n
+}
+
+// growUnique doubles the unique table and rehashes every interned node.
+func (t *Table) growUnique() {
+	size := 2 * (t.uniqueMask + 1)
+	t.unique = make([]Node, size)
+	t.uniqueMask = size - 1
+	for n := 2; n < len(t.nodes); n++ { // terminals are not interned
+		d := &t.nodes[n]
+		i := hash3(uint32(d.level), uint32(d.lo), uint32(d.hi)) & t.uniqueMask
+		for t.unique[i] != 0 {
+			i = (i + 1) & t.uniqueMask
+		}
+		t.unique[i] = Node(n)
+	}
+	// Scale the ITE cache with the node table (fresh and empty: the
+	// cache is lossy by design, so dropping entries is always sound).
+	if cap := t.uniqueMask + 1; cap > t.cacheMask+1 && cap <= maxCacheSize {
+		t.cache = make([]iteEntry, cap)
+		t.cacheMask = cap - 1
+	}
 }
 
 // Var returns the predicate "variable v is 1".
@@ -112,9 +180,9 @@ func (t *Table) ITE(f, g, h Node) Node {
 	case g == True && h == False:
 		return f
 	}
-	k := iteKey{f, g, h}
-	if r, ok := t.cache[k]; ok {
-		return r
+	ci := hash3(uint32(f), uint32(g), uint32(h)) & t.cacheMask
+	if e := &t.cache[ci]; e.f == f && e.g == g && e.h == h {
+		return e.result
 	}
 	nf, ng, nh := t.nodes[f], t.nodes[g], t.nodes[h]
 	level := nf.level
@@ -128,7 +196,9 @@ func (t *Table) ITE(f, g, h Node) Node {
 	g0, g1 := t.cofactors(g, level)
 	h0, h1 := t.cofactors(h, level)
 	r := t.mk(level, t.ITE(f0, g0, h0), t.ITE(f1, g1, h1))
-	t.cache[k] = r
+	// Recompute the slot: mk may have grown (and so re-sized) the cache.
+	ci = hash3(uint32(f), uint32(g), uint32(h)) & t.cacheMask
+	t.cache[ci] = iteEntry{f: f, g: g, h: h, result: r}
 	return r
 }
 

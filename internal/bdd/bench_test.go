@@ -53,6 +53,36 @@ func BenchmarkPortRange(b *testing.B) {
 	}
 }
 
+// BenchmarkITEColdTable stresses the unique table's growth path: every
+// iteration builds a fresh table and interns a few thousand nodes, so
+// open-addressed inserts and resizes dominate.
+func BenchmarkITEColdTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := NewHeaders()
+		acc := False
+		for j := 0; j < 64; j++ {
+			p := netcfg.Prefix{Addr: netcfg.Addr(uint32(j) << 24), Len: 16}
+			acc = h.Or(acc, h.And(h.DstPrefix(p), h.DstPortRange(uint16(j+1), uint16(j+100))))
+		}
+	}
+}
+
+// BenchmarkITECacheChurn cycles through more distinct ITE triples than
+// the cache's initial capacity, measuring the direct-mapped cache under
+// collision pressure.
+func BenchmarkITECacheChurn(b *testing.B) {
+	h := NewHeaders()
+	var preds []Node
+	for j := 0; j < 256; j++ {
+		preds = append(preds, h.DstPrefix(netcfg.Prefix{Addr: netcfg.Addr(uint32(j) << 16), Len: 24}))
+	}
+	src := h.SrcPrefix(netcfg.MustPrefix("192.168.0.0/16"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.And(preds[i%len(preds)], src)
+	}
+}
+
 func BenchmarkContains(b *testing.B) {
 	h := NewHeaders()
 	pred := h.And(h.DstPrefix(netcfg.MustPrefix("10.0.0.0/8")), h.DstPortRange(80, 443))

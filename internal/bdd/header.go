@@ -35,6 +35,12 @@ func (h *Headers) DstPrefix(p netcfg.Prefix) Node { return h.ipPrefix(dstIPOff, 
 // SrcPrefix returns the predicate "source IP in p".
 func (h *Headers) SrcPrefix(p netcfg.Prefix) Node { return h.ipPrefix(srcIPOff, p) }
 
+// DstRange returns the predicate "destination IP in [lo, hi]"
+// (inclusive). Used by the model's destination-interval index checks.
+func (h *Headers) DstRange(lo, hi uint32) Node {
+	return h.And(h.geq(dstIPOff, 32, lo), h.leq(dstIPOff, 32, hi))
+}
+
 func (h *Headers) ipPrefix(off int, p netcfg.Prefix) Node {
 	n := True
 	// Build bottom-up (least significant matched bit first) so each mk

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"realconfig/internal/apkeep"
@@ -174,6 +176,12 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 	v.model.UpdateFilters(filterChanges)
 	rep.Model, err = v.model.ApplyBatch(ruleChanges, v.opts.Order)
 	if err != nil {
+		// The generator only retracts rules it previously emitted, so an
+		// absent-rule delete here is model/generator state divergence (a
+		// bug), not a user error: say so instead of passing it through.
+		if errors.Is(err, apkeep.ErrAbsentRule) {
+			return nil, fmt.Errorf("core: data plane model out of sync with generator: %w", err)
+		}
 		return nil, err
 	}
 	rep.Timing.ModelUpdate = time.Since(t0)

@@ -39,7 +39,7 @@ package dd
 
 import (
 	"fmt"
-	"sort"
+	mbits "math/bits"
 )
 
 // Diff is a signed multiplicity. Insertions carry +1, deletions -1;
@@ -81,8 +81,9 @@ type Graph struct {
 	// resetters run at the start of every epoch, before inputs flush;
 	// outputs and detectors clear their per-epoch logs here.
 	resetters []func()
-	pending   map[int]map[int]struct{} // iteration -> set of node indices
-	iters     intHeap                  // pending iterations (may contain duplicates)
+	pending   map[int]*nodeSet // iteration -> pending node ids
+	iters     intHeap          // pending iterations, deduplicated
+	inHeap    map[int]struct{} // iterations currently in the heap
 
 	// MaxIter bounds the number of loop iterations per epoch. A fixpoint
 	// that fails to converge within MaxIter iterations aborts the epoch
@@ -115,7 +116,8 @@ type EpochStats struct {
 // NewGraph returns an empty dataflow graph.
 func NewGraph() *Graph {
 	return &Graph{
-		pending: make(map[int]map[int]struct{}),
+		pending: make(map[int]*nodeSet),
+		inHeap:  make(map[int]struct{}),
 		MaxIter: 1 << 16,
 	}
 }
@@ -130,14 +132,19 @@ func (g *Graph) addNode(p processor) int {
 }
 
 // schedule records that node id has pending work at iteration iter.
+// Each iteration is pushed onto the heap at most once (inHeap dedupes),
+// so an epoch pops every active iteration exactly once.
 func (g *Graph) schedule(id, iter int) {
 	set, ok := g.pending[iter]
 	if !ok {
-		set = make(map[int]struct{})
+		set = &nodeSet{}
 		g.pending[iter] = set
+	}
+	if _, queued := g.inHeap[iter]; !queued {
+		g.inHeap[iter] = struct{}{}
 		g.iters.push(iter)
 	}
-	set[id] = struct{}{}
+	set.add(id)
 }
 
 // Epoch returns the number of completed epochs.
@@ -166,15 +173,20 @@ func (g *Graph) Advance() (EpochStats, error) {
 		if !ok {
 			break
 		}
+		delete(g.inHeap, iter)
 		set := g.pending[iter]
 		if set == nil {
-			continue // stale heap entry
+			continue // defensive: the dedupe invariant makes this unreachable
 		}
+		// Detach the set before processing: a node re-scheduled at this
+		// iteration while it runs lands in a fresh set and a fresh heap
+		// entry for the same iteration, which — being the minimum — is
+		// popped next. The detached bitset is then drained in a single
+		// ascending scan with no per-pass sorting.
+		delete(g.pending, iter)
 		if iter > g.MaxIter {
 			g.failed = fmt.Errorf("%w after %d iterations (epoch %d)", ErrNonTermination, iter, g.epoch)
-			// Drain all pending state so the graph is inert.
-			g.pending = make(map[int]map[int]struct{})
-			g.iters = nil
+			g.drainPending()
 			return EpochStats{}, g.failed
 		}
 		if iter+1 > g.stats.Iterations {
@@ -183,29 +195,21 @@ func (g *Graph) Advance() (EpochStats, error) {
 		for _, d := range g.detectors {
 			if err := d.observe(iter); err != nil {
 				g.failed = err
-				g.pending = make(map[int]map[int]struct{})
-				g.iters = nil
+				g.drainPending()
 				return EpochStats{}, g.failed
 			}
 		}
-		// Process nodes at this iteration in construction order; forward
-		// edges only ever target later nodes at the same iteration, so a
-		// single ascending pass drains it, but nodes processed earlier may
-		// be re-scheduled at this iteration by a feedback-free path only in
-		// pathological graphs, so loop until the set is empty.
-		for len(set) > 0 {
-			ids := make([]int, 0, len(set))
-			for id := range set {
-				ids = append(ids, id)
-			}
-			sort.Ints(ids)
-			for _, id := range ids {
-				delete(set, id)
+		// Forward edges only ever target later nodes at the same
+		// iteration, so the ascending id order of the bitset scan drains
+		// each node after all of its same-iteration upstreams.
+		for wi := 0; wi < len(set.bits); wi++ {
+			for set.bits[wi] != 0 {
+				tz := mbits.TrailingZeros64(set.bits[wi])
+				set.bits[wi] &^= 1 << tz
 				g.stats.NodeRuns++
-				g.nodes[id].process(iter)
+				g.nodes[wi<<6|tz].process(iter)
 			}
 		}
-		delete(g.pending, iter)
 	}
 	g.epoch++
 	st := g.stats
@@ -256,7 +260,30 @@ func newCollection[T comparable](g *Graph) (Collection[T], *port[T]) {
 	return Collection[T]{g: g, p: p}, p
 }
 
-// intHeap is a tiny min-heap of iteration numbers (duplicates allowed).
+// drainPending clears all scheduler state so a failed graph is inert.
+func (g *Graph) drainPending() {
+	g.pending = make(map[int]*nodeSet)
+	g.inHeap = make(map[int]struct{})
+	g.iters = nil
+}
+
+// nodeSet is a bitset of node ids pending at one iteration. Node ids
+// are dense (assigned by addNode), so a bitset both dedupes and yields
+// ascending-id iteration for free.
+type nodeSet struct {
+	bits []uint64
+}
+
+func (s *nodeSet) add(id int) {
+	w := id >> 6
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (id & 63)
+}
+
+// intHeap is a tiny min-heap of iteration numbers (kept duplicate-free
+// by Graph.inHeap).
 type intHeap []int
 
 func (h *intHeap) push(v int) {

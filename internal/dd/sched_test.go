@@ -1,0 +1,69 @@
+package dd
+
+import "testing"
+
+// TestSchedulerDiamondNodeRuns pins the scheduler's work on a diamond:
+//
+//	input -> Distinct(A) -\
+//	                       Concat -> Distinct(C)
+//	input -> Distinct(B) -/
+//
+// A and B both feed C at iteration 0. C must run ONCE with both
+// branches' batches, not once per upstream, and no node may be
+// activated twice: exactly three stateful activations for the epoch.
+func TestSchedulerDiamondNodeRuns(t *testing.T) {
+	g := NewGraph()
+	in := NewInput[int](g)
+	a := Distinct(Map(in.Collection(), func(v int) int { return v * 2 }))
+	b := Distinct(Map(in.Collection(), func(v int) int { return v*2 + 1 }))
+	c := Distinct(Concat(a, b))
+	out := NewOutput(c)
+
+	for v := 0; v < 10; v++ {
+		in.Insert(v)
+	}
+	st := g.MustAdvance()
+	if want := 3; st.NodeRuns != want {
+		t.Errorf("diamond epoch: NodeRuns = %d, want %d", st.NodeRuns, want)
+	}
+	if st.Iterations != 1 {
+		t.Errorf("diamond epoch: Iterations = %d, want 1", st.Iterations)
+	}
+	if out.Len() != 20 {
+		t.Errorf("diamond epoch: %d outputs, want 20", out.Len())
+	}
+
+	// An incremental epoch touching one value keeps the same shape.
+	in.Delete(3)
+	st = g.MustAdvance()
+	if want := 3; st.NodeRuns != want {
+		t.Errorf("incremental epoch: NodeRuns = %d, want %d", st.NodeRuns, want)
+	}
+	if out.Len() != 18 {
+		t.Errorf("incremental epoch: %d outputs, want 18", out.Len())
+	}
+}
+
+// TestSchedulerHeapDedupe drives many distinct values through a chain of
+// stateful nodes and checks the epoch processes each (node, iteration)
+// exactly once even though schedule is called once per upstream batch.
+func TestSchedulerHeapDedupe(t *testing.T) {
+	g := NewGraph()
+	in := NewInput[int](g)
+	cur := in.Collection()
+	const depth = 5
+	for i := 0; i < depth; i++ {
+		cur = Distinct(cur)
+	}
+	out := NewOutput(cur)
+	for v := 0; v < 100; v++ {
+		in.Insert(v)
+	}
+	st := g.MustAdvance()
+	if st.NodeRuns != depth {
+		t.Errorf("chain epoch: NodeRuns = %d, want %d", st.NodeRuns, depth)
+	}
+	if out.Len() != 100 {
+		t.Errorf("chain epoch: %d outputs, want 100", out.Len())
+	}
+}
