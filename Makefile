@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench-smoke bench-json bench
+.PHONY: all build test check server-test serve-smoke bench-smoke bench-json bench
 
 all: build
 
@@ -10,12 +10,39 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the tier-1 gate: vet, the full suite under the race detector,
-# and a one-iteration benchmark smoke so the perf harness can't rot.
+# check is the tier-1 gate: vet, an explicit daemon build, the full
+# suite under the race detector (including the server's concurrency
+# tests), and a one-iteration benchmark smoke so the perf harness can't
+# rot.
 check:
 	$(GO) vet ./...
+	$(GO) build -o /dev/null ./cmd/rcserved
 	$(GO) test -race ./...
+	$(MAKE) server-test
 	$(MAKE) bench-smoke
+
+# server-test runs the daemon's test suite under the race detector: the
+# single-writer/lock-free-reader snapshot discipline is only proven if
+# these pass with -race.
+server-test:
+	$(GO) test -race -count=1 ./internal/server ./cmd/rcserved
+
+# serve-smoke boots the real daemon on a random port against the campus
+# fixture, applies one change over HTTP, and checks /v1/healthz.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/rcserved ./cmd/rcserved; \
+	$$tmp/rcserved -net testdata/campus -policies testdata/campus/policies.txt \
+		-journal $$tmp/journal -addr 127.0.0.1:0 >$$tmp/out 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do grep -q listening $$tmp/out 2>/dev/null && break; sleep 0.1; done; \
+	addr=$$(sed -n 's#.*http://\([^ ]*\) .*#\1#p' $$tmp/out); \
+	test -n "$$addr" || { echo "serve-smoke: daemon did not start"; cat $$tmp/out; exit 1; }; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"changes":[{"kind":"shutdown_interface","device":"core1","intf":"eth2","shutdown":true}]}' \
+		http://$$addr/v1/changes >/dev/null; \
+	curl -fsS http://$$addr/v1/healthz; echo; \
+	echo "serve-smoke: ok"
 
 # bench-smoke runs every benchmark once — not for numbers, just to prove
 # they still build and complete.

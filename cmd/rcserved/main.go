@@ -1,0 +1,88 @@
+// Command rcserved runs RealConfig as a long-lived verification daemon:
+// it loads a network once, then serves incremental verification over a
+// JSON HTTP API, keeping the verifier's warm state between requests.
+//
+//	rcserved -net <dir> [-policies <file>] [-journal <file>] [-addr :8080]
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/changes   apply a batch of typed configuration changes
+//	POST /v1/whatif    speculatively verify a batch, discarding the result
+//	POST /v1/policies  add/remove policies at runtime
+//	GET  /v1/verdicts  current policy verdicts (lock-free snapshot)
+//	GET  /v1/report    last verification report and current violations
+//	GET  /v1/trace     trace a packet: ?src=<device>&dst=<ip>[&proto=&port=]
+//	GET  /v1/healthz   liveness, sequence number and counters
+//
+// With -journal, applied writes are persisted as JSON lines and replayed
+// on startup, so a restarted daemon recovers its exact state from the
+// same base snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"realconfig/internal/core"
+	"realconfig/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("rcserved", flag.ContinueOnError)
+	netDir := fs.String("net", "", "base snapshot directory (required)")
+	polFile := fs.String("policies", "", "policy specification file")
+	journalPath := fs.String("journal", "", "append-only change journal (replayed on startup)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	parallel := fs.Int("parallel", 0, "policy-checker worker count (<=1 = sequential)")
+	queue := fs.Int("queue", 64, "apply queue depth (writes beyond it get 503)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request apply deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *netDir == "" {
+		return fmt.Errorf("-net is required")
+	}
+	baseNet, err := core.LoadNetworkDir(*netDir)
+	if err != nil {
+		return err
+	}
+	policyText := ""
+	if *polFile != "" {
+		text, err := os.ReadFile(*polFile)
+		if err != nil {
+			return err
+		}
+		policyText = string(text)
+	}
+	srv, err := server.New(server.Config{
+		Net:          baseNet,
+		PolicyText:   policyText,
+		Options:      core.Options{DetectOscillation: true, Parallel: *parallel},
+		JournalPath:  *journalPath,
+		QueueDepth:   *queue,
+		ApplyTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(out, "rcserved: listening on http://%s (devices=%d policies=%d ecs=%d seq=%d)\n",
+		ln.Addr(), snap.Devices, snap.Policies, snap.ECs, snap.Seq)
+	return http.Serve(ln, srv.Handler())
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresNet(t *testing.T) {
+	err := run(nil, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-net is required") {
+		t.Fatalf("run() without -net: got %v, want -net is required", err)
+	}
+}
+
+func TestRunRejectsMissingDir(t *testing.T) {
+	if err := run([]string{"-net", t.TempDir()}, os.Stdout); err == nil {
+		t.Fatal("run() with empty snapshot dir: want error, got nil")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, os.Stdout); err == nil {
+		t.Fatal("run() with unknown flag: want error, got nil")
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"realconfig/internal/apkeep"
-	"realconfig/internal/bdd"
 	"realconfig/internal/core"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
@@ -80,29 +79,10 @@ func cmdTrace(args []string) error {
 	if net.Devices[*src] == nil {
 		return fmt.Errorf("no device %q", *src)
 	}
-	var pkt bdd.Packet
-	if pkt.Dst, err = netcfg.ParseAddr(*dstStr); err != nil {
+	pkt, err := core.ParsePacket(*dstStr, *srcStr, *protoStr, *port)
+	if err != nil {
 		return err
 	}
-	if pkt.Src, err = netcfg.ParseAddr(*srcStr); err != nil {
-		return err
-	}
-	switch *protoStr {
-	case "ip":
-		pkt.Proto = netcfg.ProtoIPAny
-	case "tcp":
-		pkt.Proto = netcfg.ProtoTCP
-	case "udp":
-		pkt.Proto = netcfg.ProtoUDP
-	case "icmp":
-		pkt.Proto = netcfg.ProtoICMP
-	default:
-		return fmt.Errorf("unknown protocol %q", *protoStr)
-	}
-	if *port < 0 || *port > 65535 {
-		return fmt.Errorf("bad port %d", *port)
-	}
-	pkt.DstPort = uint16(*port)
 	v := core.New(core.Options{DetectOscillation: true})
 	if _, err := v.Load(net); err != nil {
 		return err

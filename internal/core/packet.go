@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"realconfig/internal/bdd"
+	"realconfig/internal/netcfg"
+)
+
+// ParsePacket builds a concrete packet from the textual fields shared by
+// the realconfig trace subcommand and the daemon's /v1/trace endpoint.
+// Empty src defaults to 0.0.0.0 and empty proto to "ip".
+func ParsePacket(dst, src, proto string, port int) (bdd.Packet, error) {
+	var pkt bdd.Packet
+	var err error
+	if pkt.Dst, err = netcfg.ParseAddr(dst); err != nil {
+		return pkt, err
+	}
+	if src == "" {
+		src = "0.0.0.0"
+	}
+	if pkt.Src, err = netcfg.ParseAddr(src); err != nil {
+		return pkt, err
+	}
+	switch proto {
+	case "", "ip":
+		pkt.Proto = netcfg.ProtoIPAny
+	case "tcp":
+		pkt.Proto = netcfg.ProtoTCP
+	case "udp":
+		pkt.Proto = netcfg.ProtoUDP
+	case "icmp":
+		pkt.Proto = netcfg.ProtoICMP
+	default:
+		return pkt, fmt.Errorf("unknown protocol %q (want ip, tcp, udp or icmp)", proto)
+	}
+	if port < 0 || port > 65535 {
+		return pkt, fmt.Errorf("bad port %d", port)
+	}
+	pkt.DstPort = uint16(port)
+	return pkt, nil
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"realconfig/internal/apkeep"
@@ -85,7 +86,8 @@ type Report struct {
 	Timing Timing
 }
 
-// Violations lists the policies that became violated in this step.
+// Violations lists, in sorted order, the policies that became violated
+// in this step.
 func (r *Report) Violations() []string {
 	var out []string
 	for _, e := range r.Check.Events {
@@ -93,10 +95,12 @@ func (r *Report) Violations() []string {
 			out = append(out, e.Policy)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
-// Repaired lists the policies that became satisfied in this step.
+// Repaired lists, in sorted order, the policies that became satisfied in
+// this step.
 func (r *Report) Repaired() []string {
 	var out []string
 	for _, e := range r.Check.Events {
@@ -104,6 +108,7 @@ func (r *Report) Repaired() []string {
 			out = append(out, e.Policy)
 		}
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -124,12 +129,19 @@ func New(opts Options) *Verifier {
 	}
 }
 
+// ErrNotLoaded is returned by operations that need a verified network
+// (Apply, Fork) before Load has succeeded.
+var ErrNotLoaded = errors.New("core: no network loaded (call Load first)")
+
 // Load performs the initial full verification of a network snapshot.
 func (v *Verifier) Load(net *netcfg.Network) (*Report, error) { return v.SetNetwork(net) }
 
 // Apply applies typed configuration changes to the current network and
 // re-verifies incrementally.
 func (v *Verifier) Apply(changes ...netcfg.Change) (*Report, error) {
+	if v.cur == nil {
+		return nil, ErrNotLoaded
+	}
 	next := v.cur.Clone()
 	for _, ch := range changes {
 		if err := ch.Apply(next); err != nil {
@@ -198,6 +210,44 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 }
 
 func deviceNames(net *netcfg.Network) []string { return net.DeviceNames() }
+
+// Options returns the verifier's configuration, so callers (what-if
+// sessions, journal replay) can build an equivalently configured fork.
+func (v *Verifier) Options() Options { return v.opts }
+
+// Fork builds an independent verifier over a copy of the current
+// network, with the same options and the given policy specification
+// re-parsed against the fork's own BDD table (policy predicates are
+// table-relative, so the live verifier's Policy values cannot be
+// shared). The fork's state is disjoint from the live verifier: changes
+// applied to it are speculative. Returns ErrNotLoaded before Load.
+func (v *Verifier) Fork(policyText string) (*Verifier, error) {
+	if v.cur == nil {
+		return nil, ErrNotLoaded
+	}
+	fork, _, err := Bootstrap(v.opts, v.cur.Clone(), policyText)
+	return fork, err
+}
+
+// Bootstrap builds a verifier over a network snapshot with policies
+// parsed from a specification text: the construction path shared by
+// daemon startup, journal replay and what-if forks. The network is used
+// directly (not cloned); pass a copy if the caller retains it.
+func Bootstrap(opts Options, net *netcfg.Network, policyText string) (*Verifier, *Report, error) {
+	v := New(opts)
+	rep, err := v.Load(net)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps, err := ParsePolicies(policyText, v.Model().H)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range ps {
+		v.AddPolicy(p)
+	}
+	return v, rep, nil
+}
 
 // Network returns a copy of the currently verified snapshot (nil before
 // Load).

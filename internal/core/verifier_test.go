@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"realconfig/internal/apkeep"
@@ -293,4 +294,71 @@ func TestVerifierLoopPolicyOnStaticLoop(t *testing.T) {
 	if o, ok := v.Checker().OutcomeOf(ec, "r00"); !ok || o.Kind != policy.Looped {
 		t.Errorf("outcome = %+v ok=%v", o, ok)
 	}
+}
+
+// TestApplyBeforeLoadReturnsErrNotLoaded: using a verifier before Load
+// fails with the typed error (not a panic), so callers like the rcserved
+// daemon can map it cleanly.
+func TestApplyBeforeLoadReturnsErrNotLoaded(t *testing.T) {
+	v := New(Options{})
+	if _, err := v.Apply(netcfg.ShutdownInterface{Device: "r00", Intf: "eth0", Shutdown: true}); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("Apply before Load: err = %v, want ErrNotLoaded", err)
+	}
+	if _, err := v.Fork(""); !errors.Is(err, ErrNotLoaded) {
+		t.Fatalf("Fork before Load: err = %v, want ErrNotLoaded", err)
+	}
+}
+
+// TestForkIsIndependent: changes applied to a fork never leak into the
+// live verifier, and the fork re-evaluates policies on its own state.
+func TestForkIsIndependent(t *testing.T) {
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(Options{})
+	if _, err := v.Load(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	spec := "reach r00-r02 r00 r02 " + net.HostPrefix["r02"].String() + " all"
+	ps, err := ParsePolicies(spec, v.Model().H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if !v.AddPolicy(p) {
+			t.Fatal("reachability should hold initially")
+		}
+	}
+	fork, err := v.Fork(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fork.Verdicts(); !got["r00-r02"] {
+		t.Fatalf("fork verdicts = %v", got)
+	}
+	var link netcfg.Link
+	for _, l := range net.Topology.Links {
+		if (l.DevA == "r01" && l.DevB == "r02") || (l.DevA == "r02" && l.DevB == "r01") {
+			link = l
+		}
+	}
+	rep, err := fork.Apply(netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations()) != 1 || rep.Violations()[0] != "r00-r02" {
+		t.Errorf("fork violations = %v", rep.Violations())
+	}
+	if fork.Verdicts()["r00-r02"] {
+		t.Error("fork verdict should have flipped to violated")
+	}
+	// The live verifier saw none of it.
+	if !v.Verdicts()["r00-r02"] {
+		t.Error("fork mutated the live verifier's verdicts")
+	}
+	if v.Network().Devices[link.DevA].Intf(link.IntfA).Shutdown {
+		t.Error("fork mutated the live network")
+	}
+	crossCheck(t, v, v.Network())
 }

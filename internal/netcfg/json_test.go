@@ -1,0 +1,175 @@
+package netcfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomChange builds an arbitrary typed change covering every kind the
+// wire format supports.
+func randomChange(rng *rand.Rand) Change {
+	dev := "r" + string(rune('a'+rng.Intn(26)))
+	intf := []string{"eth0", "eth1", "lo0"}[rng.Intn(3)]
+	randPrefix := func() Prefix {
+		p := Prefix{Addr: Addr(rng.Uint32()), Len: uint8(rng.Intn(33))}
+		p.Addr &= p.Mask()
+		return p
+	}
+	switch rng.Intn(12) {
+	case 0:
+		return ShutdownInterface{Device: dev, Intf: intf, Shutdown: rng.Intn(2) == 0}
+	case 1:
+		return SetOSPFCost{Device: dev, Intf: intf, Cost: uint32(1 + rng.Intn(1000))}
+	case 2:
+		return SetLocalPref{Device: dev, Neighbor: Addr(rng.Uint32()), LocalPref: uint32(rng.Intn(400))}
+	case 3:
+		sr := StaticRoute{Prefix: randPrefix()}
+		if rng.Intn(3) == 0 {
+			sr.Drop = true
+		} else {
+			sr.NextHop = Addr(rng.Uint32())
+		}
+		return AddStaticRoute{Device: dev, Route: sr}
+	case 4:
+		return RemoveStaticRoute{Device: dev, Route: StaticRoute{Prefix: randPrefix(), NextHop: Addr(rng.Uint32())}}
+	case 5:
+		ch := SetACL{Device: dev, Name: "acl" + string(rune('a'+rng.Intn(3)))}
+		for i := 0; i <= rng.Intn(3); i++ {
+			l := ACLLine{
+				Seq:    (i + 1) * 10,
+				Action: ACLAction(rng.Intn(2)),
+				Proto:  []IPProto{ProtoIPAny, ProtoTCP, ProtoUDP, ProtoICMP}[rng.Intn(4)],
+				Src:    randPrefix(),
+				Dst:    randPrefix(),
+			}
+			if l.Proto == ProtoTCP || l.Proto == ProtoUDP {
+				lo := uint16(1 + rng.Intn(60000))
+				l.DstPortLo, l.DstPortHi = lo, lo+uint16(rng.Intn(100))
+			}
+			ch.Lines = append(ch.Lines, l)
+		}
+		if rng.Intn(4) == 0 {
+			ch.Lines = nil // removal form
+		}
+		return ch
+	case 6:
+		return BindACL{Device: dev, Intf: intf, Name: "acla", In: rng.Intn(2) == 0}
+	case 7:
+		ch := SetPrefixList{Device: dev, Name: []string{"fin", "fout"}[rng.Intn(2)]}
+		for i := 0; i <= rng.Intn(3); i++ {
+			ch.Entries = append(ch.Entries, PrefixListEntry{
+				Seq:    (i + 1) * 5,
+				Action: ACLAction(rng.Intn(2)),
+				Prefix: randPrefix(),
+				Exact:  rng.Intn(2) == 0,
+			})
+		}
+		if rng.Intn(4) == 0 {
+			ch.Entries = nil // removal form
+		}
+		return ch
+	case 8:
+		return BindNeighborFilter{Device: dev, Neighbor: Addr(rng.Uint32()), Name: "fin", In: rng.Intn(2) == 0}
+	case 9:
+		return SetAggregate{Device: dev, Prefix: randPrefix(), Remove: rng.Intn(2) == 0}
+	case 10:
+		return AddLink{Link: NewLink(dev, intf, "s"+dev, "eth9")}
+	default:
+		return RemoveLink{Link: NewLink(dev, intf, "s"+dev, "eth9")}
+	}
+}
+
+// TestChangeJSONRoundTrip: encode -> decode must reproduce the identical
+// change value, and re-encoding must reproduce the identical bytes, for
+// arbitrary changes of every kind. The journal and the HTTP API both
+// depend on this being lossless.
+func TestChangeJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		c := randomChange(rng)
+		raw, err := EncodeChange(c)
+		if err != nil {
+			t.Fatalf("trial %d: encode %#v: %v", trial, c, err)
+		}
+		back, err := DecodeChange(raw)
+		if err != nil {
+			t.Fatalf("trial %d: decode %s: %v", trial, raw, err)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Fatalf("trial %d: round trip lossy:\n  in:  %#v\n  out: %#v\n  via: %s", trial, c, back, raw)
+		}
+		raw2, err := EncodeChange(back)
+		if err != nil {
+			t.Fatalf("trial %d: re-encode: %v", trial, err)
+		}
+		if !bytes.Equal(raw, raw2) {
+			t.Fatalf("trial %d: re-encode unstable:\n  first:  %s\n  second: %s", trial, raw, raw2)
+		}
+	}
+}
+
+// TestChangeBatchRoundTrip exercises the batch helpers end to end.
+func TestChangeBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]Change, 20)
+	for i := range batch {
+		batch[i] = randomChange(rng)
+	}
+	raws, err := EncodeChanges(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeChanges(raws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, back) {
+		t.Fatalf("batch round trip lossy:\n  in:  %#v\n  out: %#v", batch, back)
+	}
+}
+
+// TestDecodeChangeErrors: unknown and malformed kinds fail loudly rather
+// than decoding to a zero change.
+func TestDecodeChangeErrors(t *testing.T) {
+	for _, bad := range []string{
+		`{"kind":"reboot_device"}`,
+		`{"Device":"r1"}`,
+		`not json`,
+		`{"kind":"set_ospf_cost","Cost":"cheap"}`,
+		`{"kind":"add_static_route","Route":{"Prefix":"10.0.0.0/99"}}`,
+	} {
+		if _, err := DecodeChange(json.RawMessage(bad)); err == nil {
+			t.Errorf("DecodeChange(%s): want error, got nil", bad)
+		}
+	}
+}
+
+// TestNetworkDiffJSONRoundTrip: the diff reported with every applied
+// batch must survive the journal's JSON encoding losslessly.
+func TestNetworkDiffJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		oldNet := NewNetwork()
+		newNet := NewNetwork()
+		oldNet.Devices["r1"] = randomConfig(rng)
+		newNet.Devices["r1"] = randomConfig(rng)
+		oldNet.Devices["r2"] = randomConfig(rng)
+		oldNet.Topology.Add("r1", "eth0", "r2", "eth0")
+		newNet.Topology.Add("r1", "eth1", "r2", "eth1")
+		d := DiffNetworks(oldNet, newNet)
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		var back NetworkDiff
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		if !reflect.DeepEqual(*d, back) {
+			t.Fatalf("trial %d: diff round trip lossy:\n  in:  %#v\n  out: %#v", trial, *d, back)
+		}
+	}
+}

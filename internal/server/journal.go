@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"realconfig/internal/netcfg"
+)
+
+// Journal operations.
+const (
+	opChanges      = "changes"
+	opPolicyAdd    = "policy_add"
+	opPolicyRemove = "policy_remove"
+)
+
+// Entry is one journaled write: a batch of configuration changes, a
+// policy addition (by its source line), or a policy removal (by name).
+// Entries are stored as JSON lines, appended strictly after the write
+// succeeds against the live verifier, so replaying the journal over the
+// same base snapshot reproduces the daemon's exact state.
+type Entry struct {
+	Op      string            `json:"op"`
+	Changes []json.RawMessage `json:"changes,omitempty"`
+	Line    string            `json:"line,omitempty"`
+	Name    string            `json:"name,omitempty"`
+}
+
+// journal is an append-only JSON-lines file of applied writes.
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openJournal reads any existing entries from path (the replay set) and
+// opens the file for appending. An empty or absent file yields no
+// entries.
+func openJournal(path string) (*journal, []Entry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal %s line %d: %w", path, lineno, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, entries, nil
+}
+
+// append durably records one entry (write + flush + fsync).
+func (j *journal) append(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// changesEntry builds a journal entry for an applied change batch.
+func changesEntry(changes []netcfg.Change) (Entry, error) {
+	raws, err := netcfg.EncodeChanges(changes)
+	if err != nil {
+		return Entry{}, err
+	}
+	return Entry{Op: opChanges, Changes: raws}, nil
+}

@@ -1,0 +1,678 @@
+// Package server is rcserved's engine: a long-running HTTP service that
+// owns a core.Verifier for its lifetime, so every configuration change
+// is verified incrementally against warm state instead of from scratch.
+//
+// Concurrency model (single writer, lock-free readers):
+//
+//   - All access to the verifier happens on one apply goroutine. Writes
+//     (change batches, policy ops) and live-state reads (traces, what-if
+//     captures) are submitted as jobs on a bounded queue and executed
+//     strictly one at a time, in arrival order.
+//   - After every write the apply goroutine builds an immutable Snapshot
+//     (verdicts, violations, last report, counters) and publishes it via
+//     an atomic pointer. GET /v1/verdicts, /v1/report and /v1/healthz
+//     serve the snapshot directly: concurrent readers never block behind
+//     a verification and can never observe a torn state.
+//   - What-if sessions fork cheaply: the apply goroutine captures a clone
+//     of the current network plus the active policy text (fast), and the
+//     speculative verification runs on the request goroutine against a
+//     brand-new verifier, leaving both the live verifier and the apply
+//     queue untouched.
+//
+// Durability: with a journal configured, every successful write is
+// appended as a JSON line after it is applied. On startup the journal is
+// replayed over the base snapshot, recovering the exact live state
+// (including the sequence number) without re-verifying from scratch at
+// the API level.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"realconfig/internal/core"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Net is the base network snapshot (required).
+	Net *netcfg.Network
+	// PolicyText is the initial policy specification ("" = none). It is
+	// part of the base state, not the journal: restarts must supply the
+	// same text to reproduce verdicts.
+	PolicyText string
+	// Options configures the underlying verifier.
+	Options core.Options
+	// JournalPath enables the append-only change journal ("" = none).
+	JournalPath string
+	// QueueDepth bounds the apply queue (0 = 64). Writes beyond it are
+	// rejected with 503 instead of queueing without bound.
+	QueueDepth int
+	// ApplyTimeout bounds how long a request waits for its job (queueing
+	// plus verification; 0 = 30s).
+	ApplyTimeout time.Duration
+}
+
+// Server is the daemon engine. Create with New, serve via Handler, stop
+// with Close.
+type Server struct {
+	applyTimeout time.Duration
+
+	jobs chan *job
+	quit chan struct{}
+	done chan struct{}
+
+	snap  atomic.Pointer[Snapshot]
+	mux   *http.ServeMux
+	start time.Time
+
+	// State below is owned by the apply goroutine after New returns.
+	v        *core.Verifier
+	policies []policyEntry
+	seq      uint64
+	journal  *journal
+}
+
+// policyEntry pairs a registered policy's name with the source line it
+// was parsed from, so what-if forks and journal replays can rebuild it.
+type policyEntry struct {
+	name, line string
+}
+
+type job struct {
+	ctx  context.Context
+	run  func() (any, error)
+	done chan jobResult
+}
+
+type jobResult struct {
+	v   any
+	err error
+}
+
+// errQueueFull is returned when the bounded apply queue is at capacity.
+var errQueueFull = errors.New("server: apply queue full")
+
+// New loads the base network, registers the initial policies, replays
+// the journal if configured, publishes the first snapshot and starts the
+// apply goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Net == nil {
+		return nil, errors.New("server: Config.Net is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.ApplyTimeout <= 0 {
+		cfg.ApplyTimeout = 30 * time.Second
+	}
+	s := &Server{
+		applyTimeout: cfg.ApplyTimeout,
+		jobs:         make(chan *job, cfg.QueueDepth),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		start:        time.Now(),
+	}
+	s.v = core.New(cfg.Options)
+	rep, err := s.v.Load(cfg.Net)
+	if err != nil {
+		return nil, fmt.Errorf("server: loading base network: %w", err)
+	}
+	lastReport := reportJSON(rep)
+	if err := s.addPolicyText(cfg.PolicyText); err != nil {
+		return nil, err
+	}
+	if cfg.JournalPath != "" {
+		j, entries, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		for i, e := range entries {
+			rep, err := s.applyEntry(e)
+			if err != nil {
+				j.close()
+				return nil, fmt.Errorf("server: replaying journal entry %d (%s): %w", i+1, e.Op, err)
+			}
+			s.seq++
+			if rep != nil {
+				lastReport = rep
+			}
+		}
+	}
+	s.snap.Store(buildSnapshot(s.v, s.seq, lastReport))
+	s.mux = http.NewServeMux()
+	s.routes()
+	go s.applyLoop()
+	return s, nil
+}
+
+// addPolicyText parses and registers a multi-line policy specification,
+// recording each policy's source line for forks and removals.
+func (s *Server) addPolicyText(text string) error {
+	ps, err := core.ParsePolicies(text, s.v.Model().H)
+	if err != nil {
+		return err
+	}
+	lines := policyLines(text)
+	if len(lines) != len(ps) {
+		return fmt.Errorf("server: policy text has %d lines but parsed %d policies", len(lines), len(ps))
+	}
+	for i, p := range ps {
+		if s.findPolicy(p.Name()) >= 0 {
+			return fmt.Errorf("server: duplicate policy %q", p.Name())
+		}
+		s.v.AddPolicy(p)
+		s.policies = append(s.policies, policyEntry{name: p.Name(), line: lines[i]})
+	}
+	return nil
+}
+
+// policyLines extracts the significant (non-blank, non-comment) lines of
+// a policy specification, in order: the i-th line produced the i-th
+// policy of core.ParsePolicies.
+func policyLines(text string) []string {
+	var out []string
+	for _, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func (s *Server) findPolicy(name string) int {
+	for i, e := range s.policies {
+		if e.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// policyText renders the active policies back into a specification text
+// (the fork/replay input).
+func (s *Server) policyText() string {
+	var b strings.Builder
+	for _, e := range s.policies {
+		b.WriteString(e.line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// applyEntry executes one journaled write against the live verifier.
+// Runs during replay (before the apply goroutine starts) and never
+// journals, so replay is idempotent with respect to the file.
+func (s *Server) applyEntry(e Entry) (*ReportJSON, error) {
+	switch e.Op {
+	case opChanges:
+		changes, err := netcfg.DecodeChanges(e.Changes)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.v.Apply(changes...)
+		if err != nil {
+			return nil, err
+		}
+		return reportJSON(rep), nil
+	case opPolicyAdd:
+		return nil, s.addPolicyText(e.Line)
+	case opPolicyRemove:
+		i := s.findPolicy(e.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("no policy %q", e.Name)
+		}
+		s.v.RemovePolicy(e.Name)
+		s.policies = append(s.policies[:i], s.policies[i+1:]...)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown journal op %q", e.Op)
+}
+
+// applyLoop is the single writer: it drains the job queue one job at a
+// time until Close.
+func (s *Server) applyLoop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			if j.ctx.Err() != nil {
+				j.done <- jobResult{err: j.ctx.Err()}
+				continue // requester gave up while queued; skip the work
+			}
+			v, err := j.run()
+			j.done <- jobResult{v: v, err: err}
+		}
+	}
+}
+
+// do submits fn to the apply goroutine and waits for its result, the
+// request deadline, or shutdown. A full queue fails fast with
+// errQueueFull rather than blocking.
+func (s *Server) do(ctx context.Context, fn func() (any, error)) (any, error) {
+	j := &job{ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	select {
+	case s.jobs <- j:
+	default:
+		return nil, errQueueFull
+	}
+	select {
+	case r := <-j.done:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.quit:
+		return nil, errors.New("server: shutting down")
+	}
+}
+
+// publish rebuilds and atomically installs the snapshot. Runs on the
+// apply goroutine.
+func (s *Server) publish(rep *ReportJSON) {
+	if rep == nil {
+		rep = s.snap.Load().LastReport
+	}
+	s.snap.Store(buildSnapshot(s.v, s.seq, rep))
+}
+
+// Snapshot returns the current published snapshot (never nil).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the apply goroutine and closes the journal. In-flight
+// requests fail with a shutdown error; queued jobs are dropped.
+func (s *Server) Close() error {
+	close(s.quit)
+	<-s.done
+	if s.journal != nil {
+		return s.journal.close()
+	}
+	return nil
+}
+
+// ---- HTTP layer ----
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
+	s.mux.HandleFunc("/v1/report", s.handleReport)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/changes", s.handleChanges)
+	s.mux.HandleFunc("/v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
+}
+
+// changesRequest is the body of POST /v1/changes and /v1/whatif.
+type changesRequest struct {
+	Changes []json.RawMessage `json:"changes"`
+}
+
+// policiesRequest is the body of POST /v1/policies.
+type policiesRequest struct {
+	Add    []string `json:"add"`
+	Remove []string `json:"remove"`
+}
+
+// applyResponse answers a successful write (or a what-if).
+type applyResponse struct {
+	Seq      uint64      `json:"seq"`
+	WhatIf   bool        `json:"whatIf,omitempty"`
+	Report   *ReportJSON `json:"report,omitempty"`
+	Verdicts []Verdict   `json:"verdicts"`
+}
+
+// verdictsResponse is the byte-stable body of GET /v1/verdicts.
+type verdictsResponse struct {
+	Seq      uint64    `json:"seq"`
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	switch {
+	case errors.Is(err, errQueueFull):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            true,
+		"seq":           snap.Seq,
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+		"devices":       snap.Devices,
+		"policies":      snap.Policies,
+		"ecs":           snap.ECs,
+		"fibRules":      snap.FIBRules,
+		"queueLength":   len(s.jobs),
+		"queueCapacity": cap(s.jobs),
+	})
+}
+
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, verdictsResponse{Seq: snap.Seq, Verdicts: snap.Verdicts})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seq":        snap.Seq,
+		"violations": snap.Violations,
+		"report":     snap.LastReport,
+	})
+}
+
+// decodeChangesBody parses and validates a change-batch request body.
+func decodeChangesBody(w http.ResponseWriter, r *http.Request) ([]netcfg.Change, bool) {
+	var req changesRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return nil, false
+	}
+	if len(req.Changes) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty change batch"})
+		return nil, false
+	}
+	changes, err := netcfg.DecodeChanges(req.Changes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return nil, false
+	}
+	return changes, true
+}
+
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	changes, ok := decodeChangesBody(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	defer cancel()
+	res, err := s.do(ctx, func() (any, error) {
+		rep, err := s.v.Apply(changes...)
+		if err != nil {
+			return nil, err
+		}
+		rj := reportJSON(rep)
+		if s.journal != nil {
+			e, err := changesEntry(changes)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.journal.append(e); err != nil {
+				return nil, fmt.Errorf("applied but not journaled: %w", err)
+			}
+		}
+		s.seq++
+		s.publish(rj)
+		snap := s.Snapshot()
+		return applyResponse{Seq: snap.Seq, Report: rj, Verdicts: snap.Verdicts}, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// whatIfCapture is what the apply goroutine hands to a what-if session:
+// everything needed to rebuild an equivalent verifier, cheaply cloned.
+type whatIfCapture struct {
+	net    *netcfg.Network
+	policy string
+	opts   core.Options
+	seq    uint64
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	changes, ok := decodeChangesBody(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	defer cancel()
+	// Capture on the apply goroutine (cheap: a network clone), then run
+	// the speculative verification here, off the write path.
+	res, err := s.do(ctx, func() (any, error) {
+		return whatIfCapture{net: s.v.Network(), policy: s.policyText(), opts: s.v.Options(), seq: s.seq}, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	wc := res.(whatIfCapture)
+	fork, _, err := core.Bootstrap(wc.opts, wc.net, wc.policy)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := fork.Apply(changes...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	verdicts := fork.Verdicts()
+	names := make([]string, 0, len(verdicts))
+	for name := range verdicts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := applyResponse{Seq: wc.seq, WhatIf: true, Report: reportJSON(rep)}
+	for _, name := range names {
+		out.Verdicts = append(out.Verdicts, Verdict{Policy: name, Satisfied: verdicts[name]})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req policiesRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "nothing to add or remove"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	defer cancel()
+	res, err := s.do(ctx, func() (any, error) {
+		// Validate the whole batch before mutating anything, so a bad
+		// request leaves state (and the journal) untouched.
+		removed := make(map[string]bool, len(req.Remove))
+		for _, name := range req.Remove {
+			if s.findPolicy(name) < 0 {
+				return nil, fmt.Errorf("no policy %q", name)
+			}
+			removed[name] = true
+		}
+		type add struct {
+			p    policy.Policy
+			line string
+		}
+		adds := make([]add, 0, len(req.Add))
+		for _, line := range req.Add {
+			line = strings.TrimSpace(line)
+			ps, err := core.ParsePolicies(line, s.v.Model().H)
+			if err != nil {
+				return nil, err
+			}
+			if len(ps) != 1 {
+				return nil, fmt.Errorf("add entry must be exactly one policy line, got %d", len(ps))
+			}
+			name := ps[0].Name()
+			if s.findPolicy(name) >= 0 && !removed[name] {
+				return nil, fmt.Errorf("duplicate policy %q", name)
+			}
+			for _, a := range adds {
+				if a.p.Name() == name {
+					return nil, fmt.Errorf("duplicate policy %q", name)
+				}
+			}
+			adds = append(adds, add{p: ps[0], line: line})
+		}
+		for _, name := range req.Remove {
+			s.v.RemovePolicy(name)
+			i := s.findPolicy(name)
+			s.policies = append(s.policies[:i], s.policies[i+1:]...)
+			if s.journal != nil {
+				if err := s.journal.append(Entry{Op: opPolicyRemove, Name: name}); err != nil {
+					return nil, fmt.Errorf("applied but not journaled: %w", err)
+				}
+			}
+			s.seq++
+		}
+		for _, a := range adds {
+			s.v.AddPolicy(a.p)
+			s.policies = append(s.policies, policyEntry{name: a.p.Name(), line: a.line})
+			if s.journal != nil {
+				if err := s.journal.append(Entry{Op: opPolicyAdd, Line: a.line}); err != nil {
+					return nil, fmt.Errorf("applied but not journaled: %w", err)
+				}
+			}
+			s.seq++
+		}
+		s.publish(nil)
+		snap := s.Snapshot()
+		return applyResponse{Seq: snap.Seq, Verdicts: snap.Verdicts}, nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// traceResponse answers GET /v1/trace.
+type traceResponse struct {
+	Outcome string     `json:"outcome"`
+	At      string     `json:"at"`
+	Hops    []traceHop `json:"hops"`
+	Text    string     `json:"text"`
+}
+
+type traceHop struct {
+	Device   string `json:"device"`
+	Rule     string `json:"rule,omitempty"`
+	Filtered string `json:"filtered,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	src := q.Get("src")
+	dst := q.Get("dst")
+	if src == "" || dst == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "src and dst query parameters are required"})
+		return
+	}
+	port := 0
+	if p := q.Get("port"); p != "" {
+		var err error
+		if port, err = strconv.Atoi(p); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad port " + p})
+			return
+		}
+	}
+	pkt, err := core.ParsePacket(dst, q.Get("srcip"), q.Get("proto"), port)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	defer cancel()
+	res, err := s.do(ctx, func() (any, error) {
+		if net := s.v.Network(); net == nil || net.Devices[src] == nil {
+			return nil, fmt.Errorf("no device %q", src)
+		}
+		return s.v.Trace(src, pkt), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tr := res.(core.Trace)
+	out := traceResponse{
+		Outcome: tr.Outcome.Kind.String(),
+		At:      tr.Outcome.At,
+		Text:    tr.String(),
+		Hops:    make([]traceHop, 0, len(tr.Hops)),
+	}
+	for _, h := range tr.Hops {
+		hop := traceHop{Device: h.Device, Filtered: h.Filtered}
+		if h.Rule != nil {
+			hop.Rule = h.Rule.String()
+		}
+		out.Hops = append(out.Hops, hop)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
