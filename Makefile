@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke bench-smoke bench-json bench
+.PHONY: all build test check server-test serve-smoke fuzz-smoke cover bench-smoke bench-json bench
 
 all: build
 
@@ -12,14 +12,32 @@ test:
 
 # check is the tier-1 gate: vet, an explicit daemon build, the full
 # suite under the race detector (including the server's concurrency
-# tests), and a one-iteration benchmark smoke so the perf harness can't
-# rot.
+# tests), a short native-fuzz burst, the coverage ratchet, and a
+# one-iteration benchmark smoke so the perf harness can't rot.
 check:
 	$(GO) vet ./...
 	$(GO) build -o /dev/null ./cmd/rcserved
 	$(GO) test -race ./...
 	$(MAKE) server-test
+	$(MAKE) fuzz-smoke
+	$(MAKE) cover
 	$(MAKE) bench-smoke
+
+# fuzz-smoke runs each native fuzz target briefly (go supports one
+# -fuzz pattern per invocation). Long sessions: raise -fuzztime.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -fuzz '^FuzzChangeJSON$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netcfg
+	$(GO) test -fuzz '^FuzzJournalLine$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
+
+# cover measures per-package statement coverage and fails if any package
+# listed in coverage.txt dropped below its recorded floor. After
+# genuinely improving coverage, re-record with `make cover-update`.
+cover:
+	./scripts/cover.sh check
+
+cover-update:
+	./scripts/cover.sh update
 
 # server-test runs the daemon's test suite under the race detector: the
 # single-writer/lock-free-reader snapshot discipline is only proven if

@@ -61,6 +61,14 @@ type jsonTable3Row struct {
 	CheckNs    int64  `json:"policy_check_ns"`
 }
 
+// jsonStageRun flattens one StageRun to nanoseconds per canonical
+// stage name (the obs.Stage* vocabulary), matching the live
+// realconfig_stage_seconds{stage=...} histograms.
+type jsonStageRun struct {
+	Label   string           `json:"label"`
+	StageNs map[string]int64 `json:"stage_ns"`
+}
+
 type jsonMining struct {
 	Failures         int   `json:"failures"`
 	IncrementalNs    int64 `json:"incremental_ns"`
@@ -76,12 +84,13 @@ type jsonReport struct {
 	K         int             `json:"k"`
 	Table2    []jsonTable2Row `json:"table2,omitempty"`
 	Table3    []jsonTable3Row `json:"table3,omitempty"`
+	Stages    []jsonStageRun  `json:"stages,omitempty"`
 	Mining    *jsonMining     `json:"mining,omitempty"`
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rcbench", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment: 2, 3, mining, all")
+	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, all")
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
@@ -97,7 +106,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("mining") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -107,6 +116,11 @@ func run(args []string) error {
 	}
 	if want("3") {
 		if err := runTable3(*k, rep); err != nil {
+			return err
+		}
+	}
+	if want("stages") {
+		if err := runStages(*k, rep); err != nil {
 			return err
 		}
 	}
@@ -177,6 +191,27 @@ func runTable3(k int, rep *jsonReport) error {
 			CheckNs:    r.T2.Nanoseconds(),
 		})
 	}
+	return nil
+}
+
+// runStages prints per-stage pipeline wall times under the canonical
+// stage vocabulary — the same line realconfig prints after a verify and
+// the same names the daemon's realconfig_stage_seconds metrics carry.
+func runStages(k int, rep *jsonReport) error {
+	header(k, "Pipeline stages: full load vs one link failure (OSPF)")
+	runs, err := bench.RunStages(k)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		fmt.Printf("%-14s %s\n", r.Label+":", r.Timing)
+		ns := make(map[string]int64, 4)
+		for _, st := range r.Timing.Stages() {
+			ns[st.Stage] = st.D.Nanoseconds()
+		}
+		rep.Stages = append(rep.Stages, jsonStageRun{Label: r.Label, StageNs: ns})
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -13,10 +13,12 @@
 //	GET  /v1/report    last verification report and current violations
 //	GET  /v1/trace     trace a packet: ?src=<device>&dst=<ip>[&proto=&port=]
 //	GET  /v1/healthz   liveness, sequence number and counters
+//	GET  /v1/metrics   Prometheus text metrics for every pipeline stage
 //
 // With -journal, applied writes are persisted as JSON lines and replayed
 // on startup, so a restarted daemon recovers its exact state from the
-// same base snapshot.
+// same base snapshot. With -pprof, net/http/pprof profiling endpoints
+// are mounted under /debug/pprof/.
 package main
 
 import (
@@ -47,6 +49,7 @@ func run(args []string, out *os.File) error {
 	parallel := fs.Int("parallel", 0, "policy-checker worker count (<=1 = sequential)")
 	queue := fs.Int("queue", 64, "apply queue depth (writes beyond it get 503)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request apply deadline")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +75,7 @@ func run(args []string, out *os.File) error {
 		JournalPath:  *journalPath,
 		QueueDepth:   *queue,
 		ApplyTimeout: *timeout,
+		EnablePprof:  *pprofOn,
 	})
 	if err != nil {
 		return err

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"time"
 
 	"realconfig/internal/apkeep"
 	"realconfig/internal/core"
@@ -242,12 +241,8 @@ func printReport(rep *core.Report, label string) {
 	fmt.Printf("%s: %d config lines changed, rules +%d/-%d, filters %d, ECs %d, pairs %d, policies checked %d\n",
 		label, rep.Diff.LineCount(), rep.RulesInserted, rep.RulesDeleted, rep.FilterChanges,
 		rep.Model.AffectedECs(), len(rep.Check.AffectedPairs), rep.Check.PoliciesChecked)
-	fmt.Printf("  timing: generate=%s model=%s check=%s total=%s\n",
-		round(rep.Timing.Generate), round(rep.Timing.ModelUpdate),
-		round(rep.Timing.PolicyCheck), round(rep.Timing.Total))
+	fmt.Printf("  timing: %s\n", rep.Timing)
 }
-
-func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }
 
 func printVerdicts(v *core.Verifier) {
 	verdicts := v.Verdicts()

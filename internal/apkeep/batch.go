@@ -106,6 +106,10 @@ func (m *Model) ApplyBatch(changes []dd.Entry[dataplane.Rule], order Order) (*Ba
 	if m.AutoMerge {
 		res.Merges = m.MergeECs()
 	}
+	m.metrics.Transfers.Add(uint64(len(res.Transfers)))
+	m.metrics.FilterTransfers.Add(uint64(len(res.FilterTransfers)))
+	m.metrics.Merges.Add(uint64(len(res.Merges)))
+	m.metrics.ECs.Set(int64(len(m.ecs)))
 	return res, nil
 }
 

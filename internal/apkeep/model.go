@@ -32,6 +32,7 @@ import (
 	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
 )
 
 // Port is a logical forwarding action on a device. Every EC maps to
@@ -95,11 +96,44 @@ type devState struct {
 
 // OpStats counts the work the model's hot paths perform. Tests and
 // benchmarks use it to assert that updates examine candidate ECs, not
-// the whole partition.
+// the whole partition. The same signals are exported live through
+// ModelMetrics (see Instrument): OpStats is the resettable test-facing
+// snapshot, the registry is the monitoring surface.
 type OpStats struct {
 	SplitCalls      int // split invocations
 	SplitCandidates int // ECs examined across all splits
 	SplitFull       int // splits that had no hint and scanned the partition
+}
+
+// ModelMetrics are the model's live instruments (nil until Instrument;
+// every method is nil-safe). The split counters mirror OpStats
+// cumulatively — they are never reset, so scrape deltas stay meaningful
+// across ResetOps.
+type ModelMetrics struct {
+	SplitCalls      *obs.Counter
+	SplitCandidates *obs.Counter
+	SplitFull       *obs.Counter
+	// Transfers counts EC port moves; FilterTransfers filter-status
+	// flips; Merges partition re-minimizations. All per ApplyBatch.
+	Transfers       *obs.Counter
+	FilterTransfers *obs.Counter
+	Merges          *obs.Counter
+	// ECs is the current partition size, set after every batch.
+	ECs *obs.Gauge
+}
+
+// Instrument registers the model's counters and gauges on reg.
+func (m *Model) Instrument(reg *obs.Registry) {
+	m.metrics = ModelMetrics{
+		SplitCalls:      reg.Counter("realconfig_apkeep_split_calls_total", "EC split invocations.", nil),
+		SplitCandidates: reg.Counter("realconfig_apkeep_split_candidates_total", "Candidate ECs examined across splits (the change-proportional work).", nil),
+		SplitFull:       reg.Counter("realconfig_apkeep_split_full_total", "Splits without a destination hint that scanned the whole partition.", nil),
+		Transfers:       reg.Counter("realconfig_apkeep_transfers_total", "EC port moves applied to the data plane model.", nil),
+		FilterTransfers: reg.Counter("realconfig_apkeep_filter_transfers_total", "EC filter-status flips from ACL updates.", nil),
+		Merges:          reg.Counter("realconfig_apkeep_merges_total", "EC pairs merged re-minimizing the partition.", nil),
+		ECs:             reg.Gauge("realconfig_apkeep_ecs", "Current equivalence-class partition size.", nil),
+	}
+	m.metrics.ECs.Set(int64(len(m.ecs)))
 }
 
 // Model is the incremental data plane model.
@@ -129,7 +163,8 @@ type Model struct {
 	bySig map[uint64]map[bdd.Node]struct{}
 	dirty map[bdd.Node]struct{}
 
-	ops OpStats
+	ops     OpStats
+	metrics ModelMetrics
 }
 
 // New creates a model whose packet space is a single EC (everything
@@ -192,9 +227,11 @@ func (m *Model) split(pred bdd.Node, hint dstHint) []bdd.Node {
 		return nil
 	}
 	m.ops.SplitCalls++
+	m.metrics.SplitCalls.Inc()
 	var cands []bdd.Node
 	if hint.dstRange == fullRange.dstRange {
 		m.ops.SplitFull++
+		m.metrics.SplitFull.Inc()
 		cands = make([]bdd.Node, 0, len(m.ecs))
 		for ec := range m.ecs {
 			cands = append(cands, ec)
@@ -204,6 +241,7 @@ func (m *Model) split(pred bdd.Node, hint dstHint) []bdd.Node {
 		cands = m.idx.candidates(hint.dstRange)
 	}
 	m.ops.SplitCandidates += len(cands)
+	m.metrics.SplitCandidates.Add(uint64(len(cands)))
 
 	var inside []bdd.Node
 	for _, ec := range cands {

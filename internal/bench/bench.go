@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"realconfig/internal/apkeep"
+	"realconfig/internal/core"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
@@ -353,6 +354,38 @@ func RunSpecMining(k int, mode topology.Mode, maxFailures int) (SpecMiningResult
 		res.Incremental += time.Since(t0)
 	}
 	return res, nil
+}
+
+// StageRun is one end-to-end verification measured through the
+// production pipeline (core.Verifier), carrying the same per-stage
+// Timing that realconfig prints and that rcserved exports as the
+// realconfig_stage_seconds histograms — one vocabulary for all three.
+type StageRun struct {
+	Label  string // "full_load" or "link_failure"
+	Timing core.Timing
+}
+
+// RunStages measures a full load followed by one incremental link
+// failure on an OSPF fat-tree through the whole pipeline, so BENCH
+// snapshots and live metrics report comparable per-stage numbers.
+func RunStages(k int) ([]StageRun, error) {
+	net, err := topology.FatTree(k, topology.OSPF)
+	if err != nil {
+		return nil, err
+	}
+	v := core.New(core.Options{DetectOscillation: true})
+	rep, err := v.Load(net.Network)
+	if err != nil {
+		return nil, err
+	}
+	runs := []StageRun{{Label: "full_load", Timing: rep.Timing}}
+	l := net.Topology.Links[0]
+	rep, err = v.Apply(netcfg.ShutdownInterface{Device: l.DevA, Intf: l.IntfA, Shutdown: true})
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, StageRun{Label: "link_failure", Timing: rep.Timing})
+	return runs, nil
 }
 
 // FormatTable2 renders rows in the paper's layout.

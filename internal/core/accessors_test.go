@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/topology"
+)
+
+// TestAccessorsReturnCopies proves callers cannot reach verifier state
+// through the map-returning accessors: scribbling all over the maps
+// Verdicts() and FIB() return must leave later reads — and the verifier
+// itself — untouched.
+func TestAccessorsReturnCopies(t *testing.T) {
+	net, err := topology.Line(3, topology.OSPF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(Options{})
+	if _, err := v.Load(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	h := v.Model().H
+	if !v.AddPolicy(policy.Reachability{
+		PolicyName: "r00->r02", Src: "r00", Dst: "r02",
+		Hdr: h.DstPrefix(net.HostPrefix["r02"]), Mode: policy.ReachAll,
+	}) {
+		t.Fatal("reachability should hold initially")
+	}
+
+	verdicts := v.Verdicts()
+	verdicts["r00->r02"] = false
+	verdicts["forged-policy"] = true
+	delete(verdicts, "r00->r02")
+	if got := v.Verdicts(); !got["r00->r02"] || len(got) != 1 {
+		t.Errorf("mutating Verdicts() leaked into the verifier: %v", got)
+	}
+
+	before := v.FIB()
+	fib := v.FIB()
+	for r := range fib {
+		fib[r] = -42
+	}
+	fib[dataplane.Rule{Device: "intruder"}] = 1
+	if got := v.FIB(); !reflect.DeepEqual(got, before) {
+		t.Errorf("mutating FIB() leaked into the verifier:\n before %v\n after  %v", before, got)
+	}
+
+	// The verifier still works off its own state: an incremental apply
+	// after the scribbling behaves exactly as on a pristine verifier.
+	link := net.Topology.Links[len(net.Topology.Links)-1]
+	rep, err := v.Apply(netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations()) != 1 {
+		t.Errorf("violations after link failure = %v", rep.Violations())
+	}
+	crossCheck(t, v, v.Network())
+}

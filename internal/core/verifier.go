@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"realconfig/internal/apkeep"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
 	"realconfig/internal/policy"
 	"realconfig/internal/routing"
 )
@@ -51,6 +53,43 @@ type Verifier struct {
 	model   *apkeep.Model
 	checker *policy.Checker
 	cur     *netcfg.Network
+
+	// metrics are the verifier's own instruments (nil until Instrument;
+	// nil-safe). Stage histograms are indexed like Timing.Stages().
+	metrics verifierMetrics
+}
+
+// verifierMetrics instruments the verification loop itself; stage and
+// component metrics live with their packages.
+type verifierMetrics struct {
+	stages        map[string]*obs.Histogram
+	verifications *obs.Counter
+	rulesInserted *obs.Counter
+	rulesDeleted  *obs.Counter
+	filterChanges *obs.Counter
+}
+
+// Instrument registers the whole pipeline's metrics on reg: the
+// verifier's per-stage wall-clock histograms and verification counters,
+// plus the generator's dataflow engine, the data plane model and the
+// policy checker. One call wires all four stages; components left
+// uninstrumented pay only nil checks.
+func (v *Verifier) Instrument(reg *obs.Registry) {
+	stages := make(map[string]*obs.Histogram, 4)
+	for _, stage := range obs.Stages() {
+		stages[stage] = reg.Histogram("realconfig_stage_seconds",
+			"Wall-clock time per verification stage.", nil, obs.Labels{"stage": stage})
+	}
+	v.metrics = verifierMetrics{
+		stages:        stages,
+		verifications: reg.Counter("realconfig_verifications_total", "Verifications performed (initial loads and incremental applies).", nil),
+		rulesInserted: reg.Counter("realconfig_rules_inserted_total", "FIB rule insertions across all verifications.", nil),
+		rulesDeleted:  reg.Counter("realconfig_rules_deleted_total", "FIB rule deletions across all verifications.", nil),
+		filterChanges: reg.Counter("realconfig_filter_changes_total", "Packet-filter rule changes across all verifications.", nil),
+	}
+	v.gen.Instrument(reg)
+	v.model.Instrument(reg)
+	v.checker.Instrument(reg)
 }
 
 // Timing breaks a verification down by stage.
@@ -64,6 +103,37 @@ type Timing struct {
 	PolicyCheck time.Duration
 	// Total is the whole verification.
 	Total time.Duration
+}
+
+// StageTiming pairs a canonical stage name (obs.Stage*) with its wall
+// time: the unit shared by CLI output, rcbench JSON and live metrics.
+type StageTiming struct {
+	Stage string
+	D     time.Duration
+}
+
+// Stages returns the per-stage timings under their canonical names, in
+// pipeline order.
+func (t Timing) Stages() []StageTiming {
+	return []StageTiming{
+		{obs.StageGenerate, t.Generate},
+		{obs.StageModelUpdate, t.ModelUpdate},
+		{obs.StagePolicyCheck, t.PolicyCheck},
+		{obs.StageTotal, t.Total},
+	}
+}
+
+// String renders the timings as "generate=… model_update=…
+// policy_check=… total=…", rounded for humans.
+func (t Timing) String() string {
+	var b strings.Builder
+	for i, st := range t.Stages() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", st.Stage, st.D.Round(100*time.Microsecond))
+	}
+	return b.String()
 }
 
 // Report is the outcome of one (full or incremental) verification.
@@ -206,6 +276,13 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 
 	v.cur = net.Clone()
 	rep.Timing.Total = time.Since(start)
+	for _, st := range rep.Timing.Stages() {
+		v.metrics.stages[st.Stage].ObserveDuration(st.D)
+	}
+	v.metrics.verifications.Inc()
+	v.metrics.rulesInserted.Add(uint64(rep.RulesInserted))
+	v.metrics.rulesDeleted.Add(uint64(rep.RulesDeleted))
+	v.metrics.filterChanges.Add(uint64(rep.FilterChanges))
 	return rep, nil
 }
 
@@ -268,8 +345,16 @@ func (v *Verifier) RemovePolicy(name string) { v.checker.RemovePolicy(name) }
 // Verdicts returns the current satisfaction of every registered policy.
 func (v *Verifier) Verdicts() map[string]bool { return v.checker.Verdicts() }
 
-// FIB returns the accumulated forwarding rules (live; do not modify).
-func (v *Verifier) FIB() map[dataplane.Rule]dd.Diff { return v.gen.FIB() }
+// FIB returns a copy of the accumulated forwarding rules. Callers may
+// mutate the returned map freely; verifier state is unaffected.
+func (v *Verifier) FIB() map[dataplane.Rule]dd.Diff {
+	live := v.gen.FIB()
+	out := make(map[dataplane.Rule]dd.Diff, len(live))
+	for r, d := range live {
+		out[r] = d
+	}
+	return out
+}
 
 // Model exposes the data plane model (ECs, ports) for inspection.
 func (v *Verifier) Model() *apkeep.Model { return v.model }

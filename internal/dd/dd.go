@@ -40,6 +40,8 @@ package dd
 import (
 	"fmt"
 	mbits "math/bits"
+
+	"realconfig/internal/obs"
 )
 
 // Diff is a signed multiplicity. Insertions carry +1, deletions -1;
@@ -98,6 +100,10 @@ type Graph struct {
 	// stats for the current/last epoch
 	stats EpochStats
 
+	// metrics are the engine's cumulative instruments (nil until
+	// Instrument; every method is nil-safe).
+	metrics GraphMetrics
+
 	// fingerprints of loop-variable states per iteration, used by the
 	// recurring-state detector (see Detector).
 	detectors []*Detector
@@ -111,6 +117,27 @@ type EpochStats struct {
 	Iterations int // highest iteration that had activity, plus one
 	Entries    int // total difference entries processed by stateful nodes
 	NodeRuns   int // number of (node, iteration) activations
+}
+
+// GraphMetrics are the engine's live instruments: cumulative versions of
+// the per-epoch EpochStats, suitable for a metrics registry.
+type GraphMetrics struct {
+	// Epochs counts completed Advance calls.
+	Epochs *obs.Counter
+	// NodeRuns counts (node, iteration) activations.
+	NodeRuns *obs.Counter
+	// Entries counts difference entries processed by stateful operators.
+	Entries *obs.Counter
+}
+
+// Instrument registers the engine's counters on reg. Safe to call before
+// any Advance; an uninstrumented graph pays only nil checks.
+func (g *Graph) Instrument(reg *obs.Registry) {
+	g.metrics = GraphMetrics{
+		Epochs:   reg.Counter("realconfig_dd_epochs_total", "Dataflow epochs completed by the incremental engine.", nil),
+		NodeRuns: reg.Counter("realconfig_dd_node_runs_total", "Dataflow (node, iteration) activations.", nil),
+		Entries:  reg.Counter("realconfig_dd_entries_total", "Difference entries processed by stateful dataflow operators.", nil),
+	}
 }
 
 // NewGraph returns an empty dataflow graph.
@@ -213,6 +240,9 @@ func (g *Graph) Advance() (EpochStats, error) {
 	}
 	g.epoch++
 	st := g.stats
+	g.metrics.Epochs.Inc()
+	g.metrics.NodeRuns.Add(uint64(st.NodeRuns))
+	g.metrics.Entries.Add(uint64(st.Entries))
 	return st, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"realconfig/internal/apkeep"
 	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
+	"realconfig/internal/obs"
 )
 
 // Kind classifies the fate of a packet injected at a device.
@@ -86,6 +87,40 @@ type Checker struct {
 
 	// parallelism is the worker count for EC walks (<=1 = sequential).
 	parallelism int
+
+	// metrics are the checker's live instruments (nil until Instrument;
+	// every method is nil-safe).
+	metrics CheckerMetrics
+}
+
+// CheckerMetrics are the checker's live instruments: cumulative work
+// counters plus the registered/derived-state gauges.
+type CheckerMetrics struct {
+	// Updates counts Update calls; PoliciesChecked policy
+	// re-evaluations; AffectedECs EC behaviour recomputations;
+	// AffectedPairs (src, dst) pairs whose deliverable set changed.
+	Updates         *obs.Counter
+	PoliciesChecked *obs.Counter
+	AffectedECs     *obs.Counter
+	AffectedPairs   *obs.Counter
+	// Policies is the number of registered policies; Pairs the number of
+	// (src, dst) pairs with at least one deliverable EC.
+	Policies *obs.Gauge
+	Pairs    *obs.Gauge
+}
+
+// Instrument registers the checker's counters and gauges on reg.
+func (c *Checker) Instrument(reg *obs.Registry) {
+	c.metrics = CheckerMetrics{
+		Updates:         reg.Counter("realconfig_policy_updates_total", "Incremental policy-check batches processed.", nil),
+		PoliciesChecked: reg.Counter("realconfig_policy_checks_total", "Policy re-evaluations performed (registered policies intersecting an affected EC).", nil),
+		AffectedECs:     reg.Counter("realconfig_policy_affected_ecs_total", "ECs whose forwarding behaviour was recomputed.", nil),
+		AffectedPairs:   reg.Counter("realconfig_policy_affected_pairs_total", "(src, dst) pairs whose deliverable-EC set changed.", nil),
+		Policies:        reg.Gauge("realconfig_policy_policies", "Registered policies.", nil),
+		Pairs:           reg.Gauge("realconfig_policy_pairs", "(src, dst) pairs with at least one deliverable EC.", nil),
+	}
+	c.metrics.Policies.Set(int64(len(c.policies)))
+	c.metrics.Pairs.Set(int64(len(c.pairs)))
 }
 
 // SetParallelism enables the paper's section-6 "parallelize verification
@@ -258,6 +293,11 @@ func (c *Checker) Update(transfers []apkeep.Transfer, ftransfers []apkeep.Filter
 		}
 		return a.Dst < b.Dst
 	})
+	c.metrics.Updates.Inc()
+	c.metrics.PoliciesChecked.Add(uint64(res.PoliciesChecked))
+	c.metrics.AffectedECs.Add(uint64(res.AffectedECs))
+	c.metrics.AffectedPairs.Add(uint64(len(res.AffectedPairs)))
+	c.metrics.Pairs.Set(int64(len(c.pairs)))
 	return res
 }
 

@@ -24,6 +24,7 @@ func (c *Checker) AddPolicy(p Policy) bool {
 	c.policies[p.Name()] = p
 	v := p.Eval(c)
 	c.verdicts[p.Name()] = v
+	c.metrics.Policies.Set(int64(len(c.policies)))
 	return v
 }
 
@@ -31,6 +32,7 @@ func (c *Checker) AddPolicy(p Policy) bool {
 func (c *Checker) RemovePolicy(name string) {
 	delete(c.policies, name)
 	delete(c.verdicts, name)
+	c.metrics.Policies.Set(int64(len(c.policies)))
 }
 
 // Verdict returns a policy's last verdict.

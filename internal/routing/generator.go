@@ -14,6 +14,7 @@ import (
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
 )
 
 // Options configures a Generator.
@@ -310,6 +311,9 @@ func (gen *Generator) SetNetwork(net *netcfg.Network) {
 	}
 	gen.filters = next
 }
+
+// Instrument registers the underlying dataflow engine's counters on reg.
+func (gen *Generator) Instrument(reg *obs.Registry) { gen.g.Instrument(reg) }
 
 // Step runs one epoch, returning engine statistics. After an error the
 // generator must be discarded.

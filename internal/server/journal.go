@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
 )
 
 // Journal operations.
@@ -33,6 +35,11 @@ type Entry struct {
 type journal struct {
 	f *os.File
 	w *bufio.Writer
+
+	// Instruments (nil-safe; wired by the server when metrics are on).
+	appends       *obs.Counter
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
 }
 
 // openJournal reads any existing entries from path (the replay set) and
@@ -73,6 +80,8 @@ func openJournal(path string) (*journal, []Entry, error) {
 
 // append durably records one entry (write + flush + fsync).
 func (j *journal) append(e Entry) error {
+	t0 := time.Now()
+	defer func() { j.appendSeconds.ObserveDuration(time.Since(t0)) }()
 	b, err := json.Marshal(e)
 	if err != nil {
 		return err
@@ -83,7 +92,13 @@ func (j *journal) append(e Entry) error {
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	ts := time.Now()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.fsyncSeconds.ObserveDuration(time.Since(ts))
+	j.appends.Inc()
+	return nil
 }
 
 func (j *journal) close() error {

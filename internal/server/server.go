@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,6 +41,7 @@ import (
 
 	"realconfig/internal/core"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
 	"realconfig/internal/policy"
 )
 
@@ -61,6 +63,9 @@ type Config struct {
 	// ApplyTimeout bounds how long a request waits for its job (queueing
 	// plus verification; 0 = 30s).
 	ApplyTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints are opt-in on a daemon).
+	EnablePprof bool
 }
 
 // Server is the daemon engine. Create with New, serve via Handler, stop
@@ -76,11 +81,61 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// reg carries every pipeline stage's instruments plus the server's
+	// own; /v1/metrics serves it.
+	reg *obs.Registry
+	m   serverMetrics
+
 	// State below is owned by the apply goroutine after New returns.
 	v        *core.Verifier
 	policies []policyEntry
 	seq      uint64
 	journal  *journal
+}
+
+// serverMetrics are the daemon-layer instruments: request latencies and
+// the durability/publication counters. Pipeline-stage metrics live with
+// their packages (dd, apkeep, policy, core); everything here is
+// prefixed realconfig_server_ so deterministic pipeline counters can be
+// told apart from serving-layer ones.
+type serverMetrics struct {
+	applySeconds      *obs.Histogram
+	whatifSeconds     *obs.Histogram
+	applies           *obs.Counter
+	applyErrors       *obs.Counter
+	whatifs           *obs.Counter
+	journalReplayed      *obs.Counter
+	snapshotPublishes    *obs.Counter
+	journalAppends       *obs.Counter
+	journalAppendSeconds *obs.Histogram
+	journalFsyncSeconds  *obs.Histogram
+}
+
+// instrument builds the registry: the verifier wires all four pipeline
+// stages, then the server adds its own serving-layer metrics.
+func (s *Server) instrument() {
+	s.reg = obs.NewRegistry()
+	s.v.Instrument(s.reg)
+	s.m = serverMetrics{
+		applySeconds:      s.reg.Histogram("realconfig_server_apply_seconds", "POST /v1/changes latency (queueing, verification, journaling).", nil, nil),
+		whatifSeconds:     s.reg.Histogram("realconfig_server_whatif_seconds", "POST /v1/whatif latency (capture plus speculative verification).", nil, nil),
+		applies:           s.reg.Counter("realconfig_server_applies_total", "Successfully applied change batches.", nil),
+		applyErrors:       s.reg.Counter("realconfig_server_apply_errors_total", "Failed or rejected change batches.", nil),
+		whatifs:           s.reg.Counter("realconfig_server_whatifs_total", "Completed what-if verifications.", nil),
+		journalReplayed:   s.reg.Counter("realconfig_server_journal_replayed_total", "Journal entries replayed at startup.", nil),
+		snapshotPublishes: s.reg.Counter("realconfig_server_snapshot_publishes_total", "Immutable snapshots published for lock-free readers.", nil),
+		journalAppends:    s.reg.Counter("realconfig_server_journal_appends_total", "Entries durably appended to the change journal.", nil),
+		journalAppendSeconds: s.reg.Histogram("realconfig_server_journal_append_seconds",
+			"Durable journal append latency (marshal, write, flush, fsync).", nil, nil),
+		journalFsyncSeconds: s.reg.Histogram("realconfig_server_journal_fsync_seconds",
+			"Journal fsync latency alone.", nil, nil),
+	}
+	s.reg.GaugeFunc("realconfig_server_queue_depth", "Jobs waiting in the apply queue.", nil,
+		func() float64 { return float64(len(s.jobs)) })
+	s.reg.GaugeFunc("realconfig_server_queue_capacity", "Apply queue capacity.", nil,
+		func() float64 { return float64(cap(s.jobs)) })
+	s.reg.GaugeFunc("realconfig_server_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
 }
 
 // policyEntry pairs a registered policy's name with the source line it
@@ -124,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 		start:        time.Now(),
 	}
 	s.v = core.New(cfg.Options)
+	s.instrument() // before Load, so the initial full verification is measured too
 	rep, err := s.v.Load(cfg.Net)
 	if err != nil {
 		return nil, fmt.Errorf("server: loading base network: %w", err)
@@ -137,6 +193,9 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.appends = s.m.journalAppends
+		j.appendSeconds = s.m.journalAppendSeconds
+		j.fsyncSeconds = s.m.journalFsyncSeconds
 		s.journal = j
 		for i, e := range entries {
 			rep, err := s.applyEntry(e)
@@ -145,14 +204,16 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("server: replaying journal entry %d (%s): %w", i+1, e.Op, err)
 			}
 			s.seq++
+			s.m.journalReplayed.Inc()
 			if rep != nil {
 				lastReport = rep
 			}
 		}
 	}
 	s.snap.Store(buildSnapshot(s.v, s.seq, lastReport))
+	s.m.snapshotPublishes.Inc()
 	s.mux = http.NewServeMux()
-	s.routes()
+	s.routes(cfg.EnablePprof)
 	go s.applyLoop()
 	return s, nil
 }
@@ -288,10 +349,15 @@ func (s *Server) publish(rep *ReportJSON) {
 		rep = s.snap.Load().LastReport
 	}
 	s.snap.Store(buildSnapshot(s.v, s.seq, rep))
+	s.m.snapshotPublishes.Inc()
 }
 
 // Snapshot returns the current published snapshot (never nil).
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Metrics returns the daemon's metrics registry (all pipeline stages
+// plus the serving layer); /v1/metrics serves it as Prometheus text.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP handler serving the v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -309,7 +375,7 @@ func (s *Server) Close() error {
 
 // ---- HTTP layer ----
 
-func (s *Server) routes() {
+func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
 	s.mux.HandleFunc("/v1/report", s.handleReport)
@@ -317,6 +383,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/changes", s.handleChanges)
 	s.mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
+	s.mux.Handle("/v1/metrics", s.reg.Handler())
+	if enablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // changesRequest is the body of POST /v1/changes and /v1/whatif.
@@ -442,6 +516,7 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
 	defer cancel()
+	t0 := time.Now()
 	res, err := s.do(ctx, func() (any, error) {
 		rep, err := s.v.Apply(changes...)
 		if err != nil {
@@ -462,10 +537,13 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 		snap := s.Snapshot()
 		return applyResponse{Seq: snap.Seq, Report: rj, Verdicts: snap.Verdicts}, nil
 	})
+	s.m.applySeconds.ObserveDuration(time.Since(t0))
 	if err != nil {
+		s.m.applyErrors.Inc()
 		writeError(w, err)
 		return
 	}
+	s.m.applies.Inc()
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -490,6 +568,8 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
 	defer cancel()
+	t0 := time.Now()
+	defer func() { s.m.whatifSeconds.ObserveDuration(time.Since(t0)) }()
 	// Capture on the apply goroutine (cheap: a network clone), then run
 	// the speculative verification here, off the write path.
 	res, err := s.do(ctx, func() (any, error) {
@@ -510,6 +590,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.m.whatifs.Inc()
 	verdicts := fork.Verdicts()
 	names := make([]string, 0, len(verdicts))
 	for name := range verdicts {

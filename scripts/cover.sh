@@ -1,0 +1,65 @@
+#!/bin/sh
+# cover.sh — per-package statement-coverage ratchet.
+#
+#   scripts/cover.sh check    fail if any package in coverage.txt is
+#                             below its recorded floor
+#   scripts/cover.sh update   re-measure and rewrite the floors
+#
+# coverage.txt lines are "<import-path> <floor-percent>". The floor is
+# a ratchet, not a target: it only moves up (via update) when tests
+# genuinely improve, and check stops regressions from landing silently.
+set -eu
+
+cd "$(dirname "$0")/.."
+mode="${1:-check}"
+ratchet="coverage.txt"
+
+measure() {
+	# "ok  realconfig/internal/obs  0.01s  coverage: 99.3% of statements"
+	go test -cover "$1" | awk '{
+		for (i = 1; i <= NF; i++)
+			if ($i == "coverage:") { sub(/%/, "", $(i+1)); print $(i+1); exit }
+	}'
+}
+
+case "$mode" in
+check)
+	[ -f "$ratchet" ] || { echo "cover: $ratchet missing (run scripts/cover.sh update)"; exit 1; }
+	fail=0
+	while read -r pkg floor; do
+		case "$pkg" in ''|'#'*) continue;; esac
+		got=$(measure "$pkg")
+		if [ -z "$got" ]; then
+			echo "cover: FAIL $pkg: could not measure coverage"
+			fail=1
+		elif awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+			echo "cover: FAIL $pkg: ${got}% < recorded floor ${floor}%"
+			fail=1
+		else
+			echo "cover: ok   $pkg: ${got}% (floor ${floor}%)"
+		fi
+	done <"$ratchet"
+	exit $fail
+	;;
+update)
+	[ -f "$ratchet" ] || { echo "cover: $ratchet missing; nothing to update"; exit 1; }
+	tmp=$(mktemp)
+	trap 'rm -f "$tmp"' EXIT
+	while read -r pkg floor; do
+		case "$pkg" in ''|'#'*) printf '%s %s\n' "$pkg" "$floor" | sed 's/ $//' >>"$tmp"; continue;; esac
+		got=$(measure "$pkg")
+		[ -n "$got" ] || { echo "cover: could not measure $pkg"; exit 1; }
+		# Record slightly below the measurement so timing-dependent
+		# paths (error branches, races won) don't flake the gate.
+		floor=$(awk -v g="$got" 'BEGIN { printf "%.1f", g - 2.0 }')
+		printf '%s %s\n' "$pkg" "$floor" >>"$tmp"
+		echo "cover: $pkg floor -> ${floor}% (measured ${got}%)"
+	done <"$ratchet"
+	mv "$tmp" "$ratchet"
+	trap - EXIT
+	;;
+*)
+	echo "usage: scripts/cover.sh [check|update]" >&2
+	exit 2
+	;;
+esac
