@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke fuzz-smoke cover bench-smoke bench-json bench
+.PHONY: all build test check server-test serve-smoke trace-smoke fuzz-smoke cover bench-smoke bench-json bench
 
 all: build
 
@@ -12,8 +12,9 @@ test:
 
 # check is the tier-1 gate: vet, an explicit daemon build, the full
 # suite under the race detector (including the server's concurrency
-# tests), a short native-fuzz burst, the coverage ratchet, and a
-# one-iteration benchmark smoke so the perf harness can't rot.
+# tests), a short native-fuzz burst, the coverage ratchet, a
+# one-iteration benchmark smoke so the perf harness can't rot, and the
+# provenance-trace smoke against the real daemon.
 check:
 	$(GO) vet ./...
 	$(GO) build -o /dev/null ./cmd/rcserved
@@ -22,6 +23,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover
 	$(MAKE) bench-smoke
+	$(MAKE) trace-smoke
 
 # fuzz-smoke runs each native fuzz target briefly (go supports one
 # -fuzz pattern per invocation). Long sessions: raise -fuzztime.
@@ -61,6 +63,34 @@ serve-smoke:
 		http://$$addr/v1/changes >/dev/null; \
 	curl -fsS http://$$addr/v1/healthz; echo; \
 	echo "serve-smoke: ok"
+
+# trace-smoke boots the real daemon with provenance tracing, applies one
+# change over HTTP, and validates the apply's trace end to end: the ring
+# index lists it, the JSON trace carries events, and the Chrome export
+# parses as trace-event JSON.
+trace-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/rcserved ./cmd/rcserved; \
+	$$tmp/rcserved -net testdata/campus -policies testdata/campus/policies.txt \
+		-log-format json -addr 127.0.0.1:0 >$$tmp/out 2>$$tmp/log & pid=$$!; \
+	for i in $$(seq 1 100); do grep -q listening $$tmp/out 2>/dev/null && break; sleep 0.1; done; \
+	addr=$$(sed -n 's#.*http://\([^ ]*\) .*#\1#p' $$tmp/out); \
+	test -n "$$addr" || { echo "trace-smoke: daemon did not start"; cat $$tmp/out $$tmp/log; exit 1; }; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"changes":[{"kind":"shutdown_interface","device":"border","intf":"eth2","shutdown":true}]}' \
+		http://$$addr/v1/changes >/dev/null; \
+	curl -fsS http://$$addr/v1/applies | grep -q '"label":"apply"' \
+		|| { echo "trace-smoke: ring index missing the apply"; exit 1; }; \
+	curl -fsS http://$$addr/v1/applies/latest/trace | grep -q '"kind":"policy_recheck"' \
+		|| { echo "trace-smoke: trace missing policy_recheck events"; exit 1; }; \
+	curl -fsS "http://$$addr/v1/applies/latest/trace?format=chrome" >$$tmp/chrome.json; \
+	python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["traceEvents"], "empty traceEvents"' \
+		$$tmp/chrome.json 2>/dev/null \
+		|| grep -q '"traceEvents":' $$tmp/chrome.json \
+		|| { echo "trace-smoke: chrome export invalid"; exit 1; }; \
+	grep -q '"req_id"' $$tmp/log || { echo "trace-smoke: logs missing req_id"; cat $$tmp/log; exit 1; }; \
+	echo "trace-smoke: ok"
 
 # bench-smoke runs every benchmark once — not for numbers, just to prove
 # they still build and complete.

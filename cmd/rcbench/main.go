@@ -15,7 +15,15 @@
 //
 // -json FILE additionally writes the measurements as a machine-readable
 // report (times in nanoseconds), so successive commits can track the
-// performance trajectory from checked-in BENCH_*.json snapshots.
+// performance trajectory from checked-in BENCH_*.json snapshots. Pass
+// -json auto to write the next free BENCH_%04d.json in the current
+// directory, so refreshing the trajectory never overwrites a snapshot.
+//
+// -trace FILE runs the stage experiment with provenance tracing on and
+// exports the recorded applies as Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing); the JSON report then also carries a
+// per-apply span-count summary. Traced runs pay the recording overhead:
+// keep perf baselines untraced.
 package main
 
 import (
@@ -27,7 +35,9 @@ import (
 	"time"
 
 	"realconfig/internal/bench"
+	"realconfig/internal/obs"
 	"realconfig/internal/topology"
+	"realconfig/internal/trace"
 )
 
 func main() {
@@ -76,16 +86,45 @@ type jsonMining struct {
 	FromScratchSimNs int64 `json:"from_scratch_sim_ns"`
 }
 
+// jsonTraceApply summarizes one recorded apply's provenance trace:
+// span counts per pipeline stage and per track, so BENCH snapshots
+// record how much provenance each verification produced.
+type jsonTraceApply struct {
+	ID     uint64 `json:"id"`
+	Label  string `json:"label"`
+	Spans  int    `json:"spans"`
+	Events int    `json:"events"`
+	// StageSpans counts spans per pipeline-track name (the obs.Stage*
+	// vocabulary); TrackSpans counts spans per track (engine, model, ...).
+	StageSpans map[string]int `json:"stage_spans"`
+	TrackSpans map[string]int `json:"track_spans"`
+}
+
 // jsonReport is the -json output: one perf snapshot of this commit.
 type jsonReport struct {
-	Date      string          `json:"date"`
-	GoVersion string          `json:"go_version"`
-	GOARCH    string          `json:"goarch"`
-	K         int             `json:"k"`
-	Table2    []jsonTable2Row `json:"table2,omitempty"`
-	Table3    []jsonTable3Row `json:"table3,omitempty"`
-	Stages    []jsonStageRun  `json:"stages,omitempty"`
-	Mining    *jsonMining     `json:"mining,omitempty"`
+	Date      string           `json:"date"`
+	GoVersion string           `json:"go_version"`
+	GOARCH    string           `json:"goarch"`
+	K         int              `json:"k"`
+	Table2    []jsonTable2Row  `json:"table2,omitempty"`
+	Table3    []jsonTable3Row  `json:"table3,omitempty"`
+	Stages    []jsonStageRun   `json:"stages,omitempty"`
+	Mining    *jsonMining      `json:"mining,omitempty"`
+	Trace     []jsonTraceApply `json:"trace,omitempty"`
+}
+
+// nextBenchPath returns the first BENCH_%04d.json that does not exist
+// yet in the current directory.
+func nextBenchPath() (string, error) {
+	for i := 1; i <= 9999; i++ {
+		path := fmt.Sprintf("BENCH_%04d.json", i)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("no free BENCH_%%04d.json slot")
 }
 
 func run(args []string) error {
@@ -94,9 +133,17 @@ func run(args []string) error {
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
-	jsonPath := fs.String("json", "", "also write a machine-readable report to this file")
+	jsonPath := fs.String("json", "", "also write a machine-readable report to this file (auto = next free BENCH_%04d.json)")
+	tracePath := fs.String("trace", "", "run the stage experiment traced and export Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonPath == "auto" {
+		path, err := nextBenchPath()
+		if err != nil {
+			return err
+		}
+		*jsonPath = path
 	}
 
 	rep := &jsonReport{
@@ -119,8 +166,8 @@ func run(args []string) error {
 			return err
 		}
 	}
-	if want("stages") {
-		if err := runStages(*k, rep); err != nil {
+	if want("stages") || *tracePath != "" {
+		if err := runStages(*k, rep, *tracePath); err != nil {
 			return err
 		}
 	}
@@ -197,9 +244,15 @@ func runTable3(k int, rep *jsonReport) error {
 // runStages prints per-stage pipeline wall times under the canonical
 // stage vocabulary — the same line realconfig prints after a verify and
 // the same names the daemon's realconfig_stage_seconds metrics carry.
-func runStages(k int, rep *jsonReport) error {
+// With tracePath set the run records provenance traces, exports them as
+// Chrome trace-event JSON, and adds a span-count summary to the report.
+func runStages(k int, rep *jsonReport, tracePath string) error {
 	header(k, "Pipeline stages: full load vs one link failure (OSPF)")
-	runs, err := bench.RunStages(k)
+	ring := 0
+	if tracePath != "" {
+		ring = 8
+	}
+	runs, rec, err := bench.RunStages(k, ring)
 	if err != nil {
 		return err
 	}
@@ -212,6 +265,44 @@ func runStages(k int, rep *jsonReport) error {
 		rep.Stages = append(rep.Stages, jsonStageRun{Label: r.Label, StageNs: ns})
 	}
 	fmt.Println()
+	if tracePath == "" {
+		return nil
+	}
+	// Oldest first: the load, then the link failure.
+	var applies []*trace.Apply
+	sums := rec.Applies()
+	for i := len(sums) - 1; i >= 0; i-- {
+		if a := rec.Get(sums[i].ID); a != nil {
+			applies = append(applies, a)
+		}
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, applies...); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace %s (%d applies)\n\n", tracePath, len(applies))
+	for _, a := range applies {
+		ja := jsonTraceApply{
+			ID: a.ID, Label: a.Label,
+			Spans: len(a.Spans), Events: len(a.Events),
+			StageSpans: make(map[string]int),
+			TrackSpans: make(map[string]int),
+		}
+		for _, sp := range a.Spans {
+			ja.TrackSpans[sp.Track]++
+			if sp.Track == obs.TrackPipeline {
+				ja.StageSpans[sp.Name]++
+			}
+		}
+		rep.Trace = append(rep.Trace, ja)
+	}
 	return nil
 }
 

@@ -6,24 +6,32 @@
 //
 // Endpoints (all under /v1):
 //
-//	POST /v1/changes   apply a batch of typed configuration changes
-//	POST /v1/whatif    speculatively verify a batch, discarding the result
-//	POST /v1/policies  add/remove policies at runtime
-//	GET  /v1/verdicts  current policy verdicts (lock-free snapshot)
-//	GET  /v1/report    last verification report and current violations
-//	GET  /v1/trace     trace a packet: ?src=<device>&dst=<ip>[&proto=&port=]
-//	GET  /v1/healthz   liveness, sequence number and counters
-//	GET  /v1/metrics   Prometheus text metrics for every pipeline stage
+//	POST /v1/changes            apply a batch of typed configuration changes
+//	POST /v1/whatif             speculatively verify a batch, discarding the result
+//	POST /v1/policies           add/remove policies at runtime
+//	GET  /v1/verdicts           current policy verdicts (lock-free snapshot)
+//	GET  /v1/report             last verification report and current violations
+//	GET  /v1/trace              trace a packet: ?src=<device>&dst=<ip>[&proto=&port=]
+//	GET  /v1/applies            provenance-trace ring index (newest first)
+//	GET  /v1/applies/{id}/trace one apply's provenance trace ({id} or "latest";
+//	                            ?format=chrome exports Perfetto-loadable JSON)
+//	GET  /v1/healthz            liveness, sequence number and counters
+//	GET  /v1/metrics            Prometheus text metrics for every pipeline stage
 //
 // With -journal, applied writes are persisted as JSON lines and replayed
 // on startup, so a restarted daemon recovers its exact state from the
 // same base snapshot. With -pprof, net/http/pprof profiling endpoints
 // are mounted under /debug/pprof/.
+//
+// Logs are structured (log/slog) on stderr; -log-format selects text or
+// json. Every request gets a req_id that appears in the access log, in
+// error responses, and on the provenance trace of the apply it caused.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -49,10 +57,22 @@ func run(args []string, out *os.File) error {
 	parallel := fs.Int("parallel", 0, "policy-checker worker count (<=1 = sequential)")
 	queue := fs.Int("queue", 64, "apply queue depth (writes beyond it get 503)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request apply deadline")
+	traceRing := fs.Int("trace-ring", 64, "provenance traces retained for /v1/applies (0 disables tracing)")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("-log-format must be text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
 	if *netDir == "" {
 		return fmt.Errorf("-net is required")
 	}
@@ -69,13 +89,18 @@ func run(args []string, out *os.File) error {
 		policyText = string(text)
 	}
 	srv, err := server.New(server.Config{
-		Net:          baseNet,
-		PolicyText:   policyText,
-		Options:      core.Options{DetectOscillation: true, Parallel: *parallel},
+		Net:        baseNet,
+		PolicyText: policyText,
+		Options: core.Options{
+			DetectOscillation: true,
+			Parallel:          *parallel,
+			TraceApplies:      *traceRing,
+		},
 		JournalPath:  *journalPath,
 		QueueDepth:   *queue,
 		ApplyTimeout: *timeout,
 		EnablePprof:  *pprofOn,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
@@ -88,5 +113,9 @@ func run(args []string, out *os.File) error {
 	snap := srv.Snapshot()
 	fmt.Fprintf(out, "rcserved: listening on http://%s (devices=%d policies=%d ecs=%d seq=%d)\n",
 		ln.Addr(), snap.Devices, snap.Policies, snap.ECs, snap.Seq)
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "devices", snap.Devices,
+		"policies", snap.Policies, "ecs", snap.ECs, "seq", snap.Seq,
+		"trace_ring", *traceRing, "journal", *journalPath)
 	return http.Serve(ln, srv.Handler())
 }

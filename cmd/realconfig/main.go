@@ -9,6 +9,11 @@
 //
 //	realconfig check -net <base-dir> [-policies <file>] <step-dir>...
 //
+// check also reconstructs provenance: -explain <policy> prints the
+// causal chain (config change -> rules -> ECs) behind the policy's
+// latest verdict flip, and -trace <file> exports every step's trace as
+// Chrome trace-event JSON (loadable in Perfetto).
+//
 // Tracing a concrete packet and diffing snapshots:
 //
 //	realconfig trace -net <dir> -from <device> -to <ip> [-proto tcp -port 22]
@@ -29,6 +34,7 @@ import (
 	"realconfig/internal/core"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/trace"
 )
 
 func main() {
@@ -167,6 +173,8 @@ func cmdCheck(args []string) error {
 	netDir := fs.String("net", "", "base snapshot directory (required)")
 	polFile := fs.String("policies", "", "policy specification file")
 	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	tracePath := fs.String("trace", "", "export every step's provenance trace as Chrome trace-event JSON to this file")
+	explain := fs.String("explain", "", "after all steps, explain this policy's latest verdict flip (change -> rules -> ECs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,7 +189,11 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	v := core.New(options(*deleteFirst))
+	opts := options(*deleteFirst)
+	if *tracePath != "" || *explain != "" {
+		opts.TraceApplies = len(steps) + 1 // retain the load and every step
+	}
+	v := core.New(opts)
 	rep, err := v.Load(base)
 	if err != nil {
 		return err
@@ -208,7 +220,42 @@ func cmdCheck(args []string) error {
 		}
 	}
 	printVerdicts(v)
+	if *explain != "" {
+		ex, err := v.Explain(*explain)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ex)
+	}
+	if *tracePath != "" {
+		if err := writeChromeTrace(v, *tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace %s\n", *tracePath)
+	}
 	return nil
+}
+
+// writeChromeTrace exports every retained apply trace, oldest first, as
+// one Chrome trace-event JSON file (loadable in Perfetto).
+func writeChromeTrace(v *core.Verifier, path string) error {
+	rec := v.Recorder()
+	var applies []*trace.Apply
+	sums := rec.Applies()
+	for i := len(sums) - 1; i >= 0; i-- {
+		if a := rec.Get(sums[i].ID); a != nil {
+			applies = append(applies, a)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, applies...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func options(deleteFirst bool) core.Options {

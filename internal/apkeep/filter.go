@@ -7,6 +7,8 @@ import (
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
+	"realconfig/internal/trace"
 )
 
 // FilterKey identifies a packet filter element: an ACL binding on one
@@ -78,6 +80,12 @@ func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) {
 		}
 		touched[k] = true
 	}
+	if m.tr != nil {
+		for _, k := range sortedFilterKeys(touched) {
+			m.refreshFilter(k)
+		}
+		return
+	}
 	for k := range touched {
 		m.refreshFilter(k)
 	}
@@ -88,11 +96,19 @@ func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) {
 // status flips.
 func (m *Model) refreshFilter(k FilterKey) {
 	fs := m.filters[k]
+	if m.tr != nil {
+		m.curRule = "filter " + filterLabel(k)
+	}
 	if len(fs.lines) == 0 {
 		// Binding removed: everything allowed again.
-		for ec := range fs.blocked {
-			m.bumpSig(ec, -filterFact(k))
-			m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: false})
+		if m.tr != nil {
+			for _, ec := range sortedBoolKeys(fs.blocked) {
+				m.flipFilter(k, ec, false)
+			}
+		} else {
+			for ec := range fs.blocked {
+				m.flipFilter(k, ec, false)
+			}
 		}
 		delete(m.filters, k)
 		return
@@ -119,19 +135,50 @@ func (m *Model) refreshFilter(k FilterKey) {
 	for _, ec := range m.split(deny, fullRange) {
 		blockedNow[ec] = true
 	}
+	if m.tr != nil {
+		for _, ec := range sortedBoolKeys(blockedNow) {
+			if !fs.blocked[ec] {
+				m.flipFilter(k, ec, true)
+			}
+			delete(fs.blocked, ec)
+		}
+		for _, ec := range sortedBoolKeys(fs.blocked) {
+			m.flipFilter(k, ec, false)
+			delete(fs.blocked, ec)
+		}
+		fs.blocked = blockedNow
+		return
+	}
 	for ec := range blockedNow {
 		if !fs.blocked[ec] {
-			m.bumpSig(ec, filterFact(k))
-			m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: true})
+			m.flipFilter(k, ec, true)
 		}
 		delete(fs.blocked, ec)
 	}
 	for ec := range fs.blocked {
-		m.bumpSig(ec, -filterFact(k))
-		m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: false})
+		m.flipFilter(k, ec, false)
 		delete(fs.blocked, ec)
 	}
 	fs.blocked = blockedNow
+}
+
+// flipFilter records one EC's filter-status change at a binding: the
+// signature bump, the transfer, and the provenance event when tracing.
+func (m *Model) flipFilter(k FilterKey, ec bdd.Node, blocked bool) {
+	if blocked {
+		m.bumpSig(ec, filterFact(k))
+	} else {
+		m.bumpSig(ec, -filterFact(k))
+	}
+	m.ftransfers = append(m.ftransfers, FilterTransfer{Key: k, EC: ec, Blocked: blocked})
+	if m.tr != nil {
+		action := "allow"
+		if blocked {
+			action = "block"
+		}
+		m.tr.Event(obs.TrackModel, obs.EventFilterFlip,
+			trace.S("filter", filterLabel(k)), trace.U("ec", uint64(ec)), trace.S("action", action))
+	}
 }
 
 // TakeFilterTransfers returns and clears accumulated filter transfers.

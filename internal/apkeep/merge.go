@@ -4,6 +4,8 @@ import (
 	"hash/fnv"
 
 	"realconfig/internal/bdd"
+	"realconfig/internal/obs"
+	"realconfig/internal/trace"
 )
 
 // APKeep's defining property is maintaining the MINIMUM number of ECs:
@@ -108,11 +110,21 @@ func (m *Model) behaviourEqual(a, b bdd.Node) bool {
 func (m *Model) MergeECs() []MergeEvent {
 	var events []MergeEvent
 	for len(m.dirty) > 0 {
-		// Take one dirty EC and try to find a partner.
+		// Take one dirty EC and try to find a partner. Under tracing the
+		// picks are lowest-node-first so event order is deterministic.
 		var ec bdd.Node
-		for e := range m.dirty {
-			ec = e
-			break
+		if m.tr != nil {
+			first := true
+			for e := range m.dirty {
+				if first || e < ec {
+					ec, first = e, false
+				}
+			}
+		} else {
+			for e := range m.dirty {
+				ec = e
+				break
+			}
 		}
 		delete(m.dirty, ec)
 		if _, live := m.ecs[ec]; !live {
@@ -122,8 +134,13 @@ func (m *Model) MergeECs() []MergeEvent {
 		var partner bdd.Node
 		found := false
 		for other := range bucket {
-			if other != ec && m.behaviourEqual(ec, other) {
+			if other == ec || !m.behaviourEqual(ec, other) {
+				continue
+			}
+			if !found || (m.tr != nil && other < partner) {
 				partner, found = other, true
+			}
+			if m.tr == nil {
 				break
 			}
 		}
@@ -131,6 +148,10 @@ func (m *Model) MergeECs() []MergeEvent {
 			continue
 		}
 		merged := m.mergePair(ec, partner)
+		if m.tr != nil {
+			m.tr.Event(obs.TrackModel, obs.EventECMerge,
+				trace.U("a", uint64(ec)), trace.U("b", uint64(partner)), trace.U("ec", uint64(merged)))
+		}
 		events = append(events, MergeEvent{A: ec, B: partner, Result: merged})
 		// The merged class may itself merge further.
 		m.dirty[merged] = struct{}{}

@@ -33,6 +33,7 @@ import (
 	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
+	"realconfig/internal/trace"
 )
 
 // Port is a logical forwarding action on a device. Every EC maps to
@@ -165,6 +166,12 @@ type Model struct {
 
 	ops     OpStats
 	metrics ModelMetrics
+
+	// tr is the provenance trace of the in-flight apply (nil = tracing
+	// off); curRule labels the rule or filter binding driving the
+	// current update, the "rule" attribute of split/transfer events.
+	tr      *trace.Apply
+	curRule string
 }
 
 // New creates a model whose packet space is a single EC (everything
@@ -242,6 +249,9 @@ func (m *Model) split(pred bdd.Node, hint dstHint) []bdd.Node {
 	}
 	m.ops.SplitCandidates += len(cands)
 	m.metrics.SplitCandidates.Add(uint64(len(cands)))
+	if m.tr != nil {
+		sortNodes(cands) // deterministic split order => deterministic events
+	}
 
 	var inside []bdd.Node
 	for _, ec := range cands {
@@ -254,6 +264,11 @@ func (m *Model) split(pred bdd.Node, hint dstHint) []bdd.Node {
 			continue
 		}
 		out := m.H.Diff(ec, pred)
+		if m.tr != nil {
+			m.tr.Event(obs.TrackModel, obs.EventECSplit,
+				trace.U("ec", uint64(ec)), trace.U("in", uint64(in)), trace.U("out", uint64(out)),
+				trace.S("rule", m.curRule))
+		}
 		inside = append(inside, in)
 		delete(m.ecs, ec)
 		m.ecs[in] = struct{}{}
@@ -309,6 +324,12 @@ func (m *Model) moveECs(dev string, pred bdd.Node, newPort Port, hint dstHint) {
 		}
 		m.bumpSig(ec, portFact(dev, newPort)-portFact(dev, old))
 		m.transfers = append(m.transfers, Transfer{Device: dev, EC: ec, Old: old, New: newPort})
+		if m.tr != nil {
+			m.tr.Event(obs.TrackModel, obs.EventECTransfer,
+				trace.S("device", dev), trace.U("ec", uint64(ec)),
+				trace.S("rule", m.curRule),
+				trace.S("from", old.String()), trace.S("to", newPort.String()))
+		}
 	}
 }
 
@@ -339,6 +360,9 @@ func (m *Model) owner(ds *devState, p netcfg.Prefix) Port {
 // InsertRule adds a forwarding rule to the model, moving the affected
 // ECs to the rule's port.
 func (m *Model) InsertRule(r dataplane.Rule) {
+	if m.tr != nil {
+		m.curRule = ruleLabel("insert", r)
+	}
 	ds := m.dev(r.Device)
 	port := portOf(r)
 	stack := ds.rules.get(r.Prefix)
@@ -356,6 +380,9 @@ func (m *Model) InsertRule(r dataplane.Rule) {
 // rule for the prefix, else the longest covering prefix, else drop.
 // Deleting a rule the model does not hold returns ErrAbsentRule.
 func (m *Model) DeleteRule(r dataplane.Rule) error {
+	if m.tr != nil {
+		m.curRule = ruleLabel("delete", r)
+	}
 	ds := m.dev(r.Device)
 	port := portOf(r)
 	stack := ds.rules.get(r.Prefix)

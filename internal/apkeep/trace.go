@@ -1,0 +1,67 @@
+package apkeep
+
+import (
+	"sort"
+
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/trace"
+)
+
+// Provenance tracing for the EC model. When a trace is attached, every
+// split, transfer, merge and filter flip is recorded on the model track
+// tagged with the rule (or filter binding) that caused it, so a verdict
+// flip can be walked back to the exact config change. Tracing also
+// switches the model's few map iterations to sorted order, making event
+// sequences — and hence exported traces — deterministic; with no trace
+// attached the hot paths are untouched (one nil check each).
+
+// SetTrace attaches a provenance trace to subsequent model updates.
+// Pass nil to detach.
+func (m *Model) SetTrace(a *trace.Apply) { m.tr = a }
+
+// ruleLabel renders the update owning the current model change, the
+// "rule" attribute of split/transfer events.
+func ruleLabel(verb string, r dataplane.Rule) string {
+	return verb + " " + r.Device + " " + r.Prefix.String() + " -> " + portOf(r).String()
+}
+
+// filterLabel renders a filter binding for event attributes.
+func filterLabel(k FilterKey) string {
+	return k.Device + ":" + k.Intf + ":" + k.Dir.String()
+}
+
+// sortNodes orders ECs ascending (tracing-mode determinism).
+func sortNodes(ns []bdd.Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}
+
+// sortedBoolKeys returns a map's EC keys in ascending order.
+func sortedBoolKeys(set map[bdd.Node]bool) []bdd.Node {
+	out := make([]bdd.Node, 0, len(set))
+	for ec := range set {
+		out = append(out, ec)
+	}
+	sortNodes(out)
+	return out
+}
+
+// sortedFilterKeys orders filter bindings by device, interface,
+// direction.
+func sortedFilterKeys(set map[FilterKey]bool) []FilterKey {
+	out := make([]FilterKey, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Intf != b.Intf {
+			return a.Intf < b.Intf
+		}
+		return a.Dir < b.Dir
+	})
+	return out
+}

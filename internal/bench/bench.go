@@ -18,6 +18,7 @@ import (
 	"realconfig/internal/routing"
 	"realconfig/internal/simulate"
 	"realconfig/internal/topology"
+	"realconfig/internal/trace"
 )
 
 // Changes per change-type to average over (the paper averages over
@@ -368,24 +369,27 @@ type StageRun struct {
 // RunStages measures a full load followed by one incremental link
 // failure on an OSPF fat-tree through the whole pipeline, so BENCH
 // snapshots and live metrics report comparable per-stage numbers.
-func RunStages(k int) ([]StageRun, error) {
+// traceApplies > 0 additionally records provenance traces (returned via
+// the recorder, nil when disabled) — the traced path is slower, so perf
+// baselines use traceApplies = 0.
+func RunStages(k, traceApplies int) ([]StageRun, *trace.Recorder, error) {
 	net, err := topology.FatTree(k, topology.OSPF)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	v := core.New(core.Options{DetectOscillation: true})
+	v := core.New(core.Options{DetectOscillation: true, TraceApplies: traceApplies})
 	rep, err := v.Load(net.Network)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runs := []StageRun{{Label: "full_load", Timing: rep.Timing}}
 	l := net.Topology.Links[0]
 	rep, err = v.Apply(netcfg.ShutdownInterface{Device: l.DevA, Intf: l.IntfA, Shutdown: true})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	runs = append(runs, StageRun{Label: "link_failure", Timing: rep.Timing})
-	return runs, nil
+	return runs, v.Recorder(), nil
 }
 
 // FormatTable2 renders rows in the paper's layout.

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/topology"
+)
+
+// TestExplainVerdictFlip mirrors the examples/quickstart scenario: on a
+// k=4 BGP fat-tree, shutting down every uplink of edge01-00 must flip
+// the edge-to-edge reachability policy, and Explain must walk the trace
+// back to the config change, the rule deltas and the ECs behind it.
+func TestExplainVerdictFlip(t *testing.T) {
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := New(Options{Order: apkeep.InsertFirst, TraceApplies: 8})
+	if _, err := v.Load(net.Network); err != nil {
+		t.Fatal(err)
+	}
+	h := v.Model().H
+	src, dst := "edge00-00", "edge01-00"
+	v.AddPolicy(policy.Reachability{
+		PolicyName: "edge-to-edge", Src: src, Dst: dst,
+		Hdr: h.DstPrefix(net.HostPrefix[dst]), Mode: policy.ReachAll,
+	})
+	if sat, _ := v.Checker().Verdict("edge-to-edge"); !sat {
+		t.Fatal("edge-to-edge should hold initially")
+	}
+
+	// Break the destination: shut down every uplink of edge01-00.
+	var changes []netcfg.Change
+	for intf := range net.Topology.Neighbors(dst) {
+		changes = append(changes, netcfg.ShutdownInterface{Device: dst, Intf: intf, Shutdown: true})
+	}
+	rep, err := v.Apply(changes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Violations(); len(got) != 1 || got[0] != "edge-to-edge" {
+		t.Fatalf("violations = %v, want [edge-to-edge]", got)
+	}
+	if rep.TraceID == 0 {
+		t.Fatal("tracing enabled but report carries no trace id")
+	}
+
+	ex, err := v.Explain("edge-to-edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.ApplyID != rep.TraceID {
+		t.Errorf("explanation from apply %d, want the flipping apply %d", ex.ApplyID, rep.TraceID)
+	}
+	if ex.From != "pass" || ex.To != "fail" {
+		t.Errorf("verdict transition %s -> %s, want pass -> fail", ex.From, ex.To)
+	}
+	// The exact config change: the shutdown diff on edge01-00.
+	foundChange := false
+	for _, c := range ex.Changes {
+		if strings.HasPrefix(c, dst+":") && strings.Contains(c, "shutdown") {
+			foundChange = true
+		}
+	}
+	if !foundChange {
+		t.Errorf("explanation names no shutdown change on %s: %v", dst, ex.Changes)
+	}
+	// The intermediate rules: the flip is caused by rule deltas (the
+	// withdrawn routes), each named with its device and prefix.
+	if len(ex.Rules) == 0 {
+		t.Fatal("explanation names no rules")
+	}
+	foundRule := false
+	for _, r := range ex.Rules {
+		if strings.Contains(r, net.HostPrefix[dst].String()) {
+			foundRule = true
+		}
+	}
+	if !foundRule {
+		t.Errorf("no rule mentions the destination prefix %s: %v", net.HostPrefix[dst], ex.Rules)
+	}
+	// The ECs behind the flip.
+	if len(ex.ECs) == 0 {
+		t.Error("explanation names no ECs")
+	}
+	if len(ex.Transfers) == 0 {
+		t.Error("explanation records no EC transfers")
+	}
+	if s := ex.String(); !strings.Contains(s, "pass -> fail") {
+		t.Errorf("String() = %q", s)
+	}
+
+	// Repair: the flip back to pass must now be the newest explanation.
+	for i := range changes {
+		sd := changes[i].(netcfg.ShutdownInterface)
+		sd.Shutdown = false
+		changes[i] = sd
+	}
+	if _, err := v.Apply(changes...); err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := v.Explain("edge-to-edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.From != "fail" || ex2.To != "pass" {
+		t.Errorf("post-repair transition %s -> %s, want fail -> pass", ex2.From, ex2.To)
+	}
+	if ex2.ApplyID <= ex.ApplyID {
+		t.Errorf("repair explanation from apply %d, want newer than %d", ex2.ApplyID, ex.ApplyID)
+	}
+}
+
+// TestExplainDisabled checks the error paths: tracing off, and a policy
+// never rechecked.
+func TestExplainDisabled(t *testing.T) {
+	v := New(Options{})
+	if _, err := v.Explain("x"); err == nil {
+		t.Fatal("Explain must fail with tracing disabled")
+	}
+	vt := New(Options{TraceApplies: 2})
+	if _, err := vt.Explain("never-checked"); err == nil {
+		t.Fatal("Explain must fail for a policy with no recorded recheck")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"realconfig/internal/obs"
 	"realconfig/internal/policy"
 	"realconfig/internal/routing"
+	"realconfig/internal/trace"
 )
 
 // Options configures a Verifier.
@@ -42,6 +43,12 @@ type Options struct {
 	// paper's section-6 "parallelize over independent ECs" optimization;
 	// <=1 = sequential).
 	Parallel int
+	// TraceApplies enables provenance tracing: every verification
+	// records a structured trace (stage spans, per-dataflow-node epoch
+	// spans, EC split/transfer/merge events, policy re-checks) into a
+	// bounded ring of the last TraceApplies applies. 0 disables tracing
+	// — the pipeline then pays only nil checks on its hot paths.
+	TraceApplies int
 }
 
 // Verifier is an incremental configuration verifier. Load a network
@@ -57,6 +64,14 @@ type Verifier struct {
 	// metrics are the verifier's own instruments (nil until Instrument;
 	// nil-safe). Stage histograms are indexed like Timing.Stages().
 	metrics verifierMetrics
+
+	// rec holds the bounded ring of per-apply provenance traces (nil
+	// when Options.TraceApplies is 0; all methods nil-safe).
+	rec *trace.Recorder
+	// nextReqID/nextSeq are the serving-layer context stamped onto the
+	// next verification's trace (see SetTraceContext).
+	nextReqID string
+	nextSeq   uint64
 }
 
 // verifierMetrics instruments the verification loop itself; stage and
@@ -154,6 +169,9 @@ type Report struct {
 	Engine dd.EpochStats
 	// Timing is the per-stage wall time.
 	Timing Timing
+	// TraceID identifies this verification's provenance trace in the
+	// verifier's recorder ring (0 when tracing is disabled).
+	TraceID uint64
 }
 
 // Violations lists, in sorted order, the policies that became violated
@@ -188,6 +206,10 @@ func New(opts Options) *Verifier {
 	model.AutoMerge = true // keep the EC partition minimal, as APKeep does
 	checker := policy.NewChecker(model)
 	checker.SetParallelism(opts.Parallel)
+	var rec *trace.Recorder
+	if opts.TraceApplies > 0 {
+		rec = trace.NewRecorder(opts.TraceApplies)
+	}
 	return &Verifier{
 		opts: opts,
 		gen: routing.New(routing.Options{
@@ -196,7 +218,20 @@ func New(opts Options) *Verifier {
 		}),
 		model:   model,
 		checker: checker,
+		rec:     rec,
 	}
+}
+
+// Recorder exposes the provenance-trace ring (nil when tracing is
+// disabled; trace.Recorder methods are nil-safe).
+func (v *Verifier) Recorder() *trace.Recorder { return v.rec }
+
+// SetTraceContext stamps the serving-layer request id and sequence
+// number onto the NEXT verification's trace, then clears them. Callers
+// (the daemon's apply goroutine) invoke it immediately before
+// Apply/SetNetwork; with tracing disabled it is a no-op.
+func (v *Verifier) SetTraceContext(reqID string, seq uint64) {
+	v.nextReqID, v.nextSeq = reqID, seq
 }
 
 // ErrNotLoaded is returned by operations that need a verified network
@@ -226,15 +261,37 @@ func (v *Verifier) Apply(changes ...netcfg.Change) (*Report, error) {
 // change, not the network size.
 func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 	start := time.Now()
+	label := "apply"
+	if v.cur == nil {
+		label = "load"
+	}
+	tr := v.rec.Begin(label)
+	if tr != nil {
+		tr.SetReqID(v.nextReqID)
+		// Components record into the apply's trace; detach on every exit
+		// so a published (immutable) trace is never written again.
+		v.gen.SetTrace(tr)
+		v.model.SetTrace(tr)
+		v.checker.SetTrace(tr)
+		defer func() {
+			v.gen.SetTrace(nil)
+			v.model.SetTrace(nil)
+			v.checker.SetTrace(nil)
+		}()
+	}
 	rep := &Report{}
 	if v.cur != nil {
 		rep.Diff = netcfg.DiffNetworks(v.cur, net)
 	} else {
 		rep.Diff = &netcfg.NetworkDiff{Devices: map[string][]netcfg.LineChange{}}
 	}
+	if tr != nil {
+		recordDiff(tr, rep.Diff)
+	}
 
 	// Stage 1: incremental data plane generation.
 	t0 := time.Now()
+	s0 := tr.Now()
 	v.gen.SetNetwork(net)
 	stats, err := v.gen.Step()
 	if err != nil {
@@ -252,9 +309,18 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 		}
 	}
 	rep.FilterChanges = len(filterChanges)
+	if tr != nil {
+		tr.Span(obs.TrackPipeline, obs.StageGenerate, s0,
+			trace.I("rules_inserted", int64(rep.RulesInserted)),
+			trace.I("rules_deleted", int64(rep.RulesDeleted)),
+			trace.I("filter_changes", int64(rep.FilterChanges)),
+			trace.I("entries", int64(stats.Entries)),
+			trace.I("iterations", int64(stats.Iterations)))
+	}
 
 	// Stage 2: incremental data plane model update.
 	t0 = time.Now()
+	s0 = tr.Now()
 	v.model.UpdateFilters(filterChanges)
 	rep.Model, err = v.model.ApplyBatch(ruleChanges, v.opts.Order)
 	if err != nil {
@@ -267,12 +333,27 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 		return nil, err
 	}
 	rep.Timing.ModelUpdate = time.Since(t0)
+	if tr != nil {
+		tr.Span(obs.TrackPipeline, obs.StageModelUpdate, s0,
+			trace.I("transfers", int64(len(rep.Model.Transfers))),
+			trace.I("filter_transfers", int64(len(rep.Model.FilterTransfers))),
+			trace.I("merges", int64(len(rep.Model.Merges))),
+			trace.I("ecs", int64(v.model.NumECs())))
+	}
 
 	// Stage 3: incremental policy checking.
 	t0 = time.Now()
+	s0 = tr.Now()
 	v.checker.SetTopology(deviceNames(net), dataplane.Adjacencies(net))
 	rep.Check = v.checker.Update(rep.Model.Transfers, rep.Model.FilterTransfers, rep.Model.Merges...)
 	rep.Timing.PolicyCheck = time.Since(t0)
+	if tr != nil {
+		tr.Span(obs.TrackPipeline, obs.StagePolicyCheck, s0,
+			trace.I("affected_ecs", int64(rep.Check.AffectedECs)),
+			trace.I("affected_pairs", int64(len(rep.Check.AffectedPairs))),
+			trace.I("policies_checked", int64(rep.Check.PoliciesChecked)),
+			trace.I("events", int64(len(rep.Check.Events))))
+	}
 
 	v.cur = net.Clone()
 	rep.Timing.Total = time.Since(start)
@@ -283,7 +364,40 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 	v.metrics.rulesInserted.Add(uint64(rep.RulesInserted))
 	v.metrics.rulesDeleted.Add(uint64(rep.RulesDeleted))
 	v.metrics.filterChanges.Add(uint64(rep.FilterChanges))
+	if tr != nil {
+		rep.TraceID = tr.ID
+		tr.Finish(v.nextSeq)
+		v.nextReqID, v.nextSeq = "", 0
+	}
 	return rep, nil
+}
+
+// recordDiff emits one config_change event per changed device (sorted)
+// plus one per link change: the start of the causal chain every other
+// trace event links back to.
+func recordDiff(tr *trace.Apply, diff *netcfg.NetworkDiff) {
+	devs := make([]string, 0, len(diff.Devices))
+	for d := range diff.Devices {
+		devs = append(devs, d)
+	}
+	sort.Strings(devs)
+	for _, d := range devs {
+		chs := diff.Devices[d]
+		var b strings.Builder
+		for i, c := range chs {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(c.String())
+		}
+		tr.Event(obs.TrackPipeline, obs.EventConfigChange,
+			trace.S("device", d), trace.I("lines", int64(len(chs))), trace.S("detail", b.String()))
+	}
+	for _, lc := range diff.Links {
+		tr.Event(obs.TrackPipeline, obs.EventConfigChange,
+			trace.S("device", "(link)"), trace.I("lines", 1),
+			trace.S("detail", fmt.Sprintf("%s %v", lc.Op, lc.Link)))
+	}
 }
 
 func deviceNames(net *netcfg.Network) []string { return net.DeviceNames() }

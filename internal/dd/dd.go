@@ -40,8 +40,10 @@ package dd
 import (
 	"fmt"
 	mbits "math/bits"
+	"strconv"
 
 	"realconfig/internal/obs"
+	ptrace "realconfig/internal/trace"
 )
 
 // Diff is a signed multiplicity. Insertions carry +1, deletions -1;
@@ -104,6 +106,17 @@ type Graph struct {
 	// Instrument; every method is nil-safe).
 	metrics GraphMetrics
 
+	// tr is the provenance trace of the in-flight apply (nil = tracing
+	// off, the common case). Set per-apply via SetTrace.
+	tr *ptrace.Apply
+	// nodeKinds labels nodes for trace spans ("join", "reduce"),
+	// parallel to nodes.
+	nodeKinds []string
+	// emitted counts difference entries emitted by stateful nodes and
+	// input flushes this graph's lifetime; per-node deltas around
+	// process() calls yield the "out" attribute of epoch spans.
+	emitted int64
+
 	// fingerprints of loop-variable states per iteration, used by the
 	// recurring-state detector (see Detector).
 	detectors []*Detector
@@ -153,10 +166,17 @@ func NewGraph() *Graph {
 // exceeds Graph.MaxIter iterations.
 var ErrNonTermination = fmt.Errorf("dd: fixpoint did not converge (non-termination)")
 
-func (g *Graph) addNode(p processor) int {
+func (g *Graph) addNode(p processor, kind string) int {
 	g.nodes = append(g.nodes, p)
+	g.nodeKinds = append(g.nodeKinds, kind)
 	return len(g.nodes) - 1
 }
+
+// SetTrace attaches a provenance trace to the next Advance calls: each
+// epoch records one span per active node (accumulated run time,
+// input/output difference counts) on the engine track. Pass nil to
+// detach; a detached graph pays one nil check per epoch.
+func (g *Graph) SetTrace(a *ptrace.Apply) { g.tr = a }
 
 // schedule records that node id has pending work at iteration iter.
 // Each iteration is pushed onto the heap at most once (inHeap dedupes),
@@ -192,8 +212,23 @@ func (g *Graph) Advance() (EpochStats, error) {
 	for _, r := range g.resetters {
 		r()
 	}
-	for _, in := range g.inputs {
-		in.flush()
+	// Per-node provenance aggregation, allocated only when a trace is
+	// attached; the input flush is recorded as an "inputs" pseudo-node.
+	var agg []nodeTrace
+	if g.tr != nil {
+		agg = make([]nodeTrace, len(g.nodes))
+		t0 := g.tr.Now()
+		o0 := g.emitted
+		for _, in := range g.inputs {
+			in.flush()
+		}
+		if out := g.emitted - o0; out > 0 {
+			g.tr.Span(obs.TrackEngine, "inputs", t0, ptrace.I("out", out))
+		}
+	} else {
+		for _, in := range g.inputs {
+			in.flush()
+		}
 	}
 	for len(g.pending) > 0 {
 		iter, ok := g.iters.popMin()
@@ -234,9 +269,35 @@ func (g *Graph) Advance() (EpochStats, error) {
 				tz := mbits.TrailingZeros64(set.bits[wi])
 				set.bits[wi] &^= 1 << tz
 				g.stats.NodeRuns++
-				g.nodes[wi<<6|tz].process(iter)
+				id := wi<<6 | tz
+				if agg == nil {
+					g.nodes[id].process(iter)
+					continue
+				}
+				e0, o0 := g.stats.Entries, g.emitted
+				t0 := g.tr.Now()
+				g.nodes[id].process(iter)
+				nt := &agg[id]
+				if nt.runs == 0 {
+					nt.startUS = t0
+				}
+				nt.durUS += g.tr.Now() - t0
+				nt.runs++
+				nt.in += g.stats.Entries - e0
+				nt.out += g.emitted - o0
 			}
 		}
+	}
+	// One span per active node: accumulated run time across all of its
+	// activations this epoch, with input/output difference counts.
+	for id := range agg {
+		nt := &agg[id]
+		if nt.runs == 0 {
+			continue
+		}
+		g.tr.SpanAt(obs.TrackEngine, g.nodeKinds[id]+"#"+strconv.Itoa(id),
+			nt.startUS, nt.durUS,
+			ptrace.I("runs", int64(nt.runs)), ptrace.I("in", int64(nt.in)), ptrace.I("out", nt.out))
 	}
 	g.epoch++
 	st := g.stats
@@ -244,6 +305,14 @@ func (g *Graph) Advance() (EpochStats, error) {
 	g.metrics.NodeRuns.Add(uint64(st.NodeRuns))
 	g.metrics.Entries.Add(uint64(st.Entries))
 	return st, nil
+}
+
+// nodeTrace aggregates one node's activity across an epoch's
+// activations for its provenance span.
+type nodeTrace struct {
+	startUS, durUS int64
+	runs, in       int
+	out            int64
 }
 
 // MustAdvance is Advance for tests and examples where non-termination is

@@ -95,5 +95,6 @@ func (in *Input[T]) flush() {
 		}
 	}
 	in.staged = make(map[T]Diff)
+	in.g.emitted += int64(len(batch))
 	in.out.emit(0, batch)
 }

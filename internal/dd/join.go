@@ -22,7 +22,7 @@ func Join[K comparable, A comparable, B comparable, R comparable](
 		pendA: make(map[int][]Entry[KV[K, A]]),
 		pendB: make(map[int][]Entry[KV[K, B]]),
 	}
-	j.id = g.addNode(j)
+	j.id = g.addNode(j, "join")
 	a.p.subscribe(func(iter int, batch []Entry[KV[K, A]]) {
 		j.pendA[iter] = append(j.pendA[iter], batch...)
 		g.schedule(j.id, iter)
@@ -133,6 +133,7 @@ func (j *joinNode[K, A, B, R]) process(iter int) {
 				batch = append(batch, Entry[R]{Val: r, Diff: d})
 			}
 		}
+		j.g.emitted += int64(len(batch))
 		j.out.emit(i, batch)
 	}
 }

@@ -30,7 +30,7 @@ func Reduce[K comparable, V comparable, R comparable](
 		pend:     make(map[int][]Entry[KV[K, V]]),
 		pendKeys: make(map[int]map[K]struct{}),
 	}
-	r.id = g.addNode(r)
+	r.id = g.addNode(r, "reduce")
 	c.p.subscribe(func(iter int, batch []Entry[KV[K, V]]) {
 		r.pend[iter] = append(r.pend[iter], batch...)
 		g.schedule(r.id, iter)
@@ -154,6 +154,7 @@ func (r *reduceNode[K, V, R]) process(iter int) {
 			delete(r.outHist, e.Val.K)
 		}
 	}
+	r.g.emitted += int64(len(emit))
 	r.out.emit(iter, emit)
 }
 

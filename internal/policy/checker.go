@@ -16,6 +16,7 @@ import (
 	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/obs"
+	"realconfig/internal/trace"
 )
 
 // Kind classifies the fate of a packet injected at a device.
@@ -91,6 +92,10 @@ type Checker struct {
 	// metrics are the checker's live instruments (nil until Instrument;
 	// every method is nil-safe).
 	metrics CheckerMetrics
+
+	// tr is the provenance trace of the in-flight apply (nil = tracing
+	// off). Set per-apply via SetTrace.
+	tr *trace.Apply
 }
 
 // CheckerMetrics are the checker's live instruments: cumulative work
@@ -266,23 +271,53 @@ func (c *Checker) Update(transfers []apkeep.Transfer, ftransfers []apkeep.Filter
 		res.AffectedECs++
 	}
 
-	// Recheck policies registered on affected packets.
-	for name, p := range c.policies {
+	// Recheck policies registered on affected packets. Under tracing the
+	// loop runs in sorted name order and collects every relevant EC for
+	// the recheck event (the untraced scan early-breaks on the first).
+	check := func(name string, p Policy) {
+		var relECs []bdd.Node
 		relevant := false
 		for ec := range affected {
 			if p.Relevant(c.model.H, ec) {
 				relevant = true
-				break
+				if c.tr == nil {
+					break
+				}
+				relECs = append(relECs, ec)
 			}
 		}
 		if !relevant {
-			continue
+			return
 		}
 		res.PoliciesChecked++
 		now := p.Eval(c)
-		if was, known := c.verdicts[name]; !known || was != now {
+		was, known := c.verdicts[name]
+		if !known || was != now {
 			c.verdicts[name] = now
 			res.Events = append(res.Events, PolicyEvent{Policy: name, Satisfied: now})
+		}
+		if c.tr != nil {
+			from := "unchecked"
+			if known {
+				from = verdictStr(was)
+			}
+			c.tr.Event(obs.TrackPolicy, obs.EventPolicyRecheck,
+				trace.S("policy", name), trace.S("from", from), trace.S("to", verdictStr(now)),
+				trace.S("ecs", joinNodes(relECs)))
+		}
+	}
+	if c.tr != nil {
+		names := make([]string, 0, len(c.policies))
+		for name := range c.policies {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			check(name, c.policies[name])
+		}
+	} else {
+		for name, p := range c.policies {
+			check(name, p)
 		}
 	}
 	sort.Slice(res.Events, func(i, j int) bool { return res.Events[i].Policy < res.Events[j].Policy })

@@ -15,6 +15,7 @@ import (
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
+	"realconfig/internal/trace"
 )
 
 // Options configures a Generator.
@@ -314,6 +315,10 @@ func (gen *Generator) SetNetwork(net *netcfg.Network) {
 
 // Instrument registers the underlying dataflow engine's counters on reg.
 func (gen *Generator) Instrument(reg *obs.Registry) { gen.g.Instrument(reg) }
+
+// SetTrace attaches a provenance trace to the underlying dataflow graph:
+// subsequent Steps record per-node epoch spans. Pass nil to detach.
+func (gen *Generator) SetTrace(a *trace.Apply) { gen.g.SetTrace(a) }
 
 // Step runs one epoch, returning engine statistics. After an error the
 // generator must be discarded.

@@ -31,6 +31,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -43,6 +45,7 @@ import (
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
 	"realconfig/internal/policy"
+	"realconfig/internal/trace"
 )
 
 // Config configures a Server.
@@ -66,6 +69,9 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: profiling endpoints are opt-in on a daemon).
 	EnablePprof bool
+	// Logger receives the daemon's structured logs (nil = discard). Every
+	// request-scoped line carries the req_id the middleware assigned.
+	Logger *slog.Logger
 }
 
 // Server is the daemon engine. Create with New, serve via Handler, stop
@@ -79,7 +85,11 @@ type Server struct {
 
 	snap  atomic.Pointer[Snapshot]
 	mux   *http.ServeMux
+	h     http.Handler // mux wrapped in the req_id middleware
 	start time.Time
+
+	log    *slog.Logger
+	reqSeq atomic.Uint64
 
 	// reg carries every pipeline stage's instruments plus the server's
 	// own; /v1/metrics serves it.
@@ -177,6 +187,10 @@ func New(cfg Config) (*Server, error) {
 		quit:         make(chan struct{}),
 		done:         make(chan struct{}),
 		start:        time.Now(),
+		log:          cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s.v = core.New(cfg.Options)
 	s.instrument() // before Load, so the initial full verification is measured too
@@ -197,6 +211,7 @@ func New(cfg Config) (*Server, error) {
 		j.appendSeconds = s.m.journalAppendSeconds
 		j.fsyncSeconds = s.m.journalFsyncSeconds
 		s.journal = j
+		t0 := time.Now()
 		for i, e := range entries {
 			rep, err := s.applyEntry(e)
 			if err != nil {
@@ -208,12 +223,23 @@ func New(cfg Config) (*Server, error) {
 			if rep != nil {
 				lastReport = rep
 			}
+			if (i+1)%1000 == 0 {
+				s.log.Info("journal replay progress",
+					"entries", i+1, "total", len(entries),
+					"elapsed_ms", time.Since(t0).Milliseconds())
+			}
+		}
+		if len(entries) > 0 {
+			s.log.Info("journal replayed",
+				"path", cfg.JournalPath, "entries", len(entries),
+				"seq", s.seq, "elapsed_ms", time.Since(t0).Milliseconds())
 		}
 	}
 	s.snap.Store(buildSnapshot(s.v, s.seq, lastReport))
 	s.m.snapshotPublishes.Inc()
 	s.mux = http.NewServeMux()
 	s.routes(cfg.EnablePprof)
+	s.h = s.withReqID(s.mux)
 	go s.applyLoop()
 	return s, nil
 }
@@ -359,8 +385,13 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 // plus the serving layer); /v1/metrics serves it as Prometheus text.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Handler returns the HTTP handler serving the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the v1 API, wrapped in the
+// request-id middleware.
+func (s *Server) Handler() http.Handler { return s.h }
+
+// Recorder exposes the verifier's provenance-trace ring (nil when
+// tracing is disabled); /v1/applies serves it.
+func (s *Server) Recorder() *trace.Recorder { return s.v.Recorder() }
 
 // Close stops the apply goroutine and closes the journal. In-flight
 // requests fail with a shutdown error; queued jobs are dropped.
@@ -375,6 +406,47 @@ func (s *Server) Close() error {
 
 // ---- HTTP layer ----
 
+// ctxKey keys request-scoped context values.
+type ctxKey int
+
+const reqIDKey ctxKey = iota
+
+// reqIDFrom returns the request id the middleware assigned ("" outside
+// the middleware, e.g. in direct-handler tests).
+func reqIDFrom(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey).(string)
+	return id
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// withReqID assigns every request a daemon-unique id, echoes it in the
+// X-Request-Id response header, threads it through the context (logs,
+// error bodies, apply traces) and writes one access-log line per
+// request.
+func (s *Server) withReqID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey, id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Info("request",
+			"req_id", id, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "dur_ms", time.Since(t0).Milliseconds())
+	})
+}
+
 func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
@@ -383,6 +455,8 @@ func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/changes", s.handleChanges)
 	s.mux.HandleFunc("/v1/whatif", s.handleWhatIf)
 	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
+	s.mux.HandleFunc("GET /v1/applies", s.handleApplies)
+	s.mux.HandleFunc("GET /v1/applies/{id}/trace", s.handleApplyTrace)
 	s.mux.Handle("/v1/metrics", s.reg.Handler())
 	if enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -420,6 +494,7 @@ type verdictsResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	ReqID string `json:"reqId,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -429,7 +504,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// badRequest answers 400 with the message and the request id.
+func badRequest(w http.ResponseWriter, r *http.Request, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg, ReqID: reqIDFrom(r)})
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusUnprocessableEntity
 	switch {
 	case errors.Is(err, errQueueFull):
@@ -437,7 +517,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		status = http.StatusGatewayTimeout
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: err.Error(), ReqID: reqIDFrom(r)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -489,16 +569,16 @@ func decodeChangesBody(w http.ResponseWriter, r *http.Request) ([]netcfg.Change,
 	var req changesRequest
 	body := http.MaxBytesReader(w, r.Body, 8<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		badRequest(w, r, "bad request body: "+err.Error())
 		return nil, false
 	}
 	if len(req.Changes) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty change batch"})
+		badRequest(w, r, "empty change batch")
 		return nil, false
 	}
 	changes, err := netcfg.DecodeChanges(req.Changes)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		badRequest(w, r, err.Error())
 		return nil, false
 	}
 	return changes, true
@@ -514,10 +594,12 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	rid := reqIDFrom(r)
 	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
 	defer cancel()
 	t0 := time.Now()
 	res, err := s.do(ctx, func() (any, error) {
+		s.v.SetTraceContext(rid, s.seq+1)
 		rep, err := s.v.Apply(changes...)
 		if err != nil {
 			return nil, err
@@ -540,10 +622,16 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	s.m.applySeconds.ObserveDuration(time.Since(t0))
 	if err != nil {
 		s.m.applyErrors.Inc()
-		writeError(w, err)
+		s.log.Warn("apply failed", "req_id", rid, "changes", len(changes), "err", err)
+		writeError(w, r, err)
 		return
 	}
 	s.m.applies.Inc()
+	ar := res.(applyResponse)
+	s.log.Info("applied",
+		"req_id", rid, "seq", ar.Seq, "changes", len(changes),
+		"violated", len(ar.Report.Violated), "repaired", len(ar.Report.Repaired),
+		"trace_id", ar.Report.TraceID, "dur_ms", time.Since(t0).Milliseconds())
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -576,18 +664,18 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		return whatIfCapture{net: s.v.Network(), policy: s.policyText(), opts: s.v.Options(), seq: s.seq}, nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	wc := res.(whatIfCapture)
 	fork, _, err := core.Bootstrap(wc.opts, wc.net, wc.policy)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	rep, err := fork.Apply(changes...)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	s.m.whatifs.Inc()
@@ -613,11 +701,11 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	var req policiesRequest
 	body := http.MaxBytesReader(w, r.Body, 8<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		badRequest(w, r, "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Add) == 0 && len(req.Remove) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "nothing to add or remove"})
+		badRequest(w, r, "nothing to add or remove")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
@@ -683,7 +771,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		return applyResponse{Seq: snap.Seq, Verdicts: snap.Verdicts}, nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -713,20 +801,20 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	src := q.Get("src")
 	dst := q.Get("dst")
 	if src == "" || dst == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "src and dst query parameters are required"})
+		badRequest(w, r, "src and dst query parameters are required")
 		return
 	}
 	port := 0
 	if p := q.Get("port"); p != "" {
 		var err error
 		if port, err = strconv.Atoi(p); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad port " + p})
+			badRequest(w, r, "bad port "+p)
 			return
 		}
 	}
 	pkt, err := core.ParsePacket(dst, q.Get("srcip"), q.Get("proto"), port)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		badRequest(w, r, err.Error())
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
@@ -738,7 +826,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return s.v.Trace(src, pkt), nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	tr := res.(core.Trace)
@@ -756,4 +844,63 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		out.Hops = append(out.Hops, hop)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleApplies serves the provenance-trace ring index: one summary row
+// per retained apply, newest first.
+func (s *Server) handleApplies(w http.ResponseWriter, r *http.Request) {
+	rec := s.v.Recorder()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "provenance tracing disabled (core.Options.TraceApplies = 0)",
+			ReqID: reqIDFrom(r),
+		})
+		return
+	}
+	applies := rec.Applies()
+	if applies == nil {
+		applies = []trace.Summary{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applies": applies})
+}
+
+// handleApplyTrace serves one retained apply's full provenance trace.
+// {id} is a numeric apply id or "latest"; ?format=chrome exports the
+// Chrome trace-event JSON form (loadable in Perfetto / chrome://tracing).
+func (s *Server) handleApplyTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.v.Recorder()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "provenance tracing disabled (core.Options.TraceApplies = 0)",
+			ReqID: reqIDFrom(r),
+		})
+		return
+	}
+	var a *trace.Apply
+	if idStr := r.PathValue("id"); idStr == "latest" {
+		a = rec.Latest()
+	} else {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			badRequest(w, r, "bad apply id "+idStr)
+			return
+		}
+		a = rec.Get(id)
+	}
+	if a == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "no retained trace for that apply (evicted from the ring, or never recorded)",
+			ReqID: reqIDFrom(r),
+		})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, a)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, a)
+	default:
+		badRequest(w, r, "unknown format "+format+` (want "json" or "chrome")`)
+	}
 }

@@ -33,6 +33,9 @@ type ReportJSON struct {
 	Violated        []string   `json:"violated"`
 	Repaired        []string   `json:"repaired"`
 	Timing          TimingJSON `json:"timing"`
+	// TraceID names the provenance trace this verification recorded
+	// (fetch via GET /v1/applies/{id}/trace; 0 = tracing disabled).
+	TraceID uint64 `json:"traceId,omitempty"`
 }
 
 func reportJSON(rep *core.Report) *ReportJSON {
@@ -49,6 +52,7 @@ func reportJSON(rep *core.Report) *ReportJSON {
 		PoliciesChecked: rep.Check.PoliciesChecked,
 		Violated:        rep.Violations(),
 		Repaired:        rep.Repaired(),
+		TraceID:         rep.TraceID,
 		Timing: TimingJSON{
 			GenerateNS:    rep.Timing.Generate.Nanoseconds(),
 			ModelUpdateNS: rep.Timing.ModelUpdate.Nanoseconds(),

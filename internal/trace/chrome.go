@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteChrome renders apply traces in the Chrome trace-event JSON Object
+// Format, loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping: each apply is one process (pid = apply id) whose name is
+// "<label>#<id>"; each track (pipeline, engine, model, policy) is one
+// thread within it, named by a thread_name metadata event; spans become
+// complete ("X") events and instants become thread-scoped instant ("i")
+// events. Attributes pass through as args in recorded order, so the
+// output is byte-deterministic given a deterministic clock.
+func WriteChrome(w io.Writer, applies ...*Apply) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(b []byte) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+		bw.Write(b)
+	}
+	for _, a := range applies {
+		if a == nil {
+			continue
+		}
+		pid := a.ID
+		// Threads in first-appearance order (spans, then events), so tid
+		// assignment is a pure function of the recorded trace.
+		tids := make(map[string]int)
+		tidOf := func(track string) int {
+			if id, ok := tids[track]; ok {
+				return id
+			}
+			id := len(tids) + 1
+			tids[track] = id
+			name := a.Label + "#" + strconv.FormatUint(a.ID, 10)
+			if len(tids) == 1 { // first track: name the process too
+				emit(metaEvent(pid, 0, "process_name", name))
+			}
+			emit(metaEvent(pid, id, "thread_name", track))
+			return id
+		}
+		for _, s := range a.Spans {
+			tid := tidOf(s.Track)
+			var b []byte
+			b = append(b, `{"ph":"X","pid":`...)
+			b = append(b, itoa(int64(pid))...)
+			b = append(b, `,"tid":`...)
+			b = append(b, itoa(int64(tid))...)
+			b = append(b, `,"ts":`...)
+			b = append(b, itoa(s.StartUS)...)
+			b = append(b, `,"dur":`...)
+			b = append(b, itoa(s.DurUS)...)
+			b = append(b, `,"name":`...)
+			b = append(b, jsonString(s.Name)...)
+			b = appendArgs(b, s.Attrs)
+			b = append(b, '}')
+			emit(b)
+		}
+		for _, e := range a.Events {
+			tid := tidOf(e.Track)
+			var b []byte
+			b = append(b, `{"ph":"i","s":"t","pid":`...)
+			b = append(b, itoa(int64(pid))...)
+			b = append(b, `,"tid":`...)
+			b = append(b, itoa(int64(tid))...)
+			b = append(b, `,"ts":`...)
+			b = append(b, itoa(e.TSUS)...)
+			b = append(b, `,"name":`...)
+			b = append(b, jsonString(e.Kind)...)
+			b = appendArgs(b, e.Attrs)
+			b = append(b, '}')
+			emit(b)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// metaEvent builds a metadata ("M") event naming a process or thread.
+func metaEvent(pid uint64, tid int, kind, name string) []byte {
+	var b []byte
+	b = append(b, `{"ph":"M","pid":`...)
+	b = append(b, itoa(int64(pid))...)
+	b = append(b, `,"tid":`...)
+	b = append(b, itoa(int64(tid))...)
+	b = append(b, `,"name":"`...)
+	b = append(b, kind...)
+	b = append(b, `","args":{"name":`...)
+	b = append(b, jsonString(name)...)
+	b = append(b, `}}`...)
+	return b
+}
+
+// appendArgs renders an ordered attribute list as `,"args":{...}` ("" if
+// empty).
+func appendArgs(b []byte, attrs []Attr) []byte {
+	if len(attrs) == 0 {
+		return b
+	}
+	b = append(b, `,"args":{`...)
+	for i, at := range attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, jsonString(at.Key)...)
+		b = append(b, ':')
+		b = append(b, jsonString(at.Val)...)
+	}
+	return append(b, '}')
+}
+
+// jsonString marshals s as a JSON string (always succeeds).
+func jsonString(s string) []byte {
+	b, _ := json.Marshal(s)
+	return b
+}
+
+func itoa(v int64) []byte { return strconv.AppendInt(nil, v, 10) }

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fakeClock returns a deterministic clock ticking one microsecond per
+// call.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 { t++; return t }
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	a := r.Begin("apply")
+	if a != nil {
+		t.Fatalf("nil recorder Begin = %v, want nil", a)
+	}
+	// Every recording method must absorb calls on the nil apply.
+	a.Span("pipeline", "generate", a.Now())
+	a.SpanAt("engine", "join#1", 0, 1)
+	a.Event("model", "ec_transfer", S("device", "r1"))
+	a.SetReqID("req-1")
+	a.Finish(7)
+	if got := r.Applies(); got != nil {
+		t.Fatalf("nil recorder Applies = %v, want nil", got)
+	}
+	if r.Get(1) != nil || r.Latest() != nil {
+		t.Fatal("nil recorder Get/Latest must return nil")
+	}
+	r.SetClock(fakeClock())
+}
+
+func TestRingBounds(t *testing.T) {
+	r := NewRecorder(3)
+	r.SetClock(fakeClock())
+	for i := 0; i < 5; i++ {
+		a := r.Begin("apply")
+		a.Event("model", "ec_transfer")
+		a.Finish(uint64(i + 1))
+	}
+	sums := r.Applies()
+	if len(sums) != 3 {
+		t.Fatalf("ring holds %d applies, want 3", len(sums))
+	}
+	// Newest first, ids survive eviction.
+	if sums[0].ID != 5 || sums[2].ID != 3 {
+		t.Fatalf("ring ids = %d..%d, want 5..3", sums[0].ID, sums[2].ID)
+	}
+	if r.Get(1) != nil {
+		t.Fatal("evicted apply still reachable")
+	}
+	if got := r.Latest(); got == nil || got.ID != 5 {
+		t.Fatalf("Latest = %v, want id 5", got)
+	}
+	if got := r.Get(4); got == nil || got.Seq != 4 {
+		t.Fatalf("Get(4) = %v, want seq 4", got)
+	}
+}
+
+func TestSpanAndEventRecording(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetClock(fakeClock())
+	a := r.Begin("load") // t=1
+	start := a.Now()     // t=2
+	a.Span("pipeline", "generate", start, I("rules", 12)) // end t=3
+	a.Event("model", "ec_split", U("ec", 9))              // t=4
+	a.Finish(0)                                           // t=5
+	got := r.Latest()
+	if got.StartUS != 1 || got.DurUS != 4 {
+		t.Fatalf("apply window = (%d,%d), want (1,4)", got.StartUS, got.DurUS)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].StartUS != 2 || got.Spans[0].DurUS != 1 {
+		t.Fatalf("span = %+v", got.Spans)
+	}
+	if got.Spans[0].Attrs[0] != (Attr{Key: "rules", Val: "12"}) {
+		t.Fatalf("span attrs = %+v", got.Spans[0].Attrs)
+	}
+	if len(got.Events) != 1 || got.Events[0].TSUS != 4 || got.Events[0].Attrs[0].Val != "9" {
+		t.Fatalf("event = %+v", got.Events)
+	}
+}
+
+// chromeFile is the subset of the trace-event JSON Object Format the
+// tests validate.
+type chromeFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string          `json:"ph"`
+		Pid  uint64          `json:"pid"`
+		Tid  int             `json:"tid"`
+		TS   *int64          `json:"ts"`
+		Dur  *int64          `json:"dur"`
+		Name string          `json:"name"`
+		S    string          `json:"s"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeValidAndStable(t *testing.T) {
+	build := func() *Recorder {
+		r := NewRecorder(0)
+		r.SetClock(fakeClock())
+		a := r.Begin("apply")
+		s := a.Now()
+		a.Span("pipeline", "generate", s, I("in", 3))
+		a.Event("model", "ec_transfer", S("device", "r1"), U("ec", 5))
+		a.Event("policy", "policy_recheck", S("policy", "p\"quoted\""))
+		a.Finish(1)
+		return r
+	}
+	var out1, out2 bytes.Buffer
+	if err := WriteChrome(&out1, build().Latest()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&out2, build().Latest()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatal("chrome export is not byte-stable under a deterministic clock")
+	}
+
+	var f chromeFile
+	if err := json.Unmarshal(out1.Bytes(), &f); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, out1.String())
+	}
+	var metas, spans, instants int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+		case "X":
+			spans++
+			if e.TS == nil || e.Dur == nil {
+				t.Fatalf("complete event missing ts/dur: %+v", e)
+			}
+		case "i":
+			instants++
+			if e.S != "t" {
+				t.Fatalf("instant event scope = %q, want t", e.S)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Ph != "M" && e.Tid == 0 {
+			t.Fatalf("non-metadata event on tid 0: %+v", e)
+		}
+	}
+	// process_name + 3 thread_names, 1 span, 2 instants.
+	if metas != 4 || spans != 1 || instants != 2 {
+		t.Fatalf("metas/spans/instants = %d/%d/%d, want 4/1/2", metas, spans, instants)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := WriteChrome(&out, nil); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(out.Bytes(), &f); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("empty export has %d events", len(f.TraceEvents))
+	}
+}
