@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke trace-smoke fuzz-smoke cover bench-smoke bench-json bench
+.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke fuzz-smoke cover bench-smoke bench-json bench
 
 all: build
 
@@ -24,12 +24,14 @@ check:
 	$(MAKE) cover
 	$(MAKE) bench-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) plan-smoke
 
 # fuzz-smoke runs each native fuzz target briefly (go supports one
 # -fuzz pattern per invocation). Long sessions: raise -fuzztime.
 FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test -fuzz '^FuzzChangeJSON$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netcfg
+	$(GO) test -fuzz '^FuzzInvert$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netcfg
 	$(GO) test -fuzz '^FuzzJournalLine$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
 
 # cover measures per-package statement coverage and fails if any package
@@ -91,6 +93,31 @@ trace-smoke:
 		|| { echo "trace-smoke: chrome export invalid"; exit 1; }; \
 	grep -q '"req_id"' $$tmp/log || { echo "trace-smoke: logs missing req_id"; cat $$tmp/log; exit 1; }; \
 	echo "trace-smoke: ok"
+
+# plan-smoke runs the update planner on the checked-in rollout example
+# through both front ends — the CLI and a live daemon's /v1/plan — and
+# requires them to agree on the wave ordering, byte for byte.
+plan-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/realconfig ./cmd/realconfig; \
+	$(GO) build -o $$tmp/rcserved ./cmd/rcserved; \
+	$$tmp/realconfig plan -net examples/rollout/net -policies examples/rollout/net/policies.txt \
+		-changes examples/rollout/net/batch.json | grep '^waves:' >$$tmp/cli.waves; \
+	$$tmp/rcserved -net examples/rollout/net -policies examples/rollout/net/policies.txt \
+		-addr 127.0.0.1:0 >$$tmp/out 2>/dev/null & pid=$$!; \
+	for i in $$(seq 1 100); do grep -q listening $$tmp/out 2>/dev/null && break; sleep 0.1; done; \
+	addr=$$(sed -n 's#.*http://\([^ ]*\) .*#\1#p' $$tmp/out); \
+	test -n "$$addr" || { echo "plan-smoke: daemon did not start"; cat $$tmp/out; exit 1; }; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d @examples/rollout/net/batch.json http://$$addr/v1/plan >$$tmp/plan.json; \
+	python3 -c 'import json,sys; p=json.load(open(sys.argv[1])); \
+		assert p["planned"], "daemon found no plan"; \
+		print("waves: " + " ".join("[" + " ".join(str(s["index"]) for s in w) + "]" for w in p["plan"]["waves"]))' \
+		$$tmp/plan.json >$$tmp/srv.waves; \
+	diff $$tmp/cli.waves $$tmp/srv.waves || { echo "plan-smoke: CLI and daemon disagree"; exit 1; }; \
+	cat $$tmp/cli.waves; \
+	echo "plan-smoke: ok"
 
 # bench-smoke runs every benchmark once — not for numbers, just to prove
 # they still build and complete.

@@ -4,6 +4,7 @@
 //	rcbench -table 2 -k 12            # Table 2 at the paper's scale
 //	rcbench -table 3 -k 12            # Table 3
 //	rcbench -table mining -k 8        # section-2 spec-mining speedup
+//	rcbench -table plan -plan-nodes 32 -plan-batch 8
 //	rcbench -table all -k 8
 //	rcbench -table all -k 6 -json BENCH_0001.json
 //
@@ -86,6 +87,21 @@ type jsonMining struct {
 	FromScratchSimNs int64 `json:"from_scratch_sim_ns"`
 }
 
+// jsonPlan is the update-planner comparison: the same ordering search
+// probed incrementally vs from scratch.
+type jsonPlan struct {
+	Nodes        int     `json:"nodes"`
+	BatchSize    int     `json:"batch_size"`
+	Waves        int     `json:"waves"`
+	Probes       int     `json:"probes"`
+	MemoHits     int     `json:"memo_hits"`
+	Rebuilds     int     `json:"fork_rebuilds"`
+	ProbesPerSec float64 `json:"probes_per_sec"`
+	PlanNs       int64   `json:"plan_ns"`
+	NaiveNs      int64   `json:"naive_full_verify_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
 // jsonTraceApply summarizes one recorded apply's provenance trace:
 // span counts per pipeline stage and per track, so BENCH snapshots
 // record how much provenance each verification produced.
@@ -110,6 +126,7 @@ type jsonReport struct {
 	Table3    []jsonTable3Row  `json:"table3,omitempty"`
 	Stages    []jsonStageRun   `json:"stages,omitempty"`
 	Mining    *jsonMining      `json:"mining,omitempty"`
+	Plan      *jsonPlan        `json:"plan,omitempty"`
 	Trace     []jsonTraceApply `json:"trace,omitempty"`
 }
 
@@ -133,6 +150,9 @@ func run(args []string) error {
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
+	planNodes := fs.Int("plan-nodes", 32, "OSPF ring size for the planner comparison (plan)")
+	planBatch := fs.Int("plan-batch", 8, "change batch size for the planner comparison (plan)")
+	planWorkers := fs.Int("plan-workers", 0, "probe workers for the planner comparison (0 = planner default)")
 	jsonPath := fs.String("json", "", "also write a machine-readable report to this file (auto = next free BENCH_%04d.json)")
 	tracePath := fs.String("trace", "", "run the stage experiment traced and export Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -153,7 +173,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("stages") && !want("mining") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -173,6 +193,11 @@ func run(args []string) error {
 	}
 	if want("mining") {
 		if err := runMining(*k, *failures, rep); err != nil {
+			return err
+		}
+	}
+	if want("plan") {
+		if err := runPlan(*planNodes, *planBatch, *planWorkers, rep); err != nil {
 			return err
 		}
 	}
@@ -323,6 +348,30 @@ func runMining(k, failures int, rep *jsonReport) error {
 		IncrementalNs:    res.Incremental.Nanoseconds(),
 		FromScratchGenNs: res.FromScratchGen.Nanoseconds(),
 		FromScratchSimNs: res.FromScratchSim.Nanoseconds(),
+	}
+	return nil
+}
+
+func runPlan(nodes, batchSize, workers int, rep *jsonReport) error {
+	fmt.Printf("=== Update planner: incremental vs from-scratch probing — OSPF ring n=%d, batch %d ===\n",
+		nodes, batchSize)
+	res, err := bench.RunPlan(nodes, batchSize, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPlan(res))
+	fmt.Println()
+	rep.Plan = &jsonPlan{
+		Nodes:        res.Nodes,
+		BatchSize:    res.BatchSize,
+		Waves:        res.Waves,
+		Probes:       res.Probes,
+		MemoHits:     res.MemoHits,
+		Rebuilds:     res.Rebuilds,
+		ProbesPerSec: res.ProbesPerSec(),
+		PlanNs:       res.PlanWall.Nanoseconds(),
+		NaiveNs:      res.NaiveWall.Nanoseconds(),
+		Speedup:      res.Speedup(),
 	}
 	return nil
 }

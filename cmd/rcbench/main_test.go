@@ -12,6 +12,7 @@ func TestRunSmallScale(t *testing.T) {
 		{"-table", "2", "-k", "4", "-samples", "1"},
 		{"-table", "3", "-k", "4"},
 		{"-table", "mining", "-k", "4", "-failures", "3"},
+		{"-table", "plan", "-plan-nodes", "8", "-plan-batch", "4"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)

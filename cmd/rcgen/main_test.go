@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"realconfig/internal/core"
+	"realconfig/internal/netcfg"
 )
 
 func TestRunGeneratesLoadableNetwork(t *testing.T) {
@@ -59,12 +61,46 @@ func TestRunAllShapes(t *testing.T) {
 	}
 }
 
+// TestRunBatch generates a ring with an order-dependent change batch
+// and checks the batch decodes and has the documented shape.
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-shape", "ring", "-n", "6", "-mode", "ospf", "-out", dir, "-emit-policies", "-batch", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "batch.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req struct {
+		Changes []json.RawMessage `json:"changes"`
+	}
+	if err := json.Unmarshal(data, &req); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := netcfg.DecodeChanges(req.Changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 6 {
+		t.Fatalf("batch has %d changes, want 6", len(batch))
+	}
+	if _, ok := batch[0].(netcfg.AddStaticRoute); !ok {
+		t.Fatalf("batch[0] = %T, want the order-dependent static route first", batch[0])
+	}
+	if _, ok := batch[1].(netcfg.SetOSPFCost); !ok {
+		t.Fatalf("batch[1] = %T, want the enabling OSPF cost change", batch[1])
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{}, // missing -out
 		{"-out", "/tmp/x", "-mode", "eigrp"},
 		{"-out", "/tmp/x", "-shape", "torus"},
 		{"-out", "/tmp/x", "-shape", "fattree", "-k", "3"},
+		{"-out", t.TempDir(), "-shape", "line", "-n", "6", "-batch", "4"}, // batch needs a ring
+		{"-out", t.TempDir(), "-shape", "ring", "-n", "4", "-batch", "4"}, // ring too small for a batch
 		{"-bogus-flag"},
 	} {
 		if err := run(args); err == nil {

@@ -8,6 +8,7 @@
 //
 //	POST /v1/changes            apply a batch of typed configuration changes
 //	POST /v1/whatif             speculatively verify a batch, discarding the result
+//	POST /v1/plan               order a batch into violation-free deployment waves
 //	POST /v1/policies           add/remove policies at runtime
 //	GET  /v1/verdicts           current policy verdicts (lock-free snapshot)
 //	GET  /v1/report             last verification report and current violations

@@ -19,21 +19,31 @@
 //	realconfig trace -net <dir> -from <device> -to <ip> [-proto tcp -port 22]
 //	realconfig diff <old-dir> <new-dir>
 //
+// Planning a safe rollout of a change batch (a JSON file with a
+// "changes" array, see cmd/rcgen -batch): search for an ordering whose
+// every intermediate state satisfies the policies, grouped into
+// parallelizable waves, or print a minimal counterexample:
+//
+//	realconfig plan -net <dir> -policies <file> -changes <batch.json>
+//
 // A snapshot directory holds one "<host>.cfg" per device and a
 // "topology.txt" with "link devA intfA devB intfB" lines; see cmd/rcgen
 // to generate synthetic snapshots.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"realconfig/internal/apkeep"
 	"realconfig/internal/core"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
+	"realconfig/internal/plan"
 	"realconfig/internal/trace"
 )
 
@@ -57,8 +67,10 @@ func run(args []string) error {
 		return cmdTrace(args[1:])
 	case "diff":
 		return cmdDiff(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want verify, check, trace or diff)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want verify, check, trace, diff or plan)", args[0])
 	}
 }
 
@@ -234,6 +246,97 @@ func cmdCheck(args []string) error {
 		fmt.Printf("wrote trace %s\n", *tracePath)
 	}
 	return nil
+}
+
+// cmdPlan searches for a violation-free ordering of a change batch.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	netDir := fs.String("net", "", "snapshot directory (required)")
+	polFile := fs.String("policies", "", "policy specification file")
+	batchFile := fs.String("changes", "", "JSON change-batch file (required)")
+	workers := fs.Int("workers", 0, "probe worker-pool size (0 = min(4, GOMAXPROCS))")
+	maxProbes := fs.Int("max-probes", 0, "probe budget (0 = default)")
+	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *netDir == "" || *batchFile == "" {
+		return fmt.Errorf("-net and -changes are required")
+	}
+	net, err := core.LoadNetworkDir(*netDir)
+	if err != nil {
+		return err
+	}
+	batch, err := loadBatch(*batchFile)
+	if err != nil {
+		return err
+	}
+	v := core.New(options(*deleteFirst))
+	if _, err := v.Load(net); err != nil {
+		return err
+	}
+	if err := addPolicies(v, *polFile); err != nil {
+		return err
+	}
+	res, err := plan.Search(v, batch, plan.Options{Workers: *workers, MaxProbes: *maxProbes})
+	if err != nil {
+		return err
+	}
+	printPlanStats(res.Stats)
+	if ce := res.Counterexample; ce != nil {
+		fmt.Print(ce)
+		return fmt.Errorf("no safe ordering for %s", *batchFile)
+	}
+	for wi, wave := range res.Plan.Waves {
+		fmt.Printf("wave %d (%d change(s), may roll out concurrently):\n", wi+1, len(wave))
+		for _, st := range wave {
+			fmt.Printf("  [%d] %s\n", st.Index, st.Change)
+		}
+	}
+	fmt.Print(wavesLine(res.Plan))
+	return nil
+}
+
+// wavesLine renders the machine-diffable one-line wave summary shared
+// with the daemon smoke test: "waves: [1] [0 2 3]".
+func wavesLine(p *plan.Plan) string {
+	var b []byte
+	b = append(b, "waves:"...)
+	for _, wave := range p.Waves {
+		b = append(b, ' ', '[')
+		for i, st := range wave {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, fmt.Sprintf("%d", st.Index)...)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '\n')
+	return string(b)
+}
+
+func printPlanStats(st plan.Stats) {
+	fmt.Printf("search: %d probes, %d memo hits, %d fork rebuilds, %d workers, %s\n",
+		st.Probes, st.MemoHits, st.Rebuilds, st.Workers, st.Elapsed.Round(time.Microsecond))
+}
+
+// loadBatch reads a {"changes":[...]} JSON batch file.
+func loadBatch(path string) ([]netcfg.Change, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var req struct {
+		Changes []json.RawMessage `json:"changes"`
+	}
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("batch %s: %w", path, err)
+	}
+	if len(req.Changes) == 0 {
+		return nil, fmt.Errorf("batch %s has no changes", path)
+	}
+	return netcfg.DecodeChanges(req.Changes)
 }
 
 // writeChromeTrace exports every retained apply trace, oldest first, as

@@ -257,6 +257,35 @@ func (t *Table) FractionSat(n Node) float64 {
 	return rec(n)
 }
 
+// CopyTo interns the predicate rooted at n into dst, which must have
+// the same variable count (and is assumed to use the same variable
+// meaning), and returns dst's canonical handle for it. Node handles are
+// table-relative, so predicates built against one table (a live
+// verifier's) cannot be used with another (a fork's) directly; CopyTo
+// is the transfer operation that makes structures like compiled
+// policies reusable across verifiers without re-parsing. Shared
+// subgraphs are visited once per call via a memo table.
+func (t *Table) CopyTo(dst *Table, n Node) Node {
+	if t.numVars != dst.numVars {
+		panic(fmt.Sprintf("bdd: CopyTo between tables with %d and %d variables", t.numVars, dst.numVars))
+	}
+	if t == dst {
+		return n
+	}
+	memo := map[Node]Node{False: False, True: True}
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		d := t.nodes[n]
+		r := dst.mk(d.level, rec(d.lo), rec(d.hi))
+		memo[n] = r
+		return r
+	}
+	return rec(n)
+}
+
 // AnySat returns one satisfying assignment (length NumVars; entries are
 // 0, 1, or -1 for "either"). ok is false when n is False.
 func (t *Table) AnySat(n Node) (assign []int8, ok bool) {

@@ -1,0 +1,60 @@
+package bdd
+
+import "testing"
+
+// TestCopyTo transfers predicates between independent tables and checks
+// semantic equivalence via satisfying fractions and witness membership.
+func TestCopyTo(t *testing.T) {
+	src := New(8)
+	dst := New(8)
+
+	a := src.And(src.Var(0), src.Or(src.Var(3), src.NVar(5)))
+	b := src.Not(a)
+
+	ca := src.CopyTo(dst, a)
+	cb := src.CopyTo(dst, b)
+
+	if got, want := dst.FractionSat(ca), src.FractionSat(a); got != want {
+		t.Fatalf("FractionSat after transfer = %v, want %v", got, want)
+	}
+	// The transferred predicates keep their algebraic relationships.
+	if dst.And(ca, cb) != False {
+		t.Fatal("transferred a AND NOT a is not empty")
+	}
+	if dst.Or(ca, cb) != True {
+		t.Fatal("transferred a OR NOT a is not full")
+	}
+	// Rebuilding the same predicate natively in dst must intern to the
+	// same handle (canonicity is preserved by the transfer).
+	native := dst.And(dst.Var(0), dst.Or(dst.Var(3), dst.NVar(5)))
+	if native != ca {
+		t.Fatalf("transferred handle %d != natively built handle %d", ca, native)
+	}
+}
+
+// TestCopyToTerminalsAndSelf covers the trivial cases.
+func TestCopyToTerminalsAndSelf(t *testing.T) {
+	src := New(4)
+	dst := New(4)
+	if got := src.CopyTo(dst, True); got != True {
+		t.Fatalf("CopyTo(True) = %d", got)
+	}
+	if got := src.CopyTo(dst, False); got != False {
+		t.Fatalf("CopyTo(False) = %d", got)
+	}
+	n := src.Var(2)
+	if got := src.CopyTo(src, n); got != n {
+		t.Fatalf("CopyTo to the same table = %d, want %d", got, n)
+	}
+}
+
+// TestCopyToMismatchedVars ensures transfers between incompatible
+// layouts fail loudly instead of corrupting the destination.
+func TestCopyToMismatchedVars(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyTo across differing variable counts did not panic")
+		}
+	}()
+	New(4).CopyTo(New(8), True)
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"realconfig/internal/core"
+	"realconfig/internal/plan"
+	"realconfig/internal/topology"
+)
+
+// PlanResult compares the update planner's incremental probing (warm
+// per-worker forks, one change applied per probe) against naive probing
+// (every probe re-verifies the candidate state from scratch). Both runs
+// share the search trajectory — same memoization, same probe set — so
+// the ratio isolates the per-probe oracle cost, the quantity the
+// paper's incremental verification is meant to shrink.
+type PlanResult struct {
+	Nodes     int
+	BatchSize int
+	Waves     int
+
+	Probes   int
+	MemoHits int
+	Rebuilds int
+
+	PlanWall  time.Duration // incremental probing
+	NaiveWall time.Duration // from-scratch probing, same search
+}
+
+// Speedup returns how much faster the incremental oracle made the same
+// search.
+func (r PlanResult) Speedup() float64 {
+	if r.PlanWall == 0 {
+		return 0
+	}
+	return float64(r.NaiveWall) / float64(r.PlanWall)
+}
+
+// ProbesPerSec returns the incremental oracle's probe throughput.
+func (r PlanResult) ProbesPerSec() float64 {
+	if r.PlanWall == 0 {
+		return 0
+	}
+	return float64(r.Probes) / r.PlanWall.Seconds()
+}
+
+// RunPlan searches the RingBatch rollout workload on an OSPF ring of
+// the given size, once with incremental probing and once with
+// full-verification probing, using the same worker count for both.
+func RunPlan(nodes, batchSize, workers int) (PlanResult, error) {
+	net, err := topology.Ring(nodes, topology.OSPF)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	batch, err := plan.RingBatch(net, batchSize)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	base, _, err := core.Bootstrap(core.Options{}, net.Network, plan.RingPolicies(net))
+	if err != nil {
+		return PlanResult{}, err
+	}
+
+	res := PlanResult{Nodes: nodes, BatchSize: batchSize}
+	inc, err := plan.Search(base, batch, plan.Options{Workers: workers})
+	if err != nil {
+		return res, err
+	}
+	if inc.Plan == nil {
+		return res, fmt.Errorf("bench: ring batch has no safe ordering: %v", inc.Counterexample)
+	}
+	res.Waves = len(inc.Plan.Waves)
+	res.Probes = inc.Stats.Probes
+	res.MemoHits = inc.Stats.MemoHits
+	res.Rebuilds = inc.Stats.Rebuilds
+	res.PlanWall = inc.Stats.Elapsed
+
+	naive, err := plan.Search(base, batch, plan.Options{Workers: workers, FullVerify: true})
+	if err != nil {
+		return res, err
+	}
+	if naive.Stats.Probes != inc.Stats.Probes {
+		return res, fmt.Errorf("bench: probe trajectories diverged: incremental %d, naive %d",
+			inc.Stats.Probes, naive.Stats.Probes)
+	}
+	res.NaiveWall = naive.Stats.Elapsed
+	return res, nil
+}
+
+// FormatPlan renders the planner comparison.
+func FormatPlan(r PlanResult) string {
+	return fmt.Sprintf(
+		"ring nodes:                %d\n"+
+			"batch size:                %d  -> %d waves, %d probes (%d memo hits, %d fork rebuilds)\n"+
+			"incremental probing:       %s (%.0f probes/sec)\n"+
+			"from-scratch probing:      %s  -> %.1fx speedup\n",
+		r.Nodes,
+		r.BatchSize, r.Waves, r.Probes, r.MemoHits, r.Rebuilds,
+		r.PlanWall.Round(time.Millisecond), r.ProbesPerSec(),
+		r.NaiveWall.Round(time.Millisecond), r.Speedup())
+}

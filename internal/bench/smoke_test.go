@@ -20,3 +20,19 @@ func TestSmokeTables(t *testing.T) {
 	}
 	t.Logf("specmining: %d failures inc=%v full=%v speedup=%.1fx", sm.Failures, sm.Incremental, sm.FromScratchGen, sm.Speedup())
 }
+
+func TestSmokePlan(t *testing.T) {
+	res, err := RunPlan(8, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The search trajectory is deterministic: 5+4+3+2+1 probes, one
+	// enabling wave then everything else.
+	if res.Probes != 15 || res.Waves != 2 {
+		t.Errorf("probes=%d waves=%d, want 15 probes in 2 waves", res.Probes, res.Waves)
+	}
+	if res.PlanWall <= 0 || res.NaiveWall <= 0 {
+		t.Errorf("non-positive wall times: %+v", res)
+	}
+	t.Logf("\n%s", FormatPlan(res))
+}

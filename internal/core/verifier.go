@@ -420,6 +420,42 @@ func (v *Verifier) Fork(policyText string) (*Verifier, error) {
 	return fork, err
 }
 
+// ForkSame builds an independent verifier over a copy of the current
+// network, reusing the already-compiled policy set: each registered
+// policy's predicates are transferred into the fork's own BDD table
+// (policy.Rebindable), skipping the specification re-parse that Fork
+// pays. Unlike Fork it also carries policies that were registered
+// programmatically and never had a source line. Planner probes use it
+// to spin up oracle forks cheaply. Returns ErrNotLoaded before Load.
+func (v *Verifier) ForkSame() (*Verifier, error) {
+	if v.cur == nil {
+		return nil, ErrNotLoaded
+	}
+	return v.ForkSameAt(v.cur.Clone(), v.opts)
+}
+
+// ForkSameAt is ForkSame generalized: the fork loads the given network
+// snapshot (used directly, not cloned) under the given options, then
+// registers this verifier's compiled policies rebound into the fork's
+// table. Benchmarks use it to price a from-scratch verification of an
+// arbitrary intermediate state, and the planner uses it to build a
+// tracing fork positioned at a counterexample prefix.
+func (v *Verifier) ForkSameAt(net *netcfg.Network, opts Options) (*Verifier, error) {
+	fork := New(opts)
+	if _, err := fork.Load(net); err != nil {
+		return nil, err
+	}
+	from, to := v.model.H, fork.model.H
+	for _, p := range v.checker.Policies() {
+		rp, ok := p.(policy.Rebindable)
+		if !ok {
+			return nil, fmt.Errorf("core: policy %q (%T) cannot be rebound into a fork; use Fork with policy text", p.Name(), p)
+		}
+		fork.AddPolicy(rp.Rebind(from, to))
+	}
+	return fork, nil
+}
+
 // Bootstrap builds a verifier over a network snapshot with policies
 // parsed from a specification text: the construction path shared by
 // daemon startup, journal replay and what-if forks. The network is used

@@ -1,0 +1,52 @@
+package netcfg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotInvertible reports that a change's inverse cannot be computed
+// from the change alone (the prior value it overwrote is unknown).
+var ErrNotInvertible = errors.New("netcfg: change not invertible")
+
+// Invert returns the change that undoes c. It is defined for changes
+// that carry enough information to be undone without consulting the
+// network they were applied to:
+//
+//   - ShutdownInterface flips between shutdown and no-shutdown,
+//   - AddStaticRoute and RemoveStaticRoute swap,
+//   - AddLink and RemoveLink swap,
+//   - SetAggregate flips its Remove bit,
+//   - SetACL that defines lines inverts to the removal of the ACL.
+//
+// Value-overwriting changes (SetOSPFCost, SetLocalPref, BindACL,
+// SetPrefixList, BindNeighborFilter, and SetACL/SetACL-removal over an
+// existing definition) lose the prior value and return
+// ErrNotInvertible. Callers that roll state back one step (the update
+// planner's probe forks) use Invert where it is exact and rebuild from
+// a canonical snapshot otherwise.
+func Invert(c Change) (Change, error) {
+	switch c := c.(type) {
+	case ShutdownInterface:
+		c.Shutdown = !c.Shutdown
+		return c, nil
+	case AddStaticRoute:
+		return RemoveStaticRoute{Device: c.Device, Route: c.Route}, nil
+	case RemoveStaticRoute:
+		return AddStaticRoute{Device: c.Device, Route: c.Route}, nil
+	case AddLink:
+		return RemoveLink{Link: c.Link}, nil
+	case RemoveLink:
+		return AddLink{Link: c.Link}, nil
+	case SetAggregate:
+		c.Remove = !c.Remove
+		return c, nil
+	case SetACL:
+		if c.Lines == nil {
+			return nil, fmt.Errorf("%w: removing access-list %s/%s discards its lines", ErrNotInvertible, c.Device, c.Name)
+		}
+		return SetACL{Device: c.Device, Name: c.Name}, nil
+	default:
+		return nil, fmt.Errorf("%w: %s overwrites a prior value", ErrNotInvertible, c)
+	}
+}

@@ -1,0 +1,100 @@
+package netcfg
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func mustPrefix(t *testing.T, s string) Prefix {
+	t.Helper()
+	p, err := ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestInvertPairs checks every invertible kind maps to its inverse and
+// that applying change-then-inverse restores the network.
+func TestInvertPairs(t *testing.T) {
+	pfx := mustPrefix(t, "10.99.0.0/24")
+	link := Link{DevA: "a", IntfA: "eth9", DevB: "b", IntfB: "eth9"}
+	cases := []struct {
+		c, want Change
+	}{
+		{ShutdownInterface{Device: "a", Intf: "eth0", Shutdown: true},
+			ShutdownInterface{Device: "a", Intf: "eth0", Shutdown: false}},
+		{AddStaticRoute{Device: "a", Route: StaticRoute{Prefix: pfx, Drop: true}},
+			RemoveStaticRoute{Device: "a", Route: StaticRoute{Prefix: pfx, Drop: true}}},
+		{RemoveStaticRoute{Device: "a", Route: StaticRoute{Prefix: pfx, Drop: true}},
+			AddStaticRoute{Device: "a", Route: StaticRoute{Prefix: pfx, Drop: true}}},
+		{AddLink{Link: link}, RemoveLink{Link: link}},
+		{RemoveLink{Link: link}, AddLink{Link: link}},
+		{SetAggregate{Device: "a", Prefix: pfx}, SetAggregate{Device: "a", Prefix: pfx, Remove: true}},
+		{SetACL{Device: "a", Name: "mgmt", Lines: []ACLLine{{Seq: 10, Action: Permit}}},
+			SetACL{Device: "a", Name: "mgmt"}},
+	}
+	for _, tc := range cases {
+		got, err := Invert(tc.c)
+		if err != nil {
+			t.Fatalf("Invert(%v): %v", tc.c, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("Invert(%v) = %#v, want %#v", tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestInvertRoundTripOnNetwork applies change then inverse to a concrete
+// network and checks the state round-trips for the exact-inverse kinds.
+func TestInvertRoundTripOnNetwork(t *testing.T) {
+	n := NewNetwork()
+	// Pre-existing route and link, so add+remove round-trips compare
+	// against non-empty slices (remove leaves an empty slice, not nil).
+	n.Devices["a"] = &Config{
+		Hostname:     "a",
+		Interfaces:   []*Interface{{Name: "eth0"}, {Name: "eth1"}},
+		StaticRoutes: []StaticRoute{{Prefix: mustPrefix(t, "10.98.0.0/24"), Drop: true}},
+	}
+	n.Topology.Add("a", "eth1", "c", "eth1")
+	pfx := mustPrefix(t, "10.99.0.0/24")
+	changes := []Change{
+		AddStaticRoute{Device: "a", Route: StaticRoute{Prefix: pfx, Drop: true}},
+		AddLink{Link: Link{DevA: "a", IntfA: "eth0", DevB: "b", IntfB: "eth0"}},
+	}
+	for _, c := range changes {
+		before := n.Clone()
+		if err := c.Apply(n); err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		inv, err := Invert(c)
+		if err != nil {
+			t.Fatalf("Invert(%v): %v", c, err)
+		}
+		if err := inv.Apply(n); err != nil {
+			t.Fatalf("%v: %v", inv, err)
+		}
+		if !reflect.DeepEqual(n, before) {
+			t.Fatalf("apply+invert did not restore the network for %v", c)
+		}
+	}
+}
+
+// TestInvertNotInvertible checks every value-overwriting kind is
+// rejected with ErrNotInvertible.
+func TestInvertNotInvertible(t *testing.T) {
+	pfx := mustPrefix(t, "10.0.0.0/8")
+	for _, c := range []Change{
+		SetOSPFCost{Device: "a", Intf: "eth0", Cost: 5},
+		SetLocalPref{Device: "a", Neighbor: 1, LocalPref: 200},
+		BindACL{Device: "a", Intf: "eth0", Name: "mgmt", In: true},
+		SetPrefixList{Device: "a", Name: "cust", Entries: []PrefixListEntry{{Seq: 5, Action: Permit, Prefix: pfx}}},
+		BindNeighborFilter{Device: "a", Neighbor: 1, Name: "cust", In: true},
+		SetACL{Device: "a", Name: "mgmt"}, // removal: lines unknown
+	} {
+		if _, err := Invert(c); !errors.Is(err, ErrNotInvertible) {
+			t.Fatalf("Invert(%v) = %v, want ErrNotInvertible", c, err)
+		}
+	}
+}

@@ -19,6 +19,9 @@ const (
 	TrackModel = "model"
 	// TrackPolicy holds policy re-check events.
 	TrackPolicy = "policy"
+	// TrackPlan holds the update planner's search span and per-probe
+	// events (internal/plan).
+	TrackPlan = "plan"
 )
 
 // Event kinds, in causal-chain order (the paper's Figure 1: config
@@ -42,4 +45,7 @@ const (
 	// EventPolicyRecheck is one policy re-evaluated against the updated
 	// model (attrs: policy, from, to, ecs).
 	EventPolicyRecheck = "policy_recheck"
+	// EventProbe is one planner oracle probe: a candidate change tried on
+	// a fork at an intermediate state (attrs: state, change, outcome).
+	EventProbe = "probe"
 )

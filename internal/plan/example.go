@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"realconfig/internal/netcfg"
+	"realconfig/internal/topology"
+)
+
+// RingBatch builds an order-dependent change batch over an OSPF ring
+// from the topology generator: the canonical demo (and benchmark)
+// workload for the planner.
+//
+// With nodes a, b, t = the ring's first three, the batch contains:
+//
+//	[0] a static route on b for t's host prefix pointing back at a —
+//	    applied first this forwards a→b→a→… in a loop (a's shortest
+//	    path to t runs through b), violating loop freedom and a's
+//	    reachability to t;
+//	[1] an OSPF cost raise on a's interface toward b — this reroutes
+//	    a's traffic the long way around the ring, after which the
+//	    static is harmless;
+//	[2…] order-independent padding: drop routes for dark /24s spread
+//	    round the ring.
+//
+// The only safe orderings apply [1] before [0], so a correct planner
+// must emit a wave containing [1] alone, then everything else.
+func RingBatch(net *topology.Net, size int) ([]netcfg.Change, error) {
+	n := len(net.NodeNames)
+	if n < 5 {
+		return nil, fmt.Errorf("plan: ring batch needs >= 5 nodes (shortest paths must prefer the direct hop), got %d", n)
+	}
+	if size < 2 {
+		return nil, fmt.Errorf("plan: ring batch needs size >= 2, got %d", size)
+	}
+	if size > 258 {
+		return nil, fmt.Errorf("plan: ring batch padding space is 256 prefixes, size %d too large", size)
+	}
+	a, b, t := net.NodeNames[0], net.NodeNames[1], net.NodeNames[2]
+	if net.Devices[a].OSPF == nil {
+		return nil, fmt.Errorf("plan: ring batch needs an OSPF ring")
+	}
+	// a's interface toward b, chosen deterministically.
+	nb := net.Topology.Neighbors(a)
+	var intfAB string
+	names := make([]string, 0, len(nb))
+	for name := range nb {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if nb[name][0] == b {
+			intfAB = name
+			break
+		}
+	}
+	if intfAB == "" {
+		return nil, fmt.Errorf("plan: no link between ring nodes %s and %s", a, b)
+	}
+	aAddr := net.Devices[a].Intf(intfAB).Addr.Addr
+
+	batch := make([]netcfg.Change, 0, size)
+	batch = append(batch,
+		netcfg.AddStaticRoute{Device: b, Route: netcfg.StaticRoute{
+			Prefix: net.HostPrefix[t], NextHop: aAddr,
+		}},
+		netcfg.SetOSPFCost{Device: a, Intf: intfAB, Cost: uint32(n)},
+	)
+	for i := 2; i < size; i++ {
+		batch = append(batch, netcfg.AddStaticRoute{
+			Device: net.NodeNames[i%n],
+			Route: netcfg.StaticRoute{
+				Prefix: netcfg.Prefix{Addr: netcfg.MustAddr("10.99.0.0") + netcfg.Addr(i-2)<<8, Len: 24},
+				Drop:   true,
+			},
+		})
+	}
+	return batch, nil
+}
+
+// RingPolicies returns the policy text RingBatch's batch is planned
+// against: reachability from the ring's first node to its third (the
+// pair the unsafe ordering breaks) plus global loop freedom. Matches
+// the specification rcgen emits for generated topologies.
+func RingPolicies(net *topology.Net) string {
+	a, t := net.NodeNames[0], net.NodeNames[2]
+	return fmt.Sprintf("reach %s-to-%s %s %s %s all\nloopfree no-loops 10.0.0.0/8\n",
+		a, t, a, t, net.HostPrefix[t])
+}

@@ -1,0 +1,55 @@
+package policy
+
+import (
+	"sort"
+
+	"realconfig/internal/bdd"
+)
+
+// Rebindable is implemented by policies whose header predicates can be
+// re-interned into another verifier's BDD table. Policy predicates are
+// table-relative handles, so a policy compiled against one verifier is
+// meaningless to another; Rebind produces an equivalent policy whose
+// predicates live in the destination table. Forks use it to reuse an
+// already-compiled policy set without re-parsing the specification.
+type Rebindable interface {
+	Policy
+	// Rebind returns a copy of the policy with every predicate
+	// transferred from the `from` table into the `to` table.
+	Rebind(from, to *bdd.Headers) Policy
+}
+
+// Rebind implements Rebindable.
+func (p Reachability) Rebind(from, to *bdd.Headers) Policy {
+	p.Hdr = from.CopyTo(to.Table, p.Hdr)
+	return p
+}
+
+// Rebind implements Rebindable.
+func (p Waypoint) Rebind(from, to *bdd.Headers) Policy {
+	p.Hdr = from.CopyTo(to.Table, p.Hdr)
+	return p
+}
+
+// Rebind implements Rebindable.
+func (p LoopFree) Rebind(from, to *bdd.Headers) Policy {
+	p.Scope = from.CopyTo(to.Table, p.Scope)
+	return p
+}
+
+// Rebind implements Rebindable.
+func (p BlackholeFree) Rebind(from, to *bdd.Headers) Policy {
+	p.Scope = from.CopyTo(to.Table, p.Scope)
+	return p
+}
+
+// Policies returns the registered policies sorted by name, so callers
+// that rebuild a checker (forks) register them deterministically.
+func (c *Checker) Policies() []Policy {
+	out := make([]Policy, 0, len(c.policies))
+	for _, p := range c.policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

@@ -17,6 +17,7 @@ const (
 	opChanges      = "changes"
 	opPolicyAdd    = "policy_add"
 	opPolicyRemove = "policy_remove"
+	opPlan         = "plan"
 )
 
 // Entry is one journaled write: a batch of configuration changes, a
@@ -24,11 +25,17 @@ const (
 // Entries are stored as JSON lines, appended strictly after the write
 // succeeds against the live verifier, so replaying the journal over the
 // same base snapshot reproduces the daemon's exact state.
+//
+// A "plan" entry is an audit record, not a state change: it remembers
+// that the planner produced a safe ordering (the batch plus its wave
+// grouping as batch indices) against the state at that sequence number.
+// Replay treats it as a no-op.
 type Entry struct {
 	Op      string            `json:"op"`
 	Changes []json.RawMessage `json:"changes,omitempty"`
 	Line    string            `json:"line,omitempty"`
 	Name    string            `json:"name,omitempty"`
+	Waves   [][]int           `json:"waves,omitempty"`
 }
 
 // journal is an append-only JSON-lines file of applied writes.

@@ -44,6 +44,7 @@ import (
 	"realconfig/internal/core"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
+	"realconfig/internal/plan"
 	"realconfig/internal/policy"
 	"realconfig/internal/trace"
 )
@@ -93,8 +94,9 @@ type Server struct {
 
 	// reg carries every pipeline stage's instruments plus the server's
 	// own; /v1/metrics serves it.
-	reg *obs.Registry
-	m   serverMetrics
+	reg   *obs.Registry
+	m     serverMetrics
+	planM *plan.Metrics
 
 	// State below is owned by the apply goroutine after New returns.
 	v        *core.Verifier
@@ -111,9 +113,11 @@ type Server struct {
 type serverMetrics struct {
 	applySeconds      *obs.Histogram
 	whatifSeconds     *obs.Histogram
+	planSeconds       *obs.Histogram
 	applies           *obs.Counter
 	applyErrors       *obs.Counter
 	whatifs           *obs.Counter
+	planErrors        *obs.Counter
 	journalReplayed      *obs.Counter
 	snapshotPublishes    *obs.Counter
 	journalAppends       *obs.Counter
@@ -126,12 +130,15 @@ type serverMetrics struct {
 func (s *Server) instrument() {
 	s.reg = obs.NewRegistry()
 	s.v.Instrument(s.reg)
+	s.planM = plan.NewMetrics(s.reg)
 	s.m = serverMetrics{
 		applySeconds:      s.reg.Histogram("realconfig_server_apply_seconds", "POST /v1/changes latency (queueing, verification, journaling).", nil, nil),
 		whatifSeconds:     s.reg.Histogram("realconfig_server_whatif_seconds", "POST /v1/whatif latency (capture plus speculative verification).", nil, nil),
+		planSeconds:       s.reg.Histogram("realconfig_server_plan_seconds", "POST /v1/plan latency (capture, bootstrap, search, journaling).", nil, nil),
 		applies:           s.reg.Counter("realconfig_server_applies_total", "Successfully applied change batches.", nil),
 		applyErrors:       s.reg.Counter("realconfig_server_apply_errors_total", "Failed or rejected change batches.", nil),
 		whatifs:           s.reg.Counter("realconfig_server_whatifs_total", "Completed what-if verifications.", nil),
+		planErrors:        s.reg.Counter("realconfig_server_plan_errors_total", "Failed or rejected plan requests.", nil),
 		journalReplayed:   s.reg.Counter("realconfig_server_journal_replayed_total", "Journal entries replayed at startup.", nil),
 		snapshotPublishes: s.reg.Counter("realconfig_server_snapshot_publishes_total", "Immutable snapshots published for lock-free readers.", nil),
 		journalAppends:    s.reg.Counter("realconfig_server_journal_appends_total", "Entries durably appended to the change journal.", nil),
@@ -325,6 +332,8 @@ func (s *Server) applyEntry(e Entry) (*ReportJSON, error) {
 		s.v.RemovePolicy(e.Name)
 		s.policies = append(s.policies[:i], s.policies[i+1:]...)
 		return nil, nil
+	case opPlan:
+		return nil, nil // audit record; planning changes no state
 	}
 	return nil, fmt.Errorf("unknown journal op %q", e.Op)
 }
@@ -454,6 +463,7 @@ func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
 	s.mux.HandleFunc("/v1/changes", s.handleChanges)
 	s.mux.HandleFunc("/v1/whatif", s.handleWhatIf)
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/applies", s.handleApplies)
 	s.mux.HandleFunc("GET /v1/applies/{id}/trace", s.handleApplyTrace)
