@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke fuzz-smoke cover bench-smoke bench-json bench
+.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
 
 all: build
 
@@ -13,7 +13,8 @@ test:
 # check is the tier-1 gate: vet, an explicit daemon build, the full
 # suite under the race detector (including the server's concurrency
 # tests), a short native-fuzz burst, the coverage ratchet, a
-# one-iteration benchmark smoke so the perf harness can't rot, and the
+# one-iteration benchmark smoke so the perf harness can't rot, the
+# perf-trend gate over the checked-in BENCH snapshots, and the
 # provenance-trace smoke against the real daemon.
 check:
 	$(GO) vet ./...
@@ -23,6 +24,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover
 	$(MAKE) bench-smoke
+	$(MAKE) benchtrend
 	$(MAKE) trace-smoke
 	$(MAKE) plan-smoke
 
@@ -33,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzChangeJSON$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netcfg
 	$(GO) test -fuzz '^FuzzInvert$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netcfg
 	$(GO) test -fuzz '^FuzzJournalLine$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
+	$(GO) test -fuzz '^FuzzTenantPath$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
 
 # cover measures per-package statement coverage and fails if any package
 # listed in coverage.txt dropped below its recorded floor. After
@@ -125,9 +128,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Table3' -benchtime 1x .
 	$(GO) test -run '^$$' -bench '.' -benchtime 1x ./internal/apkeep ./internal/bdd
 
-# bench-json refreshes the machine-readable perf snapshot tracked in git.
+# bench-json writes the next machine-readable perf snapshot tracked in
+# git (BENCH_%04d.json, never overwriting an earlier one); benchtrend
+# compares the two newest snapshots and fails on a >20% regression in
+# any table they share.
 bench-json:
-	$(GO) run ./cmd/rcbench -table all -k 6 -json BENCH_0001.json
+	$(GO) run ./cmd/rcbench -table all -k 6 -json auto
+
+benchtrend:
+	./scripts/benchtrend.sh
 
 # bench reports real numbers for the hot paths.
 bench:

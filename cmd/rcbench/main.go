@@ -5,8 +5,9 @@
 //	rcbench -table 3 -k 12            # Table 3
 //	rcbench -table mining -k 8        # section-2 spec-mining speedup
 //	rcbench -table plan -plan-nodes 32 -plan-batch 8
+//	rcbench -table shard -k 6         # shard sweep on the Table 3 workload
 //	rcbench -table all -k 8
-//	rcbench -table all -k 6 -json BENCH_0001.json
+//	rcbench -table all -k 6 -json auto
 //
 // k=12 is the paper's 180-node / 864-link fat-tree; smaller k runs in
 // seconds. Absolute times depend on the host; the paper's *shape*
@@ -87,6 +88,20 @@ type jsonMining struct {
 	FromScratchSimNs int64 `json:"from_scratch_sim_ns"`
 }
 
+// jsonShardRow is one shard count of the verifier-sharding sweep: the
+// Table 3 apply workload replayed against an n-way shard set under a
+// dense per-prefix policy suite, durations in nanoseconds, speedup
+// relative to the single-shard row.
+type jsonShardRow struct {
+	Shards   int     `json:"shards"`
+	Policies int     `json:"policies"`
+	Applies  int     `json:"applies"`
+	ModelNs  int64   `json:"model_ns"`
+	CheckNs  int64   `json:"check_ns"`
+	ApplyNs  int64   `json:"apply_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
 // jsonPlan is the update-planner comparison: the same ordering search
 // probed incrementally vs from scratch.
 type jsonPlan struct {
@@ -127,6 +142,7 @@ type jsonReport struct {
 	Stages    []jsonStageRun   `json:"stages,omitempty"`
 	Mining    *jsonMining      `json:"mining,omitempty"`
 	Plan      *jsonPlan        `json:"plan,omitempty"`
+	Shard     []jsonShardRow   `json:"shard,omitempty"`
 	Trace     []jsonTraceApply `json:"trace,omitempty"`
 }
 
@@ -146,13 +162,15 @@ func nextBenchPath() (string, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rcbench", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, all")
+	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, plan, shard, all")
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
 	planNodes := fs.Int("plan-nodes", 32, "OSPF ring size for the planner comparison (plan)")
 	planBatch := fs.Int("plan-batch", 8, "change batch size for the planner comparison (plan)")
 	planWorkers := fs.Int("plan-workers", 0, "probe workers for the planner comparison (0 = planner default)")
+	shardPolicies := fs.Int("shard-policies", 128, "reachability policies per host /24 for the shard sweep")
+	shardRepeat := fs.Int("shard-repeat", 3, "repetitions of the apply workload per shard count")
 	jsonPath := fs.String("json", "", "also write a machine-readable report to this file (auto = next free BENCH_%04d.json)")
 	tracePath := fs.String("trace", "", "run the stage experiment traced and export Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -173,7 +191,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -198,6 +216,11 @@ func run(args []string) error {
 	}
 	if want("plan") {
 		if err := runPlan(*planNodes, *planBatch, *planWorkers, rep); err != nil {
+			return err
+		}
+	}
+	if want("shard") {
+		if err := runShard(*k, *shardPolicies, *shardRepeat, rep); err != nil {
 			return err
 		}
 	}
@@ -348,6 +371,33 @@ func runMining(k, failures int, rep *jsonReport) error {
 		IncrementalNs:    res.Incremental.Nanoseconds(),
 		FromScratchGenNs: res.FromScratchGen.Nanoseconds(),
 		FromScratchSimNs: res.FromScratchSim.Nanoseconds(),
+	}
+	return nil
+}
+
+// runShard sweeps verifier shard counts over the Table 3 apply
+// workload under a dense per-prefix policy suite — the workload where
+// partitioning pays: each confined policy registers on one shard, so
+// the per-apply relevance scan and policy re-evaluation shrink with
+// the shard count even on a single core.
+func runShard(k, perPrefix, repeat int, rep *jsonReport) error {
+	header(k, "Verifier sharding: Table 3 apply workload across shard counts (BGP)")
+	rows, err := bench.RunShard(k, []int{1, 2, 4, 8}, repeat, perPrefix)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatShard(rows))
+	fmt.Println()
+	for _, r := range rows {
+		rep.Shard = append(rep.Shard, jsonShardRow{
+			Shards:   r.Shards,
+			Policies: r.Policies,
+			Applies:  r.Applies,
+			ModelNs:  r.Model.Nanoseconds(),
+			CheckNs:  r.Check.Nanoseconds(),
+			ApplyNs:  r.Wall.Nanoseconds(),
+			Speedup:  r.Speedup,
+		})
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ func TestRunSmallScale(t *testing.T) {
 		{"-table", "3", "-k", "4"},
 		{"-table", "mining", "-k", "4", "-failures", "3"},
 		{"-table", "plan", "-plan-nodes", "8", "-plan-batch", "4"},
+		{"-table", "shard", "-k", "4", "-shard-policies", "2", "-shard-repeat", "1"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)

@@ -21,8 +21,19 @@
 //
 // With -journal, applied writes are persisted as JSON lines and replayed
 // on startup, so a restarted daemon recovers its exact state from the
-// same base snapshot. With -pprof, net/http/pprof profiling endpoints
-// are mounted under /debug/pprof/.
+// same base snapshot; -journal-segment-bytes seals the file into
+// numbered segments as it grows. With -shards N the verifier is
+// partitioned across N destination-space shards that verify each apply
+// concurrently. With -pprof, net/http/pprof profiling endpoints are
+// mounted under /debug/pprof/.
+//
+// Multi-tenancy: each repeatable -tenant flag adds an isolated named
+// verifier served under /v1/tenants/{id}/... (same endpoints), e.g.
+//
+//	rcserved -net base/ -tenant id=acme,net=acme/,policies=acme.pol,journal=acme.j,shards=4
+//
+// The unprefixed routes remain the default tenant; GET /v1/tenants
+// lists all of them.
 //
 // Logs are structured (log/slog) on stderr; -log-format selects text or
 // json. Every request gets a req_id that appears in the access log, in
@@ -36,11 +47,65 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"realconfig/internal/core"
 	"realconfig/internal/server"
 )
+
+// tenantFlags collects repeatable -tenant values.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string { return strings.Join(*t, " ") }
+func (t *tenantFlags) Set(s string) error {
+	*t = append(*t, s)
+	return nil
+}
+
+// parseTenant decodes one -tenant value
+// (id=NAME,net=DIR[,policies=FILE][,journal=FILE][,shards=N]) into a
+// TenantConfig, loading the network and policy files.
+func parseTenant(spec string) (server.TenantConfig, error) {
+	var tc server.TenantConfig
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return tc, fmt.Errorf("-tenant %q: field %q is not key=value", spec, field)
+		}
+		switch k {
+		case "id":
+			tc.ID = v
+		case "net":
+			n, err := core.LoadNetworkDir(v)
+			if err != nil {
+				return tc, fmt.Errorf("-tenant %q: %w", spec, err)
+			}
+			tc.Net = n
+		case "policies":
+			text, err := os.ReadFile(v)
+			if err != nil {
+				return tc, fmt.Errorf("-tenant %q: %w", spec, err)
+			}
+			tc.PolicyText = string(text)
+		case "journal":
+			tc.JournalPath = v
+		case "shards":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return tc, fmt.Errorf("-tenant %q: bad shards %q", spec, v)
+			}
+			tc.Shards = n
+		default:
+			return tc, fmt.Errorf("-tenant %q: unknown key %q (want id, net, policies, journal, shards)", spec, k)
+		}
+	}
+	if tc.ID == "" || tc.Net == nil {
+		return tc, fmt.Errorf("-tenant %q: id= and net= are required", spec)
+	}
+	return tc, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -54,6 +119,10 @@ func run(args []string, out *os.File) error {
 	netDir := fs.String("net", "", "base snapshot directory (required)")
 	polFile := fs.String("policies", "", "policy specification file")
 	journalPath := fs.String("journal", "", "append-only change journal (replayed on startup)")
+	segBytes := fs.Int64("journal-segment-bytes", 0, "seal journal files into numbered segments past this size (0 = one unbounded file)")
+	shards := fs.Int("shards", 1, "destination-space verifier shards for the default tenant (<=1 = monolithic)")
+	var tenants tenantFlags
+	fs.Var(&tenants, "tenant", "add a named tenant: id=NAME,net=DIR[,policies=FILE][,journal=FILE][,shards=N] (repeatable)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	parallel := fs.Int("parallel", 0, "policy-checker worker count (<=1 = sequential)")
 	queue := fs.Int("queue", 64, "apply queue depth (writes beyond it get 503)")
@@ -89,6 +158,14 @@ func run(args []string, out *os.File) error {
 		}
 		policyText = string(text)
 	}
+	var tcs []server.TenantConfig
+	for _, spec := range tenants {
+		tc, err := parseTenant(spec)
+		if err != nil {
+			return err
+		}
+		tcs = append(tcs, tc)
+	}
 	srv, err := server.New(server.Config{
 		Net:        baseNet,
 		PolicyText: policyText,
@@ -97,11 +174,14 @@ func run(args []string, out *os.File) error {
 			Parallel:          *parallel,
 			TraceApplies:      *traceRing,
 		},
-		JournalPath:  *journalPath,
-		QueueDepth:   *queue,
-		ApplyTimeout: *timeout,
-		EnablePprof:  *pprofOn,
-		Logger:       logger,
+		JournalPath:         *journalPath,
+		Shards:              *shards,
+		JournalSegmentBytes: *segBytes,
+		Tenants:             tcs,
+		QueueDepth:          *queue,
+		ApplyTimeout:        *timeout,
+		EnablePprof:         *pprofOn,
+		Logger:              logger,
 	})
 	if err != nil {
 		return err
@@ -112,11 +192,12 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	snap := srv.Snapshot()
-	fmt.Fprintf(out, "rcserved: listening on http://%s (devices=%d policies=%d ecs=%d seq=%d)\n",
-		ln.Addr(), snap.Devices, snap.Policies, snap.ECs, snap.Seq)
+	fmt.Fprintf(out, "rcserved: listening on http://%s (devices=%d policies=%d ecs=%d seq=%d tenants=%d)\n",
+		ln.Addr(), snap.Devices, snap.Policies, snap.ECs, snap.Seq, 1+len(tcs))
 	logger.Info("listening",
 		"addr", ln.Addr().String(), "devices", snap.Devices,
 		"policies", snap.Policies, "ecs", snap.ECs, "seq", snap.Seq,
-		"trace_ring", *traceRing, "journal", *journalPath)
+		"trace_ring", *traceRing, "journal", *journalPath,
+		"shards", *shards, "tenants", 1+len(tcs))
 	return http.Serve(ln, srv.Handler())
 }

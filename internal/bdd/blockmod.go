@@ -1,0 +1,54 @@
+package bdd
+
+// DstBlockMod returns the predicate "the top `bits` bits of the
+// destination IP, read as an integer, are congruent to r modulo n".
+//
+// The shard layer uses it to carve the destination space into n
+// interleaved block sets (block b goes to shard b%n): round-robin over
+// adjacent blocks spreads the dense, contiguous subnet numbering real
+// configs use evenly across shards, and the congruence has a compact
+// BDD — the residue automaton needs at most bits×n internal nodes, so
+// the predicate stays cheap to intersect with policy headers no matter
+// how fragmented the block set looks as a union of ranges.
+func (h *Headers) DstBlockMod(bits, n, r int) Node {
+	if n <= 0 || bits <= 0 || bits > 32 {
+		panic("bdd: DstBlockMod needs n >= 1 and 1 <= bits <= 32")
+	}
+	r %= n
+	// memo[i*n+want] is the sub-BDD over destination bits i..bits-1
+	// accepting assignments whose value is ≡ want (mod n). Build
+	// top-down on demand; levels strictly increase toward the leaves,
+	// so every mk call is canonical.
+	memo := make([]Node, (bits+1)*n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var build func(i, want int) Node
+	build = func(i, want int) Node {
+		if i == bits {
+			if want == 0 {
+				return True
+			}
+			return False
+		}
+		if m := memo[i*n+want]; m >= 0 {
+			return m
+		}
+		// Weight of bit i (MSB-first) within the block field.
+		w := 1
+		for k := 0; k < bits-1-i; k++ {
+			w = (w * 2) % n
+		}
+		lo := build(i+1, want)
+		hi := build(i+1, ((want-w)%n+n)%n)
+		var node Node
+		if lo == hi {
+			node = lo
+		} else {
+			node = h.mk(int32(dstIPOff+i), lo, hi)
+		}
+		memo[i*n+want] = node
+		return node
+	}
+	return build(0, r)
+}

@@ -1,0 +1,63 @@
+package bdd
+
+import (
+	"testing"
+
+	"realconfig/internal/netcfg"
+)
+
+// TestDstBlockModPartition: for several (bits, n), the residue classes
+// must partition the full destination space — pairwise disjoint and
+// jointly exhaustive — and classify concrete addresses correctly.
+func TestDstBlockModPartition(t *testing.T) {
+	for _, tc := range []struct{ bits, n int }{
+		{24, 1}, {24, 2}, {24, 3}, {24, 4}, {24, 5}, {24, 8}, {16, 7}, {8, 256}, {32, 6},
+	} {
+		h := NewHeaders()
+		classes := make([]Node, tc.n)
+		union := False
+		for r := 0; r < tc.n; r++ {
+			classes[r] = h.DstBlockMod(tc.bits, tc.n, r)
+			if r > 0 && h.Overlaps(classes[r], classes[r-1]) {
+				t.Errorf("bits=%d n=%d: classes %d and %d overlap", tc.bits, tc.n, r, r-1)
+			}
+			union = h.Or(union, classes[r])
+		}
+		if union != True {
+			t.Errorf("bits=%d n=%d: classes do not cover the space", tc.bits, tc.n)
+		}
+		for _, addr := range []uint32{0, 1, 0x0a000100, 0x0a0a0200, 0xcb007100, 0xffffffff} {
+			block := addr >> (32 - tc.bits)
+			want := int(block) % tc.n
+			pkt := Packet{Dst: netcfg.Addr(addr)}
+			for r := 0; r < tc.n; r++ {
+				if got := h.Contains(classes[r], pkt); got != (r == want) {
+					t.Errorf("bits=%d n=%d addr=%08x: class %d contains=%v, want class %d",
+						tc.bits, tc.n, addr, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDstBlockModPrefixAlignment: a prefix at least as long as the block
+// field lies entirely inside exactly one residue class — the property
+// the shard router relies on to send such rules to a single shard.
+func TestDstBlockModPrefixAlignment(t *testing.T) {
+	h := NewHeaders()
+	const bits, n = 24, 3
+	for _, s := range []string{"10.0.7.0/24", "10.0.0.4/30", "203.0.113.128/25", "10.10.2.0/24"} {
+		pfx, err := netcfg.ParsePrefix(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(uint32(pfx.Addr)>>8) % n
+		p := h.DstPrefix(pfx)
+		for r := 0; r < n; r++ {
+			in := h.Implies(p, h.DstBlockMod(bits, n, r))
+			if in != (r == want) {
+				t.Errorf("%s: contained in class %d = %v, want class %d", s, r, in, want)
+			}
+		}
+	}
+}

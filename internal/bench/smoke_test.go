@@ -21,6 +21,25 @@ func TestSmokeTables(t *testing.T) {
 	t.Logf("specmining: %d failures inc=%v full=%v speedup=%.1fx", sm.Failures, sm.Incremental, sm.FromScratchGen, sm.Speedup())
 }
 
+func TestSmokeShard(t *testing.T) {
+	rows, err := RunShard(4, []int{1, 2}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Shards != 1 || rows[1].Shards != 2 {
+		t.Fatalf("rows = %+v, want shard counts 1 and 2", rows)
+	}
+	for _, r := range rows {
+		if r.Applies != 4 || r.Policies == 0 || r.Wall <= 0 {
+			t.Errorf("row %+v: want 4 applies, policies and positive wall time", r)
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("baseline speedup = %v, want 1.0", rows[0].Speedup)
+	}
+	t.Logf("\n%s", FormatShard(rows))
+}
+
 func TestSmokePlan(t *testing.T) {
 	res, err := RunPlan(8, 5, 2)
 	if err != nil {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"realconfig/internal/apkeep"
 	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 )
@@ -69,27 +71,36 @@ func ruleText(r dataplane.Rule) string {
 // that discards it. It reads the maintained state only; no recomputation
 // happens.
 func (v *Verifier) Trace(src string, pkt bdd.Packet) Trace {
+	return TracePacket(v.model, v.checker, v.gen.FIB(), src, pkt)
+}
+
+// TracePacket follows a concrete packet through a maintained model and
+// checker pair, using fib (rule -> multiplicity) for per-hop
+// longest-prefix matching. It is the engine-independent core of
+// Verifier.Trace; the shard coordinator calls it against the one shard
+// whose destination slice owns the packet.
+func TracePacket(model *apkeep.Model, checker *policy.Checker, fib map[dataplane.Rule]dd.Diff, src string, pkt bdd.Packet) Trace {
 	tr := Trace{Packet: pkt}
 	// The EC containing the packet determines outcomes; the concrete
 	// rules are recovered per hop by longest-prefix match over the FIB.
 	var ec bdd.Node
-	for cand := range v.model.ECs() {
-		if v.model.H.Contains(cand, pkt) {
+	for cand := range model.ECs() {
+		if model.H.Contains(cand, pkt) {
 			ec = cand
 			break
 		}
 	}
-	if o, ok := v.checker.OutcomeOf(ec, src); ok {
+	if o, ok := checker.OutcomeOf(ec, src); ok {
 		tr.Outcome = o
 	} else {
 		tr.Outcome = policy.Outcome{Kind: policy.Dropped, At: src}
 	}
-	for _, dev := range v.checker.TracePath(ec, src) {
+	for _, dev := range checker.TracePath(ec, src) {
 		hop := TraceHop{Device: dev}
-		if rule, ok := v.lpm(dev, pkt.Dst); ok {
+		if rule, ok := lpm(fib, dev, pkt.Dst); ok {
 			hop.Rule = &rule
 			if rule.Action == dataplane.Forward {
-				if v.model.Blocked(dev, rule.OutIntf, dataplane.Out, ec) {
+				if model.Blocked(dev, rule.OutIntf, dataplane.Out, ec) {
 					hop.Filtered = "out@" + rule.OutIntf
 				}
 			}
@@ -105,7 +116,7 @@ func (v *Verifier) Trace(src string, pkt bdd.Packet) Trace {
 			if len(tr.Hops) >= 2 {
 				prev := tr.Hops[len(tr.Hops)-2]
 				if prev.Rule != nil {
-					if in, ok := v.checker.Ingress(prev.Device, prev.Rule.OutIntf); ok && in[0] == last.Device {
+					if in, ok := checker.Ingress(prev.Device, prev.Rule.OutIntf); ok && in[0] == last.Device {
 						last.Filtered = "in@" + in[1]
 					}
 				}
@@ -117,10 +128,10 @@ func (v *Verifier) Trace(src string, pkt bdd.Packet) Trace {
 
 // lpm finds the longest-prefix-match FIB rule for a destination on a
 // device.
-func (v *Verifier) lpm(dev string, dst netcfg.Addr) (dataplane.Rule, bool) {
+func lpm(fib map[dataplane.Rule]dd.Diff, dev string, dst netcfg.Addr) (dataplane.Rule, bool) {
 	var best dataplane.Rule
 	found := false
-	for rule, d := range v.gen.FIB() {
+	for rule, d := range fib {
 		if d <= 0 || rule.Device != dev || !rule.Prefix.Contains(dst) {
 			continue
 		}

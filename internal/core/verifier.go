@@ -515,3 +515,28 @@ func (v *Verifier) Checker() *policy.Checker { return v.checker }
 
 // Generator exposes the data plane generator (per-protocol bests).
 func (v *Verifier) Generator() *routing.Generator { return v.gen }
+
+// ParsePolicyText parses a policy specification against this verifier's
+// BDD table, so the returned policies can be registered directly with
+// AddPolicy. Part of the engine interface shared with the shard
+// coordinator.
+func (v *Verifier) ParsePolicyText(text string) ([]policy.Policy, error) {
+	return ParsePolicies(text, v.model.H)
+}
+
+// NumECs returns the current number of packet equivalence classes.
+func (v *Verifier) NumECs() int { return v.model.NumECs() }
+
+// NumPairs returns the checker's maintained (EC, device) pair count.
+func (v *Verifier) NumPairs() int { return v.checker.NumPairs() }
+
+// NumFIBRules returns the number of live forwarding rules.
+func (v *Verifier) NumFIBRules() int {
+	n := 0
+	for _, d := range v.gen.FIB() {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}

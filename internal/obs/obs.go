@@ -230,11 +230,60 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string
+
+	// Labeled views (WithLabels): root points at the registry that owns
+	// the families, and base is merged into every registration's label
+	// set. Both are nil/empty on a root registry.
+	root *Registry
+	base Labels
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// WithLabels returns a view of the registry that merges base into the
+// labels of every instrument registered through it. Views share the
+// underlying families: the same (name, merged labels) still resolves to
+// the same series, and rendering a view renders the whole registry.
+// Multi-tenant components use this to stamp a tenant= label on every
+// metric without threading label plumbing through the pipeline.
+// On key collision the view's base wins.
+func (r *Registry) WithLabels(base Labels) *Registry {
+	root := r.resolve()
+	merged := make(Labels, len(r.base)+len(base))
+	for k, v := range r.base {
+		merged[k] = v
+	}
+	for k, v := range base {
+		merged[k] = v
+	}
+	return &Registry{root: root, base: merged}
+}
+
+// resolve returns the registry owning the families (itself, or the view's
+// root).
+func (r *Registry) resolve() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// merged applies the view's base labels to a registration's label set.
+func (r *Registry) merged(labels Labels) Labels {
+	if len(r.base) == 0 {
+		return labels
+	}
+	m := make(Labels, len(labels)+len(r.base))
+	for k, v := range labels {
+		m[k] = v
+	}
+	for k, v := range r.base {
+		m[k] = v
+	}
+	return m
 }
 
 func (r *Registry) family(name, help, typ string) *family {
@@ -266,6 +315,8 @@ func (f *family) get(labels Labels) (*series, bool) {
 
 // Counter registers (or returns) a counter.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	labels = r.merged(labels)
+	r = r.resolve()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.family(name, help, "counter").get(labels)
@@ -277,6 +328,8 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 
 // Gauge registers (or returns) a gauge.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	labels = r.merged(labels)
+	r = r.resolve()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.family(name, help, "gauge").get(labels)
@@ -289,6 +342,8 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 // GaugeFunc registers a gauge whose value is computed at scrape time.
 // fn must be safe to call concurrently.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	labels = r.merged(labels)
+	r = r.resolve()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.family(name, help, "gauge").get(labels)
@@ -304,6 +359,8 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	if buckets == nil {
 		buckets = DefBuckets
 	}
+	labels = r.merged(labels)
+	r = r.resolve()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.family(name, help, "histogram")
@@ -321,6 +378,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 // WritePrometheus renders every registered metric in the text exposition
 // format (version 0.0.4), families sorted by name, series by label set.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r = r.resolve()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := bufio.NewWriter(w)
@@ -374,6 +432,7 @@ func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) 
 // timings, which are non-deterministic by nature). Golden tests use this
 // to compare end states.
 func (r *Registry) Snapshot() map[string]float64 {
+	r = r.resolve()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]float64)

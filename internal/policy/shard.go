@@ -1,0 +1,114 @@
+package policy
+
+import "realconfig/internal/bdd"
+
+// JoinMode says how per-shard verdicts of a destination-partitioned
+// policy combine into the global verdict. The shard layer restricts a
+// policy's header space to each shard's slice of the destination space;
+// because the slices partition the full space and equivalence classes
+// refine packet behaviour, evaluating the restricted copies and joining
+// their verdicts is exactly the unsharded evaluation.
+type JoinMode uint8
+
+const (
+	// JoinAll: the policy holds iff it holds on every shard it
+	// registered on; registering nowhere (empty header space) is
+	// vacuously satisfied. Universally quantified policies (isolation,
+	// waypointing, loop and blackhole freedom) join this way.
+	JoinAll JoinMode = iota
+	// JoinAny: the policy holds iff some registered shard satisfies it;
+	// registering nowhere is violated. Existential policies (ReachSome)
+	// join this way.
+	JoinAny
+	// JoinAllWitness: JoinAll, except that registering nowhere is
+	// violated — ReachAll demands a nonempty header space actually
+	// delivered, so an empty registration set cannot hold.
+	JoinAllWitness
+)
+
+// Sharded is implemented by policies that can be partitioned across
+// destination-space shards. Restrict confines the policy to one shard's
+// slice; Join says how the per-shard verdicts recombine.
+type Sharded interface {
+	Rebindable
+	// Restrict returns a copy of the policy whose header space is
+	// intersected with space (a predicate in h's table, like the
+	// policy's own predicates). ok=false means the intersection is
+	// empty and the policy need not register on that shard.
+	Restrict(h *bdd.Headers, space bdd.Node) (p Policy, ok bool)
+	// Join returns the policy's verdict combination mode.
+	Join() JoinMode
+}
+
+// JoinVerdicts folds per-shard verdicts under mode. verdicts holds one
+// entry per shard the policy registered on (possibly none).
+func JoinVerdicts(mode JoinMode, verdicts []bool) bool {
+	switch mode {
+	case JoinAny:
+		for _, v := range verdicts {
+			if v {
+				return true
+			}
+		}
+		return false
+	case JoinAllWitness:
+		if len(verdicts) == 0 {
+			return false
+		}
+		fallthrough
+	default: // JoinAll
+		for _, v := range verdicts {
+			if !v {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Restrict implements Sharded.
+func (p Reachability) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
+	p.Hdr = h.And(p.Hdr, space)
+	return p, p.Hdr != bdd.False
+}
+
+// Join implements Sharded. ReachAll needs a delivery witness (total > 0
+// in at least one shard); ReachSome is existential; ReachNone is
+// universal isolation.
+func (p Reachability) Join() JoinMode {
+	switch p.Mode {
+	case ReachSome:
+		return JoinAny
+	case ReachAll:
+		return JoinAllWitness
+	default:
+		return JoinAll
+	}
+}
+
+// Restrict implements Sharded.
+func (p Waypoint) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
+	p.Hdr = h.And(p.Hdr, space)
+	return p, p.Hdr != bdd.False
+}
+
+// Join implements Sharded.
+func (p Waypoint) Join() JoinMode { return JoinAll }
+
+// Restrict implements Sharded.
+func (p LoopFree) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
+	p.Scope = h.And(p.Scope, space)
+	return p, p.Scope != bdd.False
+}
+
+// Join implements Sharded.
+func (p LoopFree) Join() JoinMode { return JoinAll }
+
+// Restrict implements Sharded.
+func (p BlackholeFree) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
+	p.Scope = h.And(p.Scope, space)
+	return p, p.Scope != bdd.False
+}
+
+// Join implements Sharded.
+func (p BlackholeFree) Join() JoinMode { return JoinAll }

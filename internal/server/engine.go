@@ -1,0 +1,47 @@
+package server
+
+import (
+	"realconfig/internal/bdd"
+	"realconfig/internal/core"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
+	"realconfig/internal/policy"
+	"realconfig/internal/shard"
+	"realconfig/internal/trace"
+)
+
+// Engine is the verification backend a tenant drives: the monolithic
+// core.Verifier, or a shard.Coordinator fanning each apply across
+// destination-space shards. Both present the same load/apply/report
+// surface, so the serving layer is indifferent to the choice.
+//
+// Forking endpoints (what-if, plan) always bootstrap a monolithic
+// fork regardless of the live engine's shape: speculative runs are
+// one-shot, so shard warm-up would cost more than it saves.
+type Engine interface {
+	Load(net *netcfg.Network) (*core.Report, error)
+	Apply(changes ...netcfg.Change) (*core.Report, error)
+	SetTraceContext(reqID string, seq uint64)
+	Network() *netcfg.Network
+	Options() core.Options
+	ParsePolicyText(text string) ([]policy.Policy, error)
+	AddPolicy(p policy.Policy) bool
+	RemovePolicy(name string)
+	Verdicts() map[string]bool
+	NumECs() int
+	NumPairs() int
+	NumFIBRules() int
+	Trace(src string, pkt bdd.Packet) core.Trace
+	Recorder() *trace.Recorder
+	Instrument(reg *obs.Registry)
+}
+
+// newEngine picks the backend: shards <= 1 keeps the plain verifier
+// (byte-identical behavior to a daemon predating sharding), anything
+// larger builds a coordinator.
+func newEngine(opts core.Options, shards int) Engine {
+	if shards <= 1 {
+		return core.New(opts)
+	}
+	return shard.New(opts, shards)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -72,8 +73,60 @@ func FuzzJournalLine(f *testing.F) {
 			t.Fatalf("building fuzz server: %v", err)
 		}
 		// Reject or replay — a panic here is the only failure.
-		if _, err := srv.applyEntry(e); err != nil {
+		if _, err := srv.def.applyEntry(e); err != nil {
 			return
+		}
+	})
+}
+
+// FuzzTenantPath throws arbitrary request paths at the tenant router's
+// parser. Invariants: never panic; an accepted split yields a valid
+// tenant id and an unprefixed rest that reconstructs the original path
+// exactly; a rejected path under /v1/tenants/ has an invalid id in its
+// first segment (so the router's 400 is justified).
+func FuzzTenantPath(f *testing.F) {
+	seeds := []string{
+		"/v1/tenants/acme/changes",
+		"/v1/tenants/acme",
+		"/v1/tenants/acme/",
+		"/v1/tenants/a-b.c_9/applies/7/trace",
+		"/v1/tenants//changes",
+		"/v1/tenants/",
+		"/v1/tenants",
+		"/v1/changes",
+		"/v1/tenants/UPPER/verdicts",
+		"/v1/tenants/../../etc/passwd",
+		"/v1/tenants/acme/tenants/evil/changes",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		id, rest, ok := SplitTenantPath(path)
+		if !ok {
+			if id != "" || rest != "" {
+				t.Fatalf("SplitTenantPath(%q): rejected but returned (%q, %q)", path, id, rest)
+			}
+			if tail, under := strings.CutPrefix(path, "/v1/tenants/"); under {
+				seg := tail
+				if i := strings.IndexByte(tail, '/'); i >= 0 {
+					seg = tail[:i]
+				}
+				if ValidTenantID(seg) {
+					t.Fatalf("SplitTenantPath(%q): rejected despite valid id %q", path, seg)
+				}
+			}
+			return
+		}
+		if !ValidTenantID(id) {
+			t.Fatalf("SplitTenantPath(%q): accepted invalid id %q", path, id)
+		}
+		if rest != "" && !strings.HasPrefix(rest, "/v1/") {
+			t.Fatalf("SplitTenantPath(%q): rest %q is not unprefixed API path", path, rest)
+		}
+		if got := "/v1/tenants/" + id + strings.TrimPrefix(rest, "/v1"); got != path {
+			t.Fatalf("SplitTenantPath(%q): reconstruction %q diverged", path, got)
 		}
 	})
 }

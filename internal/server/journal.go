@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"realconfig/internal/netcfg"
@@ -38,8 +42,20 @@ type Entry struct {
 	Waves   [][]int           `json:"waves,omitempty"`
 }
 
-// journal is an append-only JSON-lines file of applied writes.
+// journal is an append-only JSON-lines log of applied writes. The
+// active file lives at path; when segBytes > 0 and an append pushes the
+// active file past that size, the file is sealed by renaming it to
+// path.NNNNNN (monotonically increasing, zero-padded) and a fresh
+// active file is opened. Replay reads sealed segments in index order,
+// then the active file, so rotation never changes the replayed
+// sequence. segBytes == 0 disables rotation (one unbounded file, the
+// historical behavior).
 type journal struct {
+	path     string
+	segBytes int64
+	size     int64 // bytes in the active file
+	nextSeg  int   // index the next sealed segment will take
+
 	f *os.File
 	w *bufio.Writer
 
@@ -47,18 +63,60 @@ type journal struct {
 	appends       *obs.Counter
 	appendSeconds *obs.Histogram
 	fsyncSeconds  *obs.Histogram
+	rotations     *obs.Counter
 }
 
-// openJournal reads any existing entries from path (the replay set) and
-// opens the file for appending. An empty or absent file yields no
-// entries.
-func openJournal(path string) (*journal, []Entry, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, err
+// segmentIndex parses name as a sealed segment of the journal whose
+// active file is base ("base.NNNNNN").
+func segmentIndex(base, name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, base+".")
+	if !ok || len(rest) != 6 {
+		return 0, false
 	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// journalSegments lists the sealed segment paths for path, sorted by
+// index, along with the next free index.
+func journalSegments(path string) ([]string, int, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	type seg struct {
+		idx  int
+		path string
+	}
+	var segs []seg
+	next := 0
+	for _, de := range des {
+		if idx, ok := segmentIndex(base, de.Name()); ok {
+			segs = append(segs, seg{idx, filepath.Join(dir, de.Name())})
+			if idx+1 > next {
+				next = idx + 1
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	paths := make([]string, len(segs))
+	for i, s := range segs {
+		paths[i] = s.path
+	}
+	return paths, next, nil
+}
+
+// readEntries decodes the JSON-lines entries of one journal file.
+func readEntries(r io.Reader, path string) ([]Entry, error) {
 	var entries []Entry
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineno := 0
 	for sc.Scan() {
@@ -69,23 +127,65 @@ func openJournal(path string) (*journal, []Entry, error) {
 		}
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("journal %s line %d: %w", path, lineno, err)
+			return nil, fmt.Errorf("journal %s line %d: %w", path, lineno, err)
 		}
 		entries = append(entries, e)
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("journal %s: %w", path, err)
+		return nil, fmt.Errorf("journal %s: %w", path, err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	return entries, nil
+}
+
+// openJournal reads any existing entries — sealed segments first, then
+// the active file — and opens the active file for appending. An empty
+// or absent journal yields no entries.
+func openJournal(path string, segBytes int64) (*journal, []Entry, error) {
+	segPaths, nextSeg, err := journalSegments(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []Entry
+	for _, sp := range segPaths {
+		sf, err := os.Open(sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		es, err := readEntries(sf, sp)
+		sf.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		entries = append(entries, es...)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	es, err := readEntries(f, path)
+	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	return &journal{f: f, w: bufio.NewWriter(f)}, entries, nil
+	entries = append(entries, es...)
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{
+		path:     path,
+		segBytes: segBytes,
+		size:     size,
+		nextSeg:  nextSeg,
+		f:        f,
+		w:        bufio.NewWriter(f),
+	}, entries, nil
 }
 
-// append durably records one entry (write + flush + fsync).
+// append durably records one entry (write + flush + fsync), sealing the
+// active file into a numbered segment afterwards if it crossed the
+// rotation threshold.
 func (j *journal) append(e Entry) error {
 	t0 := time.Now()
 	defer func() { j.appendSeconds.ObserveDuration(time.Since(t0)) }()
@@ -93,9 +193,11 @@ func (j *journal) append(e Entry) error {
 	if err != nil {
 		return err
 	}
-	if _, err := j.w.Write(append(b, '\n')); err != nil {
+	n, err := j.w.Write(append(b, '\n'))
+	if err != nil {
 		return err
 	}
+	j.size += int64(n)
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
@@ -105,6 +207,31 @@ func (j *journal) append(e Entry) error {
 	}
 	j.fsyncSeconds.ObserveDuration(time.Since(ts))
 	j.appends.Inc()
+	if j.segBytes > 0 && j.size >= j.segBytes {
+		if err := j.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate seals the (already flushed and synced) active file under the
+// next segment index and starts a fresh one.
+func (j *journal) rotate() error {
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	sealed := fmt.Sprintf("%s.%06d", j.path, j.nextSeg)
+	if err := os.Rename(j.path, sealed); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	j.nextSeg++
+	j.f, j.w, j.size = f, bufio.NewWriter(f), 0
+	j.rotations.Inc()
 	return nil
 }
 

@@ -110,38 +110,39 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, err.Error())
 		return
 	}
+	t := s.tenantFrom(r)
 	rid := reqIDFrom(r)
-	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
 	t0 := time.Now()
-	defer func() { s.m.planSeconds.ObserveDuration(time.Since(t0)) }()
+	defer func() { t.m.planSeconds.ObserveDuration(time.Since(t0)) }()
 
-	capRes, err := s.do(ctx, func() (any, error) {
-		return whatIfCapture{net: s.v.Network(), policy: s.policyText(), opts: s.v.Options(), seq: s.seq}, nil
+	capRes, err := t.do(ctx, func() (any, error) {
+		return whatIfCapture{net: t.eng.Network(), policy: t.policyText(), opts: t.eng.Options(), seq: t.seq}, nil
 	})
 	if err != nil {
-		s.m.planErrors.Inc()
+		t.m.planErrors.Inc()
 		writeError(w, r, err)
 		return
 	}
 	wc := capRes.(whatIfCapture)
 	base, _, err := core.Bootstrap(wc.opts, wc.net, wc.policy)
 	if err != nil {
-		s.m.planErrors.Inc()
+		t.m.planErrors.Inc()
 		writeError(w, r, err)
 		return
 	}
 	res, err := plan.Search(base, batch, plan.Options{
 		Workers:   req.Workers,
 		MaxProbes: req.MaxProbes,
-		Metrics:   s.planM,
-		Recorder:  s.Recorder(),
+		Metrics:   t.planM,
+		Recorder:  t.eng.Recorder(),
 		ReqID:     rid,
 		Seq:       wc.seq,
 	})
 	if err != nil {
-		s.m.planErrors.Inc()
-		s.log.Warn("plan failed", "req_id", rid, "changes", len(batch), "err", err)
+		t.m.planErrors.Inc()
+		t.log.Warn("plan failed", "req_id", rid, "changes", len(batch), "err", err)
 		writeError(w, r, err)
 		return
 	}
@@ -165,7 +166,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			Explain:  ce.Explain,
 			Text:     ce.String(),
 		}
-		s.log.Info("plan found counterexample",
+		t.log.Info("plan found counterexample",
 			"req_id", rid, "changes", len(batch), "probes", res.Stats.Probes,
 			"dur_ms", time.Since(t0).Milliseconds())
 		writeJSON(w, http.StatusOK, out)
@@ -191,26 +192,26 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Journal the planning decision and bump the sequence. The plan was
 	// computed against wc.seq; reject if a write slipped in between, so
 	// the audit record never refers to a state the plan did not see.
-	seqRes, err := s.do(ctx, func() (any, error) {
-		if s.seq != wc.seq {
+	seqRes, err := t.do(ctx, func() (any, error) {
+		if t.seq != wc.seq {
 			return nil, errPlanStale
 		}
-		if s.journal != nil {
-			if err := s.journal.append(Entry{Op: opPlan, Changes: req.Changes, Waves: waves}); err != nil {
+		if t.journal != nil {
+			if err := t.journal.append(Entry{Op: opPlan, Changes: req.Changes, Waves: waves}); err != nil {
 				return nil, err
 			}
 		}
-		s.seq++
-		s.publish(nil)
-		return s.seq, nil
+		t.seq++
+		t.publish(nil)
+		return t.seq, nil
 	})
 	if err != nil {
-		s.m.planErrors.Inc()
+		t.m.planErrors.Inc()
 		writeError(w, r, err)
 		return
 	}
 	out.Seq = seqRes.(uint64)
-	s.log.Info("planned",
+	t.log.Info("planned",
 		"req_id", rid, "seq", out.Seq, "changes", len(batch), "waves", len(waves),
 		"probes", res.Stats.Probes, "memo_hits", res.Stats.MemoHits,
 		"dur_ms", time.Since(t0).Milliseconds())

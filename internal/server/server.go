@@ -1,13 +1,16 @@
 // Package server is rcserved's engine: a long-running HTTP service that
-// owns a core.Verifier for its lifetime, so every configuration change
-// is verified incrementally against warm state instead of from scratch.
+// owns one verification engine per tenant for its lifetime, so every
+// configuration change is verified incrementally against warm state
+// instead of from scratch.
 //
-// Concurrency model (single writer, lock-free readers):
+// Concurrency model (single writer per tenant, lock-free readers):
 //
-//   - All access to the verifier happens on one apply goroutine. Writes
-//     (change batches, policy ops) and live-state reads (traces, what-if
-//     captures) are submitted as jobs on a bounded queue and executed
-//     strictly one at a time, in arrival order.
+//   - All access to a tenant's engine happens on that tenant's apply
+//     goroutine. Writes (change batches, policy ops) and live-state
+//     reads (traces, what-if captures) are submitted as jobs on a
+//     bounded queue and executed strictly one at a time, in arrival
+//     order. Tenants apply concurrently with each other: they share no
+//     verifier state, no journal and no queue.
 //   - After every write the apply goroutine builds an immutable Snapshot
 //     (verdicts, violations, last report, counters) and publishes it via
 //     an atomic pointer. GET /v1/verdicts, /v1/report and /v1/healthz
@@ -16,8 +19,15 @@
 //   - What-if sessions fork cheaply: the apply goroutine captures a clone
 //     of the current network plus the active policy text (fast), and the
 //     speculative verification runs on the request goroutine against a
-//     brand-new verifier, leaving both the live verifier and the apply
+//     brand-new verifier, leaving both the live engine and the apply
 //     queue untouched.
+//
+// Multi-tenancy: named tenants configured via Config.Tenants are served
+// under /v1/tenants/{id}/... — the same API, routed to that tenant's
+// engine. The unprefixed /v1/... routes alias the "default" tenant, so
+// a single-tenant daemon is indistinguishable from the pre-tenant one.
+// Each tenant owns an isolated journal and writes its metrics under a
+// tenant label; the default tenant's series stay unlabeled.
 //
 // Durability: with a journal configured, every successful write is
 // appended as a JSON line after it is applied. On startup the journal is
@@ -44,25 +54,35 @@ import (
 	"realconfig/internal/core"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
-	"realconfig/internal/plan"
 	"realconfig/internal/policy"
 	"realconfig/internal/trace"
 )
 
 // Config configures a Server.
 type Config struct {
-	// Net is the base network snapshot (required).
+	// Net is the default tenant's base network snapshot (required).
 	Net *netcfg.Network
-	// PolicyText is the initial policy specification ("" = none). It is
-	// part of the base state, not the journal: restarts must supply the
-	// same text to reproduce verdicts.
+	// PolicyText is the default tenant's initial policy specification
+	// ("" = none). It is part of the base state, not the journal:
+	// restarts must supply the same text to reproduce verdicts.
 	PolicyText string
-	// Options configures the underlying verifier.
+	// Options configures the underlying verifiers (all tenants).
 	Options core.Options
-	// JournalPath enables the append-only change journal ("" = none).
+	// JournalPath enables the default tenant's append-only change
+	// journal ("" = none).
 	JournalPath string
-	// QueueDepth bounds the apply queue (0 = 64). Writes beyond it are
-	// rejected with 503 instead of queueing without bound.
+	// Shards splits the default tenant's verifier across
+	// destination-space shards (<= 1 = monolithic core.Verifier).
+	Shards int
+	// JournalSegmentBytes seals a journal file into a numbered segment
+	// once an append pushes it past this size (0 = one unbounded file).
+	// Applies to every tenant's journal.
+	JournalSegmentBytes int64
+	// Tenants declares additional named tenants, each with its own
+	// network, policies, journal and shard count.
+	Tenants []TenantConfig
+	// QueueDepth bounds each tenant's apply queue (0 = 64). Writes
+	// beyond it are rejected with 503 instead of queueing without bound.
 	QueueDepth int
 	// ApplyTimeout bounds how long a request waits for its job (queueing
 	// plus verification; 0 = 30s).
@@ -75,34 +95,32 @@ type Config struct {
 	Logger *slog.Logger
 }
 
+// serverOptions carries the per-tenant knobs Config sets globally.
+type serverOptions struct {
+	verifier        core.Options
+	queueDepth      int
+	applyTimeout    time.Duration
+	journalSegBytes int64
+	log             *slog.Logger
+}
+
 // Server is the daemon engine. Create with New, serve via Handler, stop
 // with Close.
 type Server struct {
-	applyTimeout time.Duration
+	tenants map[string]*Tenant
+	ids     []string // sorted tenant ids
+	def     *Tenant  // tenants[DefaultTenant]
 
-	jobs chan *job
-	quit chan struct{}
-	done chan struct{}
-
-	snap  atomic.Pointer[Snapshot]
 	mux   *http.ServeMux
-	h     http.Handler // mux wrapped in the req_id middleware
+	h     http.Handler // mux wrapped in the tenant-routing and req_id middleware
 	start time.Time
 
 	log    *slog.Logger
 	reqSeq atomic.Uint64
 
-	// reg carries every pipeline stage's instruments plus the server's
-	// own; /v1/metrics serves it.
-	reg   *obs.Registry
-	m     serverMetrics
-	planM *plan.Metrics
-
-	// State below is owned by the apply goroutine after New returns.
-	v        *core.Verifier
-	policies []policyEntry
-	seq      uint64
-	journal  *journal
+	// reg carries every tenant's instruments (named tenants under a
+	// tenant label) plus the server's own; /v1/metrics serves it.
+	reg *obs.Registry
 }
 
 // serverMetrics are the daemon-layer instruments: request latencies and
@@ -111,48 +129,19 @@ type Server struct {
 // prefixed realconfig_server_ so deterministic pipeline counters can be
 // told apart from serving-layer ones.
 type serverMetrics struct {
-	applySeconds      *obs.Histogram
-	whatifSeconds     *obs.Histogram
-	planSeconds       *obs.Histogram
-	applies           *obs.Counter
-	applyErrors       *obs.Counter
-	whatifs           *obs.Counter
-	planErrors        *obs.Counter
+	applySeconds         *obs.Histogram
+	whatifSeconds        *obs.Histogram
+	planSeconds          *obs.Histogram
+	applies              *obs.Counter
+	applyErrors          *obs.Counter
+	whatifs              *obs.Counter
+	planErrors           *obs.Counter
 	journalReplayed      *obs.Counter
 	snapshotPublishes    *obs.Counter
 	journalAppends       *obs.Counter
 	journalAppendSeconds *obs.Histogram
 	journalFsyncSeconds  *obs.Histogram
-}
-
-// instrument builds the registry: the verifier wires all four pipeline
-// stages, then the server adds its own serving-layer metrics.
-func (s *Server) instrument() {
-	s.reg = obs.NewRegistry()
-	s.v.Instrument(s.reg)
-	s.planM = plan.NewMetrics(s.reg)
-	s.m = serverMetrics{
-		applySeconds:      s.reg.Histogram("realconfig_server_apply_seconds", "POST /v1/changes latency (queueing, verification, journaling).", nil, nil),
-		whatifSeconds:     s.reg.Histogram("realconfig_server_whatif_seconds", "POST /v1/whatif latency (capture plus speculative verification).", nil, nil),
-		planSeconds:       s.reg.Histogram("realconfig_server_plan_seconds", "POST /v1/plan latency (capture, bootstrap, search, journaling).", nil, nil),
-		applies:           s.reg.Counter("realconfig_server_applies_total", "Successfully applied change batches.", nil),
-		applyErrors:       s.reg.Counter("realconfig_server_apply_errors_total", "Failed or rejected change batches.", nil),
-		whatifs:           s.reg.Counter("realconfig_server_whatifs_total", "Completed what-if verifications.", nil),
-		planErrors:        s.reg.Counter("realconfig_server_plan_errors_total", "Failed or rejected plan requests.", nil),
-		journalReplayed:   s.reg.Counter("realconfig_server_journal_replayed_total", "Journal entries replayed at startup.", nil),
-		snapshotPublishes: s.reg.Counter("realconfig_server_snapshot_publishes_total", "Immutable snapshots published for lock-free readers.", nil),
-		journalAppends:    s.reg.Counter("realconfig_server_journal_appends_total", "Entries durably appended to the change journal.", nil),
-		journalAppendSeconds: s.reg.Histogram("realconfig_server_journal_append_seconds",
-			"Durable journal append latency (marshal, write, flush, fsync).", nil, nil),
-		journalFsyncSeconds: s.reg.Histogram("realconfig_server_journal_fsync_seconds",
-			"Journal fsync latency alone.", nil, nil),
-	}
-	s.reg.GaugeFunc("realconfig_server_queue_depth", "Jobs waiting in the apply queue.", nil,
-		func() float64 { return float64(len(s.jobs)) })
-	s.reg.GaugeFunc("realconfig_server_queue_capacity", "Apply queue capacity.", nil,
-		func() float64 { return float64(cap(s.jobs)) })
-	s.reg.GaugeFunc("realconfig_server_uptime_seconds", "Seconds since the daemon started.", nil,
-		func() float64 { return time.Since(s.start).Seconds() })
+	journalRotations     *obs.Counter
 }
 
 // policyEntry pairs a registered policy's name with the source line it
@@ -172,12 +161,14 @@ type jobResult struct {
 	err error
 }
 
-// errQueueFull is returned when the bounded apply queue is at capacity.
+// errQueueFull is returned when a bounded apply queue is at capacity.
 var errQueueFull = errors.New("server: apply queue full")
 
-// New loads the base network, registers the initial policies, replays
-// the journal if configured, publishes the first snapshot and starts the
-// apply goroutine.
+// errShutdown is returned to requests in flight when the daemon stops.
+var errShutdown = errors.New("server: shutting down")
+
+// New builds every tenant (base load, initial policies, journal replay,
+// first snapshot, apply goroutine) and wires the HTTP surface.
 func New(cfg Config) (*Server, error) {
 	if cfg.Net == nil {
 		return nil, errors.New("server: Config.Net is required")
@@ -188,88 +179,80 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ApplyTimeout <= 0 {
 		cfg.ApplyTimeout = 30 * time.Second
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
-		applyTimeout: cfg.ApplyTimeout,
-		jobs:         make(chan *job, cfg.QueueDepth),
-		quit:         make(chan struct{}),
-		done:         make(chan struct{}),
-		start:        time.Now(),
-		log:          cfg.Logger,
+		tenants: make(map[string]*Tenant, 1+len(cfg.Tenants)),
+		start:   time.Now(),
+		log:     log,
+		reg:     obs.NewRegistry(),
 	}
-	if s.log == nil {
-		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	opts := serverOptions{
+		verifier:        cfg.Options,
+		queueDepth:      cfg.QueueDepth,
+		applyTimeout:    cfg.ApplyTimeout,
+		journalSegBytes: cfg.JournalSegmentBytes,
+		log:             log,
 	}
-	s.v = core.New(cfg.Options)
-	s.instrument() // before Load, so the initial full verification is measured too
-	rep, err := s.v.Load(cfg.Net)
+
+	// The default tenant instruments the shared registry unlabeled, so a
+	// single-tenant daemon's series are byte-identical to the pre-tenant
+	// ones; named tenants write under tenant="<id>".
+	def, err := newTenant(TenantConfig{
+		ID:          DefaultTenant,
+		Net:         cfg.Net,
+		PolicyText:  cfg.PolicyText,
+		JournalPath: cfg.JournalPath,
+		Shards:      cfg.Shards,
+	}, opts, s.reg)
 	if err != nil {
-		return nil, fmt.Errorf("server: loading base network: %w", err)
-	}
-	lastReport := reportJSON(rep)
-	if err := s.addPolicyText(cfg.PolicyText); err != nil {
 		return nil, err
 	}
+	s.def = def
+	s.tenants[DefaultTenant] = def
+	journals := map[string]string{}
 	if cfg.JournalPath != "" {
-		j, entries, err := openJournal(cfg.JournalPath)
+		journals[cfg.JournalPath] = DefaultTenant
+	}
+	for _, tc := range cfg.Tenants {
+		if !ValidTenantID(tc.ID) {
+			s.closeTenants()
+			return nil, fmt.Errorf("server: invalid tenant id %q", tc.ID)
+		}
+		if _, dup := s.tenants[tc.ID]; dup {
+			s.closeTenants()
+			return nil, fmt.Errorf("server: duplicate tenant %q", tc.ID)
+		}
+		if tc.JournalPath != "" {
+			if prev, dup := journals[tc.JournalPath]; dup {
+				s.closeTenants()
+				return nil, fmt.Errorf("server: tenants %q and %q share journal %s", prev, tc.ID, tc.JournalPath)
+			}
+			journals[tc.JournalPath] = tc.ID
+		}
+		t, err := newTenant(tc, opts, s.reg.WithLabels(obs.Labels{"tenant": tc.ID}))
 		if err != nil {
+			s.closeTenants()
 			return nil, err
 		}
-		j.appends = s.m.journalAppends
-		j.appendSeconds = s.m.journalAppendSeconds
-		j.fsyncSeconds = s.m.journalFsyncSeconds
-		s.journal = j
-		t0 := time.Now()
-		for i, e := range entries {
-			rep, err := s.applyEntry(e)
-			if err != nil {
-				j.close()
-				return nil, fmt.Errorf("server: replaying journal entry %d (%s): %w", i+1, e.Op, err)
-			}
-			s.seq++
-			s.m.journalReplayed.Inc()
-			if rep != nil {
-				lastReport = rep
-			}
-			if (i+1)%1000 == 0 {
-				s.log.Info("journal replay progress",
-					"entries", i+1, "total", len(entries),
-					"elapsed_ms", time.Since(t0).Milliseconds())
-			}
-		}
-		if len(entries) > 0 {
-			s.log.Info("journal replayed",
-				"path", cfg.JournalPath, "entries", len(entries),
-				"seq", s.seq, "elapsed_ms", time.Since(t0).Milliseconds())
-		}
+		s.tenants[tc.ID] = t
 	}
-	s.snap.Store(buildSnapshot(s.v, s.seq, lastReport))
-	s.m.snapshotPublishes.Inc()
+	for id := range s.tenants {
+		s.ids = append(s.ids, id)
+	}
+	sort.Strings(s.ids)
+
+	s.reg.GaugeFunc("realconfig_server_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return float64(time.Since(s.start).Seconds()) })
+	s.reg.Gauge("realconfig_server_tenants", "Configured tenants (including the default).", nil).
+		Set(int64(len(s.tenants)))
+
 	s.mux = http.NewServeMux()
 	s.routes(cfg.EnablePprof)
-	s.h = s.withReqID(s.mux)
-	go s.applyLoop()
+	s.h = s.withReqID(s.withTenant(s.mux))
 	return s, nil
-}
-
-// addPolicyText parses and registers a multi-line policy specification,
-// recording each policy's source line for forks and removals.
-func (s *Server) addPolicyText(text string) error {
-	ps, err := core.ParsePolicies(text, s.v.Model().H)
-	if err != nil {
-		return err
-	}
-	lines := policyLines(text)
-	if len(lines) != len(ps) {
-		return fmt.Errorf("server: policy text has %d lines but parsed %d policies", len(lines), len(ps))
-	}
-	for i, p := range ps {
-		if s.findPolicy(p.Name()) >= 0 {
-			return fmt.Errorf("server: duplicate policy %q", p.Name())
-		}
-		s.v.AddPolicy(p)
-		s.policies = append(s.policies, policyEntry{name: p.Name(), line: lines[i]})
-	}
-	return nil
 }
 
 // policyLines extracts the significant (non-blank, non-comment) lines of
@@ -287,130 +270,46 @@ func policyLines(text string) []string {
 	return out
 }
 
-func (s *Server) findPolicy(name string) int {
-	for i, e := range s.policies {
-		if e.name == name {
-			return i
-		}
-	}
-	return -1
-}
+// Snapshot returns the default tenant's published snapshot (never nil).
+func (s *Server) Snapshot() *Snapshot { return s.def.Snapshot() }
 
-// policyText renders the active policies back into a specification text
-// (the fork/replay input).
-func (s *Server) policyText() string {
-	var b strings.Builder
-	for _, e := range s.policies {
-		b.WriteString(e.line)
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+// Tenant returns a tenant by id (nil if unknown). The default tenant is
+// DefaultTenant.
+func (s *Server) Tenant(id string) *Tenant { return s.tenants[id] }
 
-// applyEntry executes one journaled write against the live verifier.
-// Runs during replay (before the apply goroutine starts) and never
-// journals, so replay is idempotent with respect to the file.
-func (s *Server) applyEntry(e Entry) (*ReportJSON, error) {
-	switch e.Op {
-	case opChanges:
-		changes, err := netcfg.DecodeChanges(e.Changes)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := s.v.Apply(changes...)
-		if err != nil {
-			return nil, err
-		}
-		return reportJSON(rep), nil
-	case opPolicyAdd:
-		return nil, s.addPolicyText(e.Line)
-	case opPolicyRemove:
-		i := s.findPolicy(e.Name)
-		if i < 0 {
-			return nil, fmt.Errorf("no policy %q", e.Name)
-		}
-		s.v.RemovePolicy(e.Name)
-		s.policies = append(s.policies[:i], s.policies[i+1:]...)
-		return nil, nil
-	case opPlan:
-		return nil, nil // audit record; planning changes no state
-	}
-	return nil, fmt.Errorf("unknown journal op %q", e.Op)
-}
-
-// applyLoop is the single writer: it drains the job queue one job at a
-// time until Close.
-func (s *Server) applyLoop() {
-	defer close(s.done)
-	for {
-		select {
-		case <-s.quit:
-			return
-		case j := <-s.jobs:
-			if j.ctx.Err() != nil {
-				j.done <- jobResult{err: j.ctx.Err()}
-				continue // requester gave up while queued; skip the work
-			}
-			v, err := j.run()
-			j.done <- jobResult{v: v, err: err}
-		}
-	}
-}
-
-// do submits fn to the apply goroutine and waits for its result, the
-// request deadline, or shutdown. A full queue fails fast with
-// errQueueFull rather than blocking.
-func (s *Server) do(ctx context.Context, fn func() (any, error)) (any, error) {
-	j := &job{ctx: ctx, run: fn, done: make(chan jobResult, 1)}
-	select {
-	case s.jobs <- j:
-	default:
-		return nil, errQueueFull
-	}
-	select {
-	case r := <-j.done:
-		return r.v, r.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-s.quit:
-		return nil, errors.New("server: shutting down")
-	}
-}
-
-// publish rebuilds and atomically installs the snapshot. Runs on the
-// apply goroutine.
-func (s *Server) publish(rep *ReportJSON) {
-	if rep == nil {
-		rep = s.snap.Load().LastReport
-	}
-	s.snap.Store(buildSnapshot(s.v, s.seq, rep))
-	s.m.snapshotPublishes.Inc()
-}
-
-// Snapshot returns the current published snapshot (never nil).
-func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
-
-// Metrics returns the daemon's metrics registry (all pipeline stages
-// plus the serving layer); /v1/metrics serves it as Prometheus text.
+// Metrics returns the daemon's metrics registry (all tenants' pipeline
+// stages plus the serving layer); /v1/metrics serves it as Prometheus
+// text.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Handler returns the HTTP handler serving the v1 API, wrapped in the
-// request-id middleware.
+// tenant-routing and request-id middleware.
 func (s *Server) Handler() http.Handler { return s.h }
 
-// Recorder exposes the verifier's provenance-trace ring (nil when
+// Recorder exposes the default tenant's provenance-trace ring (nil when
 // tracing is disabled); /v1/applies serves it.
-func (s *Server) Recorder() *trace.Recorder { return s.v.Recorder() }
+func (s *Server) Recorder() *trace.Recorder { return s.def.eng.Recorder() }
 
-// Close stops the apply goroutine and closes the journal. In-flight
-// requests fail with a shutdown error; queued jobs are dropped.
-func (s *Server) Close() error {
-	close(s.quit)
-	<-s.done
-	if s.journal != nil {
-		return s.journal.close()
+// Close stops every tenant's apply goroutine and closes the journals.
+// In-flight requests fail with a shutdown error; queued jobs are
+// dropped.
+func (s *Server) Close() error { return s.closeTenants() }
+
+func (s *Server) closeTenants() error {
+	var first error
+	for _, id := range s.ids {
+		if err := s.tenants[id].close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	if len(s.ids) == 0 { // failed mid-New: ids not built yet
+		for _, t := range s.tenants {
+			if err := t.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // ---- HTTP layer ----
@@ -418,13 +317,25 @@ func (s *Server) Close() error {
 // ctxKey keys request-scoped context values.
 type ctxKey int
 
-const reqIDKey ctxKey = iota
+const (
+	reqIDKey ctxKey = iota
+	tenantKey
+)
 
 // reqIDFrom returns the request id the middleware assigned ("" outside
 // the middleware, e.g. in direct-handler tests).
 func reqIDFrom(r *http.Request) string {
 	id, _ := r.Context().Value(reqIDKey).(string)
 	return id
+}
+
+// tenantFrom returns the tenant the routing middleware resolved,
+// defaulting to the default tenant (direct-handler tests).
+func (s *Server) tenantFrom(r *http.Request) *Tenant {
+	if t, ok := r.Context().Value(tenantKey).(*Tenant); ok {
+		return t
+	}
+	return s.def
 }
 
 // statusWriter captures the response status for the access log.
@@ -456,6 +367,38 @@ func (s *Server) withReqID(next http.Handler) http.Handler {
 	})
 }
 
+// withTenant routes tenant-prefixed paths: /v1/tenants/{id}/rest is
+// rewritten to /v1/rest with the tenant in the request context, so
+// every handler behind the mux serves all tenants unchanged. Unprefixed
+// paths carry the default tenant. /v1/tenants/{id} with no rest serves
+// the tenant summary here.
+func (s *Server) withTenant(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path := r.URL.Path
+		if id, rest, ok := SplitTenantPath(path); ok {
+			t := s.tenants[id]
+			if t == nil {
+				writeJSON(w, http.StatusNotFound, errorResponse{
+					Error: fmt.Sprintf("no tenant %q", id), ReqID: reqIDFrom(r)})
+				return
+			}
+			r = r.WithContext(context.WithValue(r.Context(), tenantKey, t))
+			if rest == "" {
+				s.handleTenantDetail(w, r, t)
+				return
+			}
+			r.URL.Path = rest
+			next.ServeHTTP(w, r)
+			return
+		}
+		if strings.HasPrefix(path, "/v1/tenants/") {
+			badRequest(w, r, "invalid tenant id in path "+path)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, s.def)))
+	})
+}
+
 func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
@@ -467,6 +410,7 @@ func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/policies", s.handlePolicies)
 	s.mux.HandleFunc("GET /v1/applies", s.handleApplies)
 	s.mux.HandleFunc("GET /v1/applies/{id}/trace", s.handleApplyTrace)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.Handle("/v1/metrics", s.reg.Handler())
 	if enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -502,6 +446,16 @@ type verdictsResponse struct {
 	Verdicts []Verdict `json:"verdicts"`
 }
 
+// tenantSummary is one row of GET /v1/tenants (and the body of
+// GET /v1/tenants/{id}).
+type tenantSummary struct {
+	ID         string `json:"id"`
+	Seq        uint64 `json:"seq"`
+	Devices    int    `json:"devices"`
+	Policies   int    `json:"policies"`
+	Violations int    `json:"violations"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 	ReqID string `json:"reqId,omitempty"`
@@ -530,13 +484,45 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error(), ReqID: reqIDFrom(r)})
 }
 
+func summarize(t *Tenant) tenantSummary {
+	snap := t.Snapshot()
+	return tenantSummary{
+		ID:         t.ID,
+		Seq:        snap.Seq,
+		Devices:    snap.Devices,
+		Policies:   snap.Policies,
+		Violations: len(snap.Violations),
+	}
+}
+
+// handleTenants lists every tenant with its headline counters.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	out := make([]tenantSummary, 0, len(s.ids))
+	for _, id := range s.ids {
+		out = append(out, summarize(s.tenants[id]))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+}
+
+// handleTenantDetail serves GET /v1/tenants/{id} (the bare tenant path,
+// handled in the routing middleware before path rewriting).
+func (s *Server) handleTenantDetail(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, summarize(t))
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.Snapshot()
+	t := s.tenantFrom(r)
+	snap := t.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":            true,
 		"seq":           snap.Seq,
@@ -545,8 +531,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"policies":      snap.Policies,
 		"ecs":           snap.ECs,
 		"fibRules":      snap.FIBRules,
-		"queueLength":   len(s.jobs),
-		"queueCapacity": cap(s.jobs),
+		"queueLength":   len(t.jobs),
+		"queueCapacity": cap(t.jobs),
 	})
 }
 
@@ -556,7 +542,7 @@ func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.Snapshot()
+	snap := s.tenantFrom(r).Snapshot()
 	writeJSON(w, http.StatusOK, verdictsResponse{Seq: snap.Seq, Verdicts: snap.Verdicts})
 }
 
@@ -566,7 +552,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.Snapshot()
+	snap := s.tenantFrom(r).Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"seq":        snap.Seq,
 		"violations": snap.Violations,
@@ -604,41 +590,42 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	t := s.tenantFrom(r)
 	rid := reqIDFrom(r)
-	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
 	t0 := time.Now()
-	res, err := s.do(ctx, func() (any, error) {
-		s.v.SetTraceContext(rid, s.seq+1)
-		rep, err := s.v.Apply(changes...)
+	res, err := t.do(ctx, func() (any, error) {
+		t.eng.SetTraceContext(rid, t.seq+1)
+		rep, err := t.eng.Apply(changes...)
 		if err != nil {
 			return nil, err
 		}
 		rj := reportJSON(rep)
-		if s.journal != nil {
+		if t.journal != nil {
 			e, err := changesEntry(changes)
 			if err != nil {
 				return nil, err
 			}
-			if err := s.journal.append(e); err != nil {
+			if err := t.journal.append(e); err != nil {
 				return nil, fmt.Errorf("applied but not journaled: %w", err)
 			}
 		}
-		s.seq++
-		s.publish(rj)
-		snap := s.Snapshot()
+		t.seq++
+		t.publish(rj)
+		snap := t.Snapshot()
 		return applyResponse{Seq: snap.Seq, Report: rj, Verdicts: snap.Verdicts}, nil
 	})
-	s.m.applySeconds.ObserveDuration(time.Since(t0))
+	t.m.applySeconds.ObserveDuration(time.Since(t0))
 	if err != nil {
-		s.m.applyErrors.Inc()
-		s.log.Warn("apply failed", "req_id", rid, "changes", len(changes), "err", err)
+		t.m.applyErrors.Inc()
+		t.log.Warn("apply failed", "req_id", rid, "changes", len(changes), "err", err)
 		writeError(w, r, err)
 		return
 	}
-	s.m.applies.Inc()
+	t.m.applies.Inc()
 	ar := res.(applyResponse)
-	s.log.Info("applied",
+	t.log.Info("applied",
 		"req_id", rid, "seq", ar.Seq, "changes", len(changes),
 		"violated", len(ar.Report.Violated), "repaired", len(ar.Report.Repaired),
 		"trace_id", ar.Report.TraceID, "dur_ms", time.Since(t0).Milliseconds())
@@ -664,14 +651,15 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	t := s.tenantFrom(r)
+	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
 	t0 := time.Now()
-	defer func() { s.m.whatifSeconds.ObserveDuration(time.Since(t0)) }()
+	defer func() { t.m.whatifSeconds.ObserveDuration(time.Since(t0)) }()
 	// Capture on the apply goroutine (cheap: a network clone), then run
 	// the speculative verification here, off the write path.
-	res, err := s.do(ctx, func() (any, error) {
-		return whatIfCapture{net: s.v.Network(), policy: s.policyText(), opts: s.v.Options(), seq: s.seq}, nil
+	res, err := t.do(ctx, func() (any, error) {
+		return whatIfCapture{net: t.eng.Network(), policy: t.policyText(), opts: t.eng.Options(), seq: t.seq}, nil
 	})
 	if err != nil {
 		writeError(w, r, err)
@@ -688,7 +676,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, err)
 		return
 	}
-	s.m.whatifs.Inc()
+	t.m.whatifs.Inc()
 	verdicts := fork.Verdicts()
 	names := make([]string, 0, len(verdicts))
 	for name := range verdicts {
@@ -718,14 +706,15 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, "nothing to add or remove")
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	t := s.tenantFrom(r)
+	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
-	res, err := s.do(ctx, func() (any, error) {
+	res, err := t.do(ctx, func() (any, error) {
 		// Validate the whole batch before mutating anything, so a bad
 		// request leaves state (and the journal) untouched.
 		removed := make(map[string]bool, len(req.Remove))
 		for _, name := range req.Remove {
-			if s.findPolicy(name) < 0 {
+			if t.findPolicy(name) < 0 {
 				return nil, fmt.Errorf("no policy %q", name)
 			}
 			removed[name] = true
@@ -737,7 +726,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		adds := make([]add, 0, len(req.Add))
 		for _, line := range req.Add {
 			line = strings.TrimSpace(line)
-			ps, err := core.ParsePolicies(line, s.v.Model().H)
+			ps, err := t.eng.ParsePolicyText(line)
 			if err != nil {
 				return nil, err
 			}
@@ -745,7 +734,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 				return nil, fmt.Errorf("add entry must be exactly one policy line, got %d", len(ps))
 			}
 			name := ps[0].Name()
-			if s.findPolicy(name) >= 0 && !removed[name] {
+			if t.findPolicy(name) >= 0 && !removed[name] {
 				return nil, fmt.Errorf("duplicate policy %q", name)
 			}
 			for _, a := range adds {
@@ -756,28 +745,28 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 			adds = append(adds, add{p: ps[0], line: line})
 		}
 		for _, name := range req.Remove {
-			s.v.RemovePolicy(name)
-			i := s.findPolicy(name)
-			s.policies = append(s.policies[:i], s.policies[i+1:]...)
-			if s.journal != nil {
-				if err := s.journal.append(Entry{Op: opPolicyRemove, Name: name}); err != nil {
+			t.eng.RemovePolicy(name)
+			i := t.findPolicy(name)
+			t.policies = append(t.policies[:i], t.policies[i+1:]...)
+			if t.journal != nil {
+				if err := t.journal.append(Entry{Op: opPolicyRemove, Name: name}); err != nil {
 					return nil, fmt.Errorf("applied but not journaled: %w", err)
 				}
 			}
-			s.seq++
+			t.seq++
 		}
 		for _, a := range adds {
-			s.v.AddPolicy(a.p)
-			s.policies = append(s.policies, policyEntry{name: a.p.Name(), line: a.line})
-			if s.journal != nil {
-				if err := s.journal.append(Entry{Op: opPolicyAdd, Line: a.line}); err != nil {
+			t.eng.AddPolicy(a.p)
+			t.policies = append(t.policies, policyEntry{name: a.p.Name(), line: a.line})
+			if t.journal != nil {
+				if err := t.journal.append(Entry{Op: opPolicyAdd, Line: a.line}); err != nil {
 					return nil, fmt.Errorf("applied but not journaled: %w", err)
 				}
 			}
-			s.seq++
+			t.seq++
 		}
-		s.publish(nil)
-		snap := s.Snapshot()
+		t.publish(nil)
+		snap := t.Snapshot()
 		return applyResponse{Seq: snap.Seq, Verdicts: snap.Verdicts}, nil
 	})
 	if err != nil {
@@ -827,13 +816,14 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, err.Error())
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.applyTimeout)
+	t := s.tenantFrom(r)
+	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
-	res, err := s.do(ctx, func() (any, error) {
-		if net := s.v.Network(); net == nil || net.Devices[src] == nil {
+	res, err := t.do(ctx, func() (any, error) {
+		if net := t.eng.Network(); net == nil || net.Devices[src] == nil {
 			return nil, fmt.Errorf("no device %q", src)
 		}
-		return s.v.Trace(src, pkt), nil
+		return t.eng.Trace(src, pkt), nil
 	})
 	if err != nil {
 		writeError(w, r, err)
@@ -859,7 +849,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 // handleApplies serves the provenance-trace ring index: one summary row
 // per retained apply, newest first.
 func (s *Server) handleApplies(w http.ResponseWriter, r *http.Request) {
-	rec := s.v.Recorder()
+	rec := s.tenantFrom(r).eng.Recorder()
 	if rec == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{
 			Error: "provenance tracing disabled (core.Options.TraceApplies = 0)",
@@ -878,7 +868,7 @@ func (s *Server) handleApplies(w http.ResponseWriter, r *http.Request) {
 // {id} is a numeric apply id or "latest"; ?format=chrome exports the
 // Chrome trace-event JSON form (loadable in Perfetto / chrome://tracing).
 func (s *Server) handleApplyTrace(w http.ResponseWriter, r *http.Request) {
-	rec := s.v.Recorder()
+	rec := s.tenantFrom(r).eng.Recorder()
 	if rec == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{
 			Error: "provenance tracing disabled (core.Options.TraceApplies = 0)",

@@ -286,7 +286,7 @@ func TestQueueBackpressure(t *testing.T) {
 	// Occupy the worker with a job that blocks until released.
 	release := make(chan struct{})
 	running := make(chan struct{})
-	go srv.do(context.Background(), func() (any, error) {
+	go srv.def.do(context.Background(), func() (any, error) {
 		close(running)
 		<-release
 		return nil, nil
@@ -296,11 +296,11 @@ func TestQueueBackpressure(t *testing.T) {
 	// then returns on the dead context while the entry keeps its slot.
 	cctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := srv.do(cctx, func() (any, error) { return nil, nil }); err != context.Canceled {
+	if _, err := srv.def.do(cctx, func() (any, error) { return nil, nil }); err != context.Canceled {
 		t.Fatalf("pre-cancelled job: err = %v", err)
 	}
 	// The next submission must fail fast instead of queueing.
-	if _, err := srv.do(context.Background(), func() (any, error) { return nil, nil }); err != errQueueFull {
+	if _, err := srv.def.do(context.Background(), func() (any, error) { return nil, nil }); err != errQueueFull {
 		t.Fatalf("overflow submission: err = %v, want errQueueFull", err)
 	}
 	close(release)

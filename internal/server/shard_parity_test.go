@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"realconfig/internal/core"
+)
+
+func newShardedServer(t *testing.T, shards int) (*Server, *httptest.Server) {
+	t.Helper()
+	net, policyText := campusConfig(t)
+	srv, err := New(Config{
+		Net:        net,
+		PolicyText: policyText,
+		Options:    core.Options{DetectOscillation: true},
+		Shards:     shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// TestShardedServerParity drives the same write sequence through a
+// pre-sharding baseline (Shards unset), an explicit -shards 1 daemon
+// and a -shards 4 daemon:
+//
+//   - Shards <= 1 must be byte-identical to the baseline — same verdict
+//     bodies, same canonical reports, same pipeline counter values — because
+//     it is the same monolithic engine behind the same serving layer.
+//   - Shards = 4 must agree on everything observable about correctness:
+//     verdicts, violations, repairs and rule deltas. (State-size gauges
+//     like affectedECs legitimately differ: shards hold overlapping
+//     slices of the packet space.)
+func TestShardedServerParity(t *testing.T) {
+	srv0, ts0 := newShardedServer(t, 0)
+	srv1, ts1 := newShardedServer(t, 1)
+	_, ts4 := newShardedServer(t, 4)
+
+	writes := []string{
+		`{"changes":[{"kind":"shutdown_interface","device":"border","intf":"eth1","shutdown":true}]}`,
+		`{"changes":[{"kind":"shutdown_interface","device":"border","intf":"eth1","shutdown":false}]}`,
+		`{"changes":[{"kind":"add_static_route","Device":"core1","Route":{"Prefix":"10.10.2.0/24","NextHop":"0.0.0.0","Drop":true}}]}`,
+		`{"changes":[{"kind":"shutdown_interface","device":"core1","intf":"eth2","shutdown":true}]}`,
+		`{"changes":[
+			{"kind":"remove_static_route","Device":"core1","Route":{"Prefix":"10.10.2.0/24","NextHop":"0.0.0.0","Drop":true}},
+			{"kind":"shutdown_interface","device":"core1","intf":"eth2","shutdown":false}]}`,
+	}
+	type reportBody struct {
+		Seq        uint64   `json:"seq"`
+		Violations []string `json:"violations"`
+		Report     struct {
+			LinesChanged  int      `json:"linesChanged"`
+			RulesInserted int      `json:"rulesInserted"`
+			RulesDeleted  int      `json:"rulesDeleted"`
+			FilterChanges int      `json:"filterChanges"`
+			Violated      []string `json:"violated"`
+			Repaired      []string `json:"repaired"`
+		} `json:"report"`
+	}
+	for i, w := range writes {
+		for name, ts := range map[string]*httptest.Server{"baseline": ts0, "shards1": ts1, "shards4": ts4} {
+			if status, body := post(t, ts, "/v1/changes", w); status != http.StatusOK {
+				t.Fatalf("write %d on %s: status %d: %s", i, name, status, body)
+			}
+		}
+		_, v0 := get(t, ts0, "/v1/verdicts")
+		_, v1 := get(t, ts1, "/v1/verdicts")
+		_, v4 := get(t, ts4, "/v1/verdicts")
+		if !bytes.Equal(v0, v1) {
+			t.Errorf("write %d: shards-1 verdicts diverged from baseline:\n %s\n %s", i, v0, v1)
+		}
+		if !bytes.Equal(v0, v4) {
+			t.Errorf("write %d: shards-4 verdicts diverged from baseline:\n %s\n %s", i, v0, v4)
+		}
+
+		_, r0 := get(t, ts0, "/v1/report")
+		_, r1 := get(t, ts1, "/v1/report")
+		_, r4 := get(t, ts4, "/v1/report")
+		if a, b := canonicalReport(t, r0), canonicalReport(t, r1); !bytes.Equal(a, b) {
+			t.Errorf("write %d: shards-1 report diverged from baseline:\n %s\n %s", i, a, b)
+		}
+		var b0, b4 reportBody
+		if err := json.Unmarshal(r0, &b0); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(r4, &b4); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := b4, b0; got.Seq != want.Seq ||
+			!eqStrings(got.Violations, want.Violations) ||
+			!eqStrings(got.Report.Violated, want.Report.Violated) ||
+			!eqStrings(got.Report.Repaired, want.Report.Repaired) ||
+			got.Report.LinesChanged != want.Report.LinesChanged ||
+			got.Report.RulesInserted != want.Report.RulesInserted ||
+			got.Report.RulesDeleted != want.Report.RulesDeleted ||
+			got.Report.FilterChanges != want.Report.FilterChanges {
+			t.Errorf("write %d: shards-4 report disagrees with baseline:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+
+	// Byte identity extends to the instrumented pipeline: the shards-1
+	// daemon must register the same deterministic counter series with the
+	// same values as the baseline.
+	c0, c1 := pipelineCounters(srv0), pipelineCounters(srv1)
+	if len(c0) != len(c1) {
+		t.Errorf("shards-1 registered %d pipeline series, baseline %d", len(c1), len(c0))
+	}
+	for name, v := range c0 {
+		if got, ok := c1[name]; !ok || got != v {
+			t.Errorf("pipeline series %s: baseline %v, shards-1 %v (present=%v)", name, v, got, ok)
+		}
+	}
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -86,10 +86,10 @@ type Snapshot struct {
 	LastReport *ReportJSON `json:"lastReport"`
 }
 
-// buildSnapshot captures the verifier's current state. Must run on the
-// apply goroutine (it reads live verifier state).
-func buildSnapshot(v *core.Verifier, seq uint64, rep *ReportJSON) *Snapshot {
-	verdicts := v.Verdicts()
+// buildSnapshot captures the engine's current state. Must run on the
+// owning tenant's apply goroutine (it reads live engine state).
+func buildSnapshot(eng Engine, seq uint64, rep *ReportJSON) *Snapshot {
+	verdicts := eng.Verdicts()
 	names := make([]string, 0, len(verdicts))
 	for name := range verdicts {
 		names = append(names, name)
@@ -98,19 +98,15 @@ func buildSnapshot(v *core.Verifier, seq uint64, rep *ReportJSON) *Snapshot {
 	s := &Snapshot{
 		Seq:        seq,
 		Policies:   len(verdicts),
-		ECs:        v.Model().NumECs(),
-		Pairs:      v.Checker().NumPairs(),
+		ECs:        eng.NumECs(),
+		Pairs:      eng.NumPairs(),
+		FIBRules:   eng.NumFIBRules(),
 		Verdicts:   make([]Verdict, 0, len(names)),
 		Violations: []string{},
 		LastReport: rep,
 	}
-	if net := v.Network(); net != nil {
+	if net := eng.Network(); net != nil {
 		s.Devices = len(net.Devices)
-	}
-	for _, d := range v.FIB() {
-		if d > 0 {
-			s.FIBRules++
-		}
 	}
 	for _, name := range names {
 		sat := verdicts[name]

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
+	"realconfig/internal/plan"
+)
+
+// DefaultTenant is the tenant behind the unprefixed /v1/... routes.
+// A daemon with no Tenants configured is exactly the old single-tenant
+// rcserved: one verifier, one journal, unlabeled metrics.
+const DefaultTenant = "default"
+
+// TenantConfig declares one named tenant: an independent network with
+// its own verifier, policies, journal and sequence numbers, served
+// under /v1/tenants/{id}/....
+type TenantConfig struct {
+	// ID names the tenant in URLs and metric labels (see ValidTenantID).
+	ID string
+	// Net is the tenant's base network snapshot (required).
+	Net *netcfg.Network
+	// PolicyText is the tenant's initial policy specification ("" = none).
+	PolicyText string
+	// JournalPath enables the tenant's append-only journal ("" = none).
+	// Tenants must not share a journal file.
+	JournalPath string
+	// Shards splits the tenant's verifier across destination-space
+	// shards (<= 1 = monolithic).
+	Shards int
+}
+
+// Tenant is one isolated verification domain inside the daemon: its own
+// engine, policy set, journal, sequence counter, apply goroutine and
+// published snapshot. Tenants share nothing but the process, the HTTP
+// listener and the metrics registry (where each writes under its own
+// tenant label), so writes to one can never block or corrupt another.
+type Tenant struct {
+	// ID is the tenant's name ("default" for the unprefixed routes).
+	ID string
+
+	applyTimeout time.Duration
+
+	jobs chan *job
+	quit chan struct{}
+	done chan struct{}
+
+	snap atomic.Pointer[Snapshot]
+	log  *slog.Logger
+
+	m     serverMetrics
+	planM *plan.Metrics
+
+	// State below is owned by the tenant's apply goroutine after
+	// newTenant returns.
+	eng      Engine
+	policies []policyEntry
+	seq      uint64
+	journal  *journal
+}
+
+// newTenant builds a tenant: engine, instruments (on reg, which carries
+// the tenant's label base), base load, initial policies, journal replay,
+// first snapshot, apply goroutine.
+func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant, error) {
+	if tc.Net == nil {
+		return nil, fmt.Errorf("server: tenant %q: Net is required", tc.ID)
+	}
+	t := &Tenant{
+		ID:           tc.ID,
+		applyTimeout: opts.applyTimeout,
+		jobs:         make(chan *job, opts.queueDepth),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		log:          opts.log.With("tenant", tc.ID),
+	}
+	t.eng = newEngine(opts.verifier, tc.Shards)
+	t.instrument(reg) // before Load, so the initial full verification is measured too
+	rep, err := t.eng.Load(tc.Net)
+	if err != nil {
+		return nil, fmt.Errorf("server: tenant %q: loading base network: %w", tc.ID, err)
+	}
+	lastReport := reportJSON(rep)
+	if err := t.addPolicyText(tc.PolicyText); err != nil {
+		return nil, err
+	}
+	if tc.JournalPath != "" {
+		j, entries, err := openJournal(tc.JournalPath, opts.journalSegBytes)
+		if err != nil {
+			return nil, err
+		}
+		j.appends = t.m.journalAppends
+		j.appendSeconds = t.m.journalAppendSeconds
+		j.fsyncSeconds = t.m.journalFsyncSeconds
+		j.rotations = t.m.journalRotations
+		t.journal = j
+		t0 := time.Now()
+		for i, e := range entries {
+			rep, err := t.applyEntry(e)
+			if err != nil {
+				j.close()
+				return nil, fmt.Errorf("server: tenant %q: replaying journal entry %d (%s): %w", tc.ID, i+1, e.Op, err)
+			}
+			t.seq++
+			t.m.journalReplayed.Inc()
+			if rep != nil {
+				lastReport = rep
+			}
+			if (i+1)%1000 == 0 {
+				t.log.Info("journal replay progress",
+					"entries", i+1, "total", len(entries),
+					"elapsed_ms", time.Since(t0).Milliseconds())
+			}
+		}
+		if len(entries) > 0 {
+			t.log.Info("journal replayed",
+				"path", tc.JournalPath, "entries", len(entries),
+				"seq", t.seq, "elapsed_ms", time.Since(t0).Milliseconds())
+		}
+	}
+	t.snap.Store(buildSnapshot(t.eng, t.seq, lastReport))
+	t.m.snapshotPublishes.Inc()
+	go t.applyLoop()
+	return t, nil
+}
+
+// instrument wires the tenant's instruments on reg: the engine
+// registers every pipeline stage, then the serving-layer metrics.
+func (t *Tenant) instrument(reg *obs.Registry) {
+	t.eng.Instrument(reg)
+	t.planM = plan.NewMetrics(reg)
+	t.m = serverMetrics{
+		applySeconds:      reg.Histogram("realconfig_server_apply_seconds", "POST /v1/changes latency (queueing, verification, journaling).", nil, nil),
+		whatifSeconds:     reg.Histogram("realconfig_server_whatif_seconds", "POST /v1/whatif latency (capture plus speculative verification).", nil, nil),
+		planSeconds:       reg.Histogram("realconfig_server_plan_seconds", "POST /v1/plan latency (capture, bootstrap, search, journaling).", nil, nil),
+		applies:           reg.Counter("realconfig_server_applies_total", "Successfully applied change batches.", nil),
+		applyErrors:       reg.Counter("realconfig_server_apply_errors_total", "Failed or rejected change batches.", nil),
+		whatifs:           reg.Counter("realconfig_server_whatifs_total", "Completed what-if verifications.", nil),
+		planErrors:        reg.Counter("realconfig_server_plan_errors_total", "Failed or rejected plan requests.", nil),
+		journalReplayed:   reg.Counter("realconfig_server_journal_replayed_total", "Journal entries replayed at startup.", nil),
+		snapshotPublishes: reg.Counter("realconfig_server_snapshot_publishes_total", "Immutable snapshots published for lock-free readers.", nil),
+		journalAppends:    reg.Counter("realconfig_server_journal_appends_total", "Entries durably appended to the change journal.", nil),
+		journalAppendSeconds: reg.Histogram("realconfig_server_journal_append_seconds",
+			"Durable journal append latency (marshal, write, flush, fsync).", nil, nil),
+		journalFsyncSeconds: reg.Histogram("realconfig_server_journal_fsync_seconds",
+			"Journal fsync latency alone.", nil, nil),
+		journalRotations: reg.Counter("realconfig_server_journal_rotations_total", "Journal segments sealed by size-based rotation.", nil),
+	}
+	reg.GaugeFunc("realconfig_server_queue_depth", "Jobs waiting in the apply queue.", nil,
+		func() float64 { return float64(len(t.jobs)) })
+	reg.GaugeFunc("realconfig_server_queue_capacity", "Apply queue capacity.", nil,
+		func() float64 { return float64(cap(t.jobs)) })
+}
+
+// addPolicyText parses and registers a multi-line policy specification,
+// recording each policy's source line for forks and removals.
+func (t *Tenant) addPolicyText(text string) error {
+	ps, err := t.eng.ParsePolicyText(text)
+	if err != nil {
+		return err
+	}
+	lines := policyLines(text)
+	if len(lines) != len(ps) {
+		return fmt.Errorf("server: policy text has %d lines but parsed %d policies", len(lines), len(ps))
+	}
+	for i, p := range ps {
+		if t.findPolicy(p.Name()) >= 0 {
+			return fmt.Errorf("server: duplicate policy %q", p.Name())
+		}
+		t.eng.AddPolicy(p)
+		t.policies = append(t.policies, policyEntry{name: p.Name(), line: lines[i]})
+	}
+	return nil
+}
+
+func (t *Tenant) findPolicy(name string) int {
+	for i, e := range t.policies {
+		if e.name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// policyText renders the active policies back into a specification text
+// (the fork/replay input).
+func (t *Tenant) policyText() string {
+	var b strings.Builder
+	for _, e := range t.policies {
+		b.WriteString(e.line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// applyEntry executes one journaled write against the live engine.
+// Runs during replay (before the apply goroutine starts) and never
+// journals, so replay is idempotent with respect to the file.
+func (t *Tenant) applyEntry(e Entry) (*ReportJSON, error) {
+	switch e.Op {
+	case opChanges:
+		changes, err := netcfg.DecodeChanges(e.Changes)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := t.eng.Apply(changes...)
+		if err != nil {
+			return nil, err
+		}
+		return reportJSON(rep), nil
+	case opPolicyAdd:
+		return nil, t.addPolicyText(e.Line)
+	case opPolicyRemove:
+		i := t.findPolicy(e.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("no policy %q", e.Name)
+		}
+		t.eng.RemovePolicy(e.Name)
+		t.policies = append(t.policies[:i], t.policies[i+1:]...)
+		return nil, nil
+	case opPlan:
+		return nil, nil // audit record; planning changes no state
+	}
+	return nil, fmt.Errorf("unknown journal op %q", e.Op)
+}
+
+// applyLoop is the tenant's single writer: it drains the job queue one
+// job at a time until close.
+func (t *Tenant) applyLoop() {
+	defer close(t.done)
+	for {
+		select {
+		case <-t.quit:
+			return
+		case j := <-t.jobs:
+			if j.ctx.Err() != nil {
+				j.done <- jobResult{err: j.ctx.Err()}
+				continue // requester gave up while queued; skip the work
+			}
+			v, err := j.run()
+			j.done <- jobResult{v: v, err: err}
+		}
+	}
+}
+
+// do submits fn to the tenant's apply goroutine and waits for its
+// result, the request deadline, or shutdown. A full queue fails fast
+// with errQueueFull rather than blocking.
+func (t *Tenant) do(ctx context.Context, fn func() (any, error)) (any, error) {
+	j := &job{ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	select {
+	case t.jobs <- j:
+	default:
+		return nil, errQueueFull
+	}
+	select {
+	case r := <-j.done:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.quit:
+		return nil, errShutdown
+	}
+}
+
+// publish rebuilds and atomically installs the snapshot. Runs on the
+// tenant's apply goroutine.
+func (t *Tenant) publish(rep *ReportJSON) {
+	if rep == nil {
+		rep = t.snap.Load().LastReport
+	}
+	t.snap.Store(buildSnapshot(t.eng, t.seq, rep))
+	t.m.snapshotPublishes.Inc()
+}
+
+// Snapshot returns the tenant's current published snapshot (never nil).
+func (t *Tenant) Snapshot() *Snapshot { return t.snap.Load() }
+
+// Engine returns the tenant's verification backend.
+func (t *Tenant) Engine() Engine { return t.eng }
+
+// close stops the apply goroutine and closes the journal.
+func (t *Tenant) close() error {
+	close(t.quit)
+	<-t.done
+	if t.journal != nil {
+		return t.journal.close()
+	}
+	return nil
+}
+
+// ---- Tenant routing ----
+
+// ValidTenantID reports whether id can name a tenant: 1-64 characters
+// from [a-z0-9._-], starting and ending with a letter or digit. The
+// grammar keeps ids safe in URLs, file names and metric label values
+// without escaping.
+func ValidTenantID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	alnum := func(c byte) bool {
+		return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+	}
+	if !alnum(id[0]) || !alnum(id[len(id)-1]) {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if !alnum(c) && c != '.' && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitTenantPath splits a tenant-prefixed request path into the tenant
+// id and the equivalent unprefixed path:
+//
+//	/v1/tenants/acme/changes -> ("acme", "/v1/changes", true)
+//	/v1/tenants/acme         -> ("acme", "", true)  (tenant detail)
+//	/v1/changes              -> ("", "", false)     (not tenant-prefixed)
+//
+// ok is false for paths outside /v1/tenants/ and for malformed tenant
+// ids, so the caller can distinguish "route normally" from "reject".
+func SplitTenantPath(path string) (id, rest string, ok bool) {
+	const prefix = "/v1/tenants/"
+	tail, found := strings.CutPrefix(path, prefix)
+	if !found {
+		return "", "", false
+	}
+	if i := strings.IndexByte(tail, '/'); i >= 0 {
+		id, rest = tail[:i], "/v1"+tail[i:]
+	} else {
+		id = tail
+	}
+	if !ValidTenantID(id) {
+		return "", "", false
+	}
+	return id, rest, true
+}

@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/bdd"
+	"realconfig/internal/core"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
+	"realconfig/internal/policy"
+	"realconfig/internal/routing"
+	"realconfig/internal/trace"
+)
+
+// Coordinator is a sharded drop-in for core.Verifier: the same
+// Load/Apply/report surface, with the model-update and policy-check
+// stages fanned out across a Set of destination-space shards. The
+// control plane cannot shard — routing protocols couple every device —
+// so stage 1 (data plane generation) runs once here, and only its
+// output (FIB and filter deltas) is routed to the units.
+type Coordinator struct {
+	opts core.Options
+	gen  *routing.Generator
+	set  *Set
+	// h is the master BDD table policies are parsed into; AddPolicy
+	// rebinds them into each unit's table.
+	h   *bdd.Headers
+	cur *netcfg.Network
+
+	rec       *trace.Recorder
+	nextReqID string
+	nextSeq   uint64
+
+	m coordMetrics
+}
+
+// coordMetrics mirrors the monolithic verifier's instruments so a
+// sharded engine's series read identically (same names, same stages).
+type coordMetrics struct {
+	stages        map[string]*obs.Histogram
+	verifications *obs.Counter
+	rulesInserted *obs.Counter
+	rulesDeleted  *obs.Counter
+	filterChanges *obs.Counter
+}
+
+// New creates a coordinator with `shards` units. shards < 1 is treated
+// as 1; callers wanting the byte-identical single-engine path should use
+// core.New directly (the server does this for -shards 1).
+func New(opts core.Options, shards int) *Coordinator {
+	var rec *trace.Recorder
+	if opts.TraceApplies > 0 {
+		rec = trace.NewRecorder(opts.TraceApplies)
+	}
+	return &Coordinator{
+		opts: opts,
+		gen: routing.New(routing.Options{
+			MaxIter:           opts.MaxIter,
+			DetectOscillation: opts.DetectOscillation,
+		}),
+		set: NewSet(shards, opts.Parallel),
+		h:   bdd.NewHeaders(),
+		rec: rec,
+	}
+}
+
+// Shards returns the unit count.
+func (c *Coordinator) Shards() int { return c.set.Partition().N() }
+
+// Load performs the initial full verification of a network snapshot.
+func (c *Coordinator) Load(net *netcfg.Network) (*core.Report, error) { return c.setNetwork(net) }
+
+// Apply applies typed configuration changes and re-verifies.
+func (c *Coordinator) Apply(changes ...netcfg.Change) (*core.Report, error) {
+	if c.cur == nil {
+		return nil, core.ErrNotLoaded
+	}
+	next := c.cur.Clone()
+	for _, ch := range changes {
+		if err := ch.Apply(next); err != nil {
+			return nil, err
+		}
+	}
+	return c.setNetwork(next)
+}
+
+// setNetwork mirrors core.Verifier.SetNetwork with stages 2 and 3
+// fanned out. Provenance traces record the pipeline stage spans (the
+// per-component event streams stay off: units run concurrently and the
+// trace buffer is single-writer).
+func (c *Coordinator) setNetwork(net *netcfg.Network) (*core.Report, error) {
+	start := time.Now()
+	label := "apply"
+	if c.cur == nil {
+		label = "load"
+	}
+	tr := c.rec.Begin(label)
+	if tr != nil {
+		tr.SetReqID(c.nextReqID)
+	}
+	rep := &core.Report{}
+	if c.cur != nil {
+		rep.Diff = netcfg.DiffNetworks(c.cur, net)
+	} else {
+		rep.Diff = &netcfg.NetworkDiff{Devices: map[string][]netcfg.LineChange{}}
+	}
+
+	// Stage 1: incremental data plane generation, once for all shards.
+	t0 := time.Now()
+	s0 := tr.Now()
+	c.gen.SetNetwork(net)
+	stats, err := c.gen.Step()
+	if err != nil {
+		return nil, err
+	}
+	ruleChanges := c.gen.FIBChanges()
+	filterChanges := c.gen.FilterChanges()
+	rep.Engine = stats
+	rep.Timing.Generate = time.Since(t0)
+	for _, e := range ruleChanges {
+		if e.Diff > 0 {
+			rep.RulesInserted += int(e.Diff)
+		} else {
+			rep.RulesDeleted += int(-e.Diff)
+		}
+	}
+	rep.FilterChanges = len(filterChanges)
+	if tr != nil {
+		tr.Span(obs.TrackPipeline, obs.StageGenerate, s0,
+			trace.I("rules_inserted", int64(rep.RulesInserted)),
+			trace.I("rules_deleted", int64(rep.RulesDeleted)),
+			trace.I("filter_changes", int64(rep.FilterChanges)))
+	}
+
+	// Stages 2+3: fan out to the units. Reported stage timings are the
+	// slowest unit's (the parallel critical path).
+	s0 = tr.Now()
+	batch, check, modelDur, checkDur, err := c.set.Apply(
+		ruleChanges, filterChanges, c.opts.Order, net.DeviceNames(), dataplane.Adjacencies(net))
+	if err != nil {
+		if errors.Is(err, apkeep.ErrAbsentRule) {
+			return nil, fmt.Errorf("shard: data plane model out of sync with generator: %w", err)
+		}
+		return nil, err
+	}
+	rep.Model, rep.Check = batch, check
+	rep.Timing.ModelUpdate = modelDur
+	rep.Timing.PolicyCheck = checkDur
+	if tr != nil {
+		tr.Span(obs.TrackPipeline, obs.StageModelUpdate, s0,
+			trace.I("transfers", int64(len(batch.Transfers))),
+			trace.I("shards", int64(len(c.set.units))))
+		tr.Span(obs.TrackPipeline, obs.StagePolicyCheck, s0,
+			trace.I("affected_ecs", int64(check.AffectedECs)),
+			trace.I("policies_checked", int64(check.PoliciesChecked)),
+			trace.I("events", int64(len(check.Events))))
+	}
+
+	c.cur = net.Clone()
+	rep.Timing.Total = time.Since(start)
+	for _, st := range rep.Timing.Stages() {
+		c.m.stages[st.Stage].ObserveDuration(st.D)
+	}
+	c.m.verifications.Inc()
+	c.m.rulesInserted.Add(uint64(rep.RulesInserted))
+	c.m.rulesDeleted.Add(uint64(rep.RulesDeleted))
+	c.m.filterChanges.Add(uint64(rep.FilterChanges))
+	if tr != nil {
+		rep.TraceID = tr.ID
+		tr.Finish(c.nextSeq)
+		c.nextReqID, c.nextSeq = "", 0
+	}
+	return rep, nil
+}
+
+// Instrument registers the pipeline metrics on reg under the same names
+// as a monolithic verifier, plus per-unit model and checker series
+// labeled shard="i" and a shard-count gauge.
+func (c *Coordinator) Instrument(reg *obs.Registry) {
+	stages := make(map[string]*obs.Histogram, 4)
+	for _, stage := range obs.Stages() {
+		stages[stage] = reg.Histogram("realconfig_stage_seconds",
+			"Wall-clock time per verification stage.", nil, obs.Labels{"stage": stage})
+	}
+	c.m = coordMetrics{
+		stages:        stages,
+		verifications: reg.Counter("realconfig_verifications_total", "Verifications performed (initial loads and incremental applies).", nil),
+		rulesInserted: reg.Counter("realconfig_rules_inserted_total", "FIB rule insertions across all verifications.", nil),
+		rulesDeleted:  reg.Counter("realconfig_rules_deleted_total", "FIB rule deletions across all verifications.", nil),
+		filterChanges: reg.Counter("realconfig_filter_changes_total", "Packet-filter rule changes across all verifications.", nil),
+	}
+	reg.Gauge("realconfig_shard_count", "Configured verifier shards.", nil).Set(int64(c.Shards()))
+	c.gen.Instrument(reg)
+	for _, u := range c.set.units {
+		view := reg.WithLabels(obs.Labels{"shard": strconv.Itoa(u.Index)})
+		u.Model.Instrument(view)
+		u.Checker.Instrument(view)
+	}
+}
+
+// SetTraceContext stamps the serving-layer request id and sequence onto
+// the next verification's trace.
+func (c *Coordinator) SetTraceContext(reqID string, seq uint64) {
+	c.nextReqID, c.nextSeq = reqID, seq
+}
+
+// Recorder exposes the provenance-trace ring (nil when tracing is off).
+func (c *Coordinator) Recorder() *trace.Recorder { return c.rec }
+
+// Network returns a copy of the currently verified snapshot.
+func (c *Coordinator) Network() *netcfg.Network {
+	if c.cur == nil {
+		return nil
+	}
+	return c.cur.Clone()
+}
+
+// Options returns the coordinator's options.
+func (c *Coordinator) Options() core.Options { return c.opts }
+
+// ParsePolicyText parses a policy specification against the master
+// table; the result can be passed to AddPolicy.
+func (c *Coordinator) ParsePolicyText(text string) ([]policy.Policy, error) {
+	return core.ParsePolicies(text, c.h)
+}
+
+// AddPolicy registers a policy (parsed by ParsePolicyText) across the
+// shards and returns the joined initial verdict.
+func (c *Coordinator) AddPolicy(p policy.Policy) bool { return c.set.AddPolicy(c.h, p) }
+
+// RemovePolicy unregisters a policy from every shard.
+func (c *Coordinator) RemovePolicy(name string) { c.set.RemovePolicy(name) }
+
+// Verdicts returns the joined verdict of every registered policy.
+func (c *Coordinator) Verdicts() map[string]bool { return c.set.Verdicts() }
+
+// NumECs sums the shards' equivalence-class counts (held state; shards
+// overlap outside their owned spaces, so this exceeds a monolithic
+// verifier's count).
+func (c *Coordinator) NumECs() int { return c.set.NumECs() }
+
+// NumPairs sums the shards' maintained pair counts.
+func (c *Coordinator) NumPairs() int { return c.set.NumPairs() }
+
+// NumFIBRules returns the number of live forwarding rules (counted on
+// the shared generator, so it matches the monolithic verifier exactly).
+func (c *Coordinator) NumFIBRules() int {
+	n := 0
+	for _, d := range c.gen.FIB() {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Trace follows a concrete packet through the shard owning its
+// destination. Forwarding there is exactly the global forwarding for
+// the packet, and the hop rules come from the shared generator's FIB.
+func (c *Coordinator) Trace(src string, pkt bdd.Packet) core.Trace {
+	u := c.set.units[c.set.Partition().ShardOf(pkt.Dst)]
+	return core.TracePacket(u.Model, u.Checker, c.gen.FIB(), src, pkt)
+}

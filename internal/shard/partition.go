@@ -1,0 +1,65 @@
+// Package shard partitions the incremental verifier across N workers by
+// destination address. Delta-net's observation (PAPERS.md) is that the
+// equivalence-class state of a data plane decomposes into disjoint
+// destination partitions; Plankton's is that partitioning the
+// verification state space is the path to parallel checking. This
+// package applies both to RealConfig's pipeline: the control plane is
+// still solved once (routing protocols couple the whole network), but
+// the model update and the policy recheck — the per-apply cost — fan
+// out to shards that each own a slice of the destination space, its
+// equivalence classes, and the policy registrations that can observe it.
+package shard
+
+import (
+	"realconfig/internal/bdd"
+	"realconfig/internal/netcfg"
+)
+
+// BlockBits is the partition granularity: the destination space is cut
+// into /24 blocks, and block b belongs to shard b mod N. Interleaving
+// adjacent blocks round-robin spreads the dense contiguous subnet
+// numbering real configs use (10.0.0.0/24, 10.0.1.0/24, ...) evenly
+// across shards; a rule or policy at least /24 long therefore lands on
+// exactly one shard, while coarser prefixes (aggregates, defaults)
+// broadcast to all.
+const BlockBits = 24
+
+// Partition maps destination blocks to shards.
+type Partition struct {
+	n int
+}
+
+// NewPartition creates an n-way partition (n < 1 is treated as 1).
+func NewPartition(n int) Partition {
+	if n < 1 {
+		n = 1
+	}
+	return Partition{n: n}
+}
+
+// N returns the shard count.
+func (p Partition) N() int { return p.n }
+
+// ShardOf returns the shard owning a destination address.
+func (p Partition) ShardOf(addr netcfg.Addr) int {
+	return int((uint32(addr) >> (32 - BlockBits)) % uint32(p.n))
+}
+
+// Broadcast reports whether a prefix is too coarse for one shard: it
+// spans multiple blocks and must be routed to every shard.
+func (p Partition) Broadcast(pfx netcfg.Prefix) bool {
+	return p.n > 1 && int(pfx.Len) < BlockBits
+}
+
+// ShardFor returns the single shard owning a non-broadcast prefix.
+func (p Partition) ShardFor(pfx netcfg.Prefix) int { return p.ShardOf(pfx.Addr) }
+
+// SpaceOn interns shard i's slice of the destination space into a BDD
+// table: the union of its owned blocks. With one shard this is the full
+// space.
+func (p Partition) SpaceOn(h *bdd.Headers, i int) bdd.Node {
+	if p.n == 1 {
+		return bdd.True
+	}
+	return h.DstBlockMod(BlockBits, p.n, i)
+}

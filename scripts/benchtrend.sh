@@ -1,0 +1,92 @@
+#!/bin/sh
+# benchtrend.sh — guard the perf trajectory recorded in BENCH_*.json.
+#
+#   scripts/benchtrend.sh          compare the two newest snapshots
+#
+# The two highest-numbered BENCH_%04d.json snapshots are compared on
+# every table they share under the same configuration (same k for the
+# topology tables, same planner/shard parameters). Each shared table is
+# reduced to one aggregate wall time; the gate fails if any aggregate
+# regressed by more than 20%. Tables present in only one snapshot, or
+# measured under different configurations, are skipped — adding a new
+# experiment never breaks the trend, only slowing an existing one does.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+snaps=$(ls BENCH_[0-9][0-9][0-9][0-9].json 2>/dev/null | sort | tail -2)
+count=$(printf '%s\n' "$snaps" | grep -c . || true)
+if [ "$count" -lt 2 ]; then
+	echo "benchtrend: fewer than two BENCH_*.json snapshots; nothing to compare"
+	exit 0
+fi
+old=$(printf '%s\n' "$snaps" | head -1)
+new=$(printf '%s\n' "$snaps" | tail -1)
+
+python3 - "$old" "$new" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 1.20  # fail past 20% regression
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+old = json.load(open(old_path))
+new = json.load(open(new_path))
+
+
+def aggregate(rep, table):
+    """One wall-time aggregate per table, with the configuration that
+    must match for the comparison to mean anything."""
+    data = rep.get(table)
+    if not data:
+        return None
+    if table == "table2":
+        cfg = {"k": rep.get("k"), "protocols": [r["protocol"] for r in data]}
+        ns = sum(r["realconfig_full_ns"] + r["link_failure_ns"] + r["lclp_ns"] for r in data)
+    elif table == "table3":
+        cfg = {"k": rep.get("k"), "rows": [(r["change"], r["order"]) for r in data]}
+        ns = sum(r["model_update_ns"] + r["policy_check_ns"] for r in data)
+    elif table == "stages":
+        cfg = {"k": rep.get("k"), "labels": [r["label"] for r in data]}
+        ns = sum(sum(r["stage_ns"].values()) for r in data)
+    elif table == "mining":
+        cfg = {"k": rep.get("k"), "failures": data["failures"]}
+        ns = data["incremental_ns"]
+    elif table == "plan":
+        cfg = {"nodes": data["nodes"], "batch_size": data["batch_size"]}
+        ns = data["plan_ns"]
+    elif table == "shard":
+        cfg = {
+            "k": rep.get("k"),
+            "rows": [(r["shards"], r["policies"], r["applies"]) for r in data],
+        }
+        ns = sum(r["apply_ns"] for r in data)
+    else:
+        return None
+    return cfg, ns
+
+
+fail = False
+compared = 0
+for table in ("table2", "table3", "stages", "mining", "plan", "shard"):
+    a, b = aggregate(old, table), aggregate(new, table)
+    if a is None or b is None:
+        continue
+    if a[0] != b[0]:
+        print(f"benchtrend: skip {table}: configurations differ ({a[0]} vs {b[0]})")
+        continue
+    compared += 1
+    ratio = b[1] / a[1] if a[1] else float("inf")
+    verdict = "FAIL" if ratio > THRESHOLD else "ok  "
+    print(
+        f"benchtrend: {verdict} {table}: {a[1] / 1e6:.1f}ms -> {b[1] / 1e6:.1f}ms "
+        f"({(ratio - 1) * 100:+.1f}%)"
+    )
+    if ratio > THRESHOLD:
+        fail = True
+if compared == 0:
+    print(f"benchtrend: {old_path} and {new_path} share no comparable tables")
+if fail:
+    print(f"benchtrend: {new_path} regressed more than 20% against {old_path}")
+    sys.exit(1)
+EOF
