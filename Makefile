@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
+.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke replica-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
 
 all: build
 
@@ -27,6 +27,7 @@ check:
 	$(MAKE) benchtrend
 	$(MAKE) trace-smoke
 	$(MAKE) plan-smoke
+	$(MAKE) replica-smoke
 
 # fuzz-smoke runs each native fuzz target briefly (go supports one
 # -fuzz pattern per invocation). Long sessions: raise -fuzztime.
@@ -36,6 +37,8 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzInvert$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/netcfg
 	$(GO) test -fuzz '^FuzzJournalLine$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
 	$(GO) test -fuzz '^FuzzTenantPath$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
+	$(GO) test -fuzz '^FuzzStreamFrame$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/repl
+	$(GO) test -fuzz '^FuzzResumeToken$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/repl
 
 # cover measures per-package statement coverage and fails if any package
 # listed in coverage.txt dropped below its recorded floor. After
@@ -121,6 +124,47 @@ plan-smoke:
 	diff $$tmp/cli.waves $$tmp/srv.waves || { echo "plan-smoke: CLI and daemon disagree"; exit 1; }; \
 	cat $$tmp/cli.waves; \
 	echo "plan-smoke: ok"
+
+# replica-smoke boots a real leader with a journal, applies a change
+# batch, then attaches a real follower over HTTP: the follower must
+# catch up to the leader's seq, serve byte-identical verdicts, and
+# reject writes with 503 + a Leader hint.
+replica-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'kill $$lpid $$fpid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/rcserved ./cmd/rcserved; \
+	$$tmp/rcserved -net testdata/campus -policies testdata/campus/policies.txt \
+		-journal $$tmp/journal -journal-segment-bytes 256 \
+		-addr 127.0.0.1:0 >$$tmp/lout 2>&1 & lpid=$$!; \
+	for i in $$(seq 1 100); do grep -q listening $$tmp/lout 2>/dev/null && break; sleep 0.1; done; \
+	laddr=$$(sed -n 's#^rcserved: listening on http://\([^ ]*\) .*#\1#p' $$tmp/lout); \
+	test -n "$$laddr" || { echo "replica-smoke: leader did not start"; cat $$tmp/lout; exit 1; }; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"changes":[{"kind":"shutdown_interface","device":"border","intf":"eth2","shutdown":true}]}' \
+		http://$$laddr/v1/changes >/dev/null; \
+	curl -fsS -X POST -H 'Content-Type: application/json' \
+		-d '{"changes":[{"kind":"shutdown_interface","device":"border","intf":"eth2","shutdown":false}]}' \
+		http://$$laddr/v1/changes >/dev/null; \
+	$$tmp/rcserved -net testdata/campus -policies testdata/campus/policies.txt \
+		-follow http://$$laddr -addr 127.0.0.1:0 >$$tmp/fout 2>&1 & fpid=$$!; \
+	for i in $$(seq 1 100); do grep -q listening $$tmp/fout 2>/dev/null && break; sleep 0.1; done; \
+	faddr=$$(sed -n 's#^rcserved: listening on http://\([^ ]*\) .*#\1#p' $$tmp/fout); \
+	test -n "$$faddr" || { echo "replica-smoke: follower did not start"; cat $$tmp/fout; exit 1; }; \
+	for i in $$(seq 1 100); do \
+		curl -fsS http://$$faddr/v1/healthz | grep -q '"replLagSeq":0' && break; sleep 0.1; done; \
+	curl -fsS http://$$faddr/v1/healthz | grep -q '"role":"follower"' \
+		|| { echo "replica-smoke: follower healthz missing follower role"; exit 1; }; \
+	curl -fsS http://$$laddr/v1/verdicts >$$tmp/leader.verdicts; \
+	curl -fsS http://$$faddr/v1/verdicts >$$tmp/follower.verdicts; \
+	diff $$tmp/leader.verdicts $$tmp/follower.verdicts \
+		|| { echo "replica-smoke: leader and follower verdicts differ"; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+		-d '{"changes":[]}' http://$$faddr/v1/changes); \
+	test "$$code" = 503 || { echo "replica-smoke: follower write got $$code, want 503"; exit 1; }; \
+	curl -s -i -X POST -H 'Content-Type: application/json' -d '{"changes":[]}' \
+		http://$$faddr/v1/changes | grep -qi '^Leader: http://' \
+		|| { echo "replica-smoke: 503 missing Leader hint header"; exit 1; }; \
+	echo "replica-smoke: ok (leader $$laddr -> follower $$faddr, verdicts identical)"
 
 # bench-smoke runs every benchmark once — not for numbers, just to prove
 # they still build and complete.

@@ -6,6 +6,7 @@
 //	rcbench -table mining -k 8        # section-2 spec-mining speedup
 //	rcbench -table plan -plan-nodes 32 -plan-batch 8
 //	rcbench -table shard -k 6         # shard sweep on the Table 3 workload
+//	rcbench -table repl -k 6          # read throughput vs follower count
 //	rcbench -table all -k 8
 //	rcbench -table all -k 6 -json auto
 //
@@ -102,6 +103,20 @@ type jsonShardRow struct {
 	Speedup  float64 `json:"speedup"`
 }
 
+// jsonReplRow is one follower count of the replication sweep: read
+// throughput against the leader plus n journal-streaming read replicas
+// while a writer keeps a steady apply load on the leader.
+type jsonReplRow struct {
+	Followers   int     `json:"followers"`
+	Endpoints   int     `json:"endpoints"`
+	Readers     int     `json:"readers"`
+	Reads       int     `json:"reads"`
+	Applies     int     `json:"applies"`
+	WallNs      int64   `json:"wall_ns"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // jsonPlan is the update-planner comparison: the same ordering search
 // probed incrementally vs from scratch.
 type jsonPlan struct {
@@ -143,6 +158,7 @@ type jsonReport struct {
 	Mining    *jsonMining      `json:"mining,omitempty"`
 	Plan      *jsonPlan        `json:"plan,omitempty"`
 	Shard     []jsonShardRow   `json:"shard,omitempty"`
+	Repl      []jsonReplRow    `json:"repl,omitempty"`
 	Trace     []jsonTraceApply `json:"trace,omitempty"`
 }
 
@@ -171,6 +187,9 @@ func run(args []string) error {
 	planWorkers := fs.Int("plan-workers", 0, "probe workers for the planner comparison (0 = planner default)")
 	shardPolicies := fs.Int("shard-policies", 128, "reachability policies per host /24 for the shard sweep")
 	shardRepeat := fs.Int("shard-repeat", 3, "repetitions of the apply workload per shard count")
+	replReaders := fs.Int("repl-readers", 8, "concurrent read clients for the replication sweep")
+	replWindow := fs.Duration("repl-window", 2*time.Second, "measurement window per follower count (repl)")
+	replPolicies := fs.Int("repl-policies", 4, "reachability policies per host /24 for the replication sweep")
 	jsonPath := fs.String("json", "", "also write a machine-readable report to this file (auto = next free BENCH_%04d.json)")
 	tracePath := fs.String("trace", "", "run the stage experiment traced and export Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -191,7 +210,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -221,6 +240,11 @@ func run(args []string) error {
 	}
 	if want("shard") {
 		if err := runShard(*k, *shardPolicies, *shardRepeat, rep); err != nil {
+			return err
+		}
+	}
+	if want("repl") {
+		if err := runRepl(*k, *replPolicies, *replReaders, *replWindow, rep); err != nil {
 			return err
 		}
 	}
@@ -397,6 +421,37 @@ func runShard(k, perPrefix, repeat int, rep *jsonReport) error {
 			CheckNs:  r.Check.Nanoseconds(),
 			ApplyNs:  r.Wall.Nanoseconds(),
 			Speedup:  r.Speedup,
+		})
+	}
+	return nil
+}
+
+// runRepl sweeps follower counts {0, 1, 2} and measures read throughput
+// against the whole replica set while a writer flaps a link on the
+// leader — the read-scaling story journal-streaming replication buys.
+func runRepl(k, perPrefix, readers int, window time.Duration, rep *jsonReport) error {
+	header(k, "Read replicas: read throughput vs follower count under apply load (BGP)")
+	dir, err := os.MkdirTemp("", "rcbench-repl")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rows, err := bench.RunRepl(k, []int{0, 1, 2}, perPrefix, readers, window, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatRepl(rows))
+	fmt.Println()
+	for _, r := range rows {
+		rep.Repl = append(rep.Repl, jsonReplRow{
+			Followers:   r.Followers,
+			Endpoints:   r.Endpoints,
+			Readers:     r.Readers,
+			Reads:       r.Reads,
+			Applies:     r.Applies,
+			WallNs:      r.Wall.Nanoseconds(),
+			ReadsPerSec: r.ReadsPerSec,
+			Speedup:     r.Speedup,
 		})
 	}
 	return nil

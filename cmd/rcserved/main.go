@@ -27,6 +27,15 @@
 // concurrently. With -pprof, net/http/pprof profiling endpoints are
 // mounted under /debug/pprof/.
 //
+// With -follow <leader-url>, the daemon runs as a read replica: it
+// streams the leader's journal from GET /v1/journal/stream, replays
+// each entry through its own verifier, and serves every read endpoint
+// from local snapshots. Writes (POST /v1/changes, /v1/policies,
+// /v1/plan) answer 503 with a Leader: header pointing at the leader;
+// what-if and trace stay available. Give the replica its own -journal
+// so restarts resume from the last applied sequence number instead of
+// refetching history.
+//
 // Multi-tenancy: each repeatable -tenant flag adds an isolated named
 // verifier served under /v1/tenants/{id}/... (same endpoints), e.g.
 //
@@ -120,6 +129,7 @@ func run(args []string, out *os.File) error {
 	polFile := fs.String("policies", "", "policy specification file")
 	journalPath := fs.String("journal", "", "append-only change journal (replayed on startup)")
 	segBytes := fs.Int64("journal-segment-bytes", 0, "seal journal files into numbered segments past this size (0 = one unbounded file)")
+	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080)")
 	shards := fs.Int("shards", 1, "destination-space verifier shards for the default tenant (<=1 = monolithic)")
 	var tenants tenantFlags
 	fs.Var(&tenants, "tenant", "add a named tenant: id=NAME,net=DIR[,policies=FILE][,journal=FILE][,shards=N] (repeatable)")
@@ -145,6 +155,14 @@ func run(args []string, out *os.File) error {
 	logger := slog.New(handler)
 	if *netDir == "" {
 		return fmt.Errorf("-net is required")
+	}
+	if *segBytes < 0 {
+		return fmt.Errorf("-journal-segment-bytes must be >= 0, got %d", *segBytes)
+	}
+	if *follow != "" {
+		if err := server.ValidateLeaderURL(*follow); err != nil {
+			return fmt.Errorf("-follow: %w", err)
+		}
 	}
 	baseNet, err := core.LoadNetworkDir(*netDir)
 	if err != nil {
@@ -177,6 +195,7 @@ func run(args []string, out *os.File) error {
 		JournalPath:         *journalPath,
 		Shards:              *shards,
 		JournalSegmentBytes: *segBytes,
+		FollowURL:           *follow,
 		Tenants:             tcs,
 		QueueDepth:          *queue,
 		ApplyTimeout:        *timeout,
@@ -198,6 +217,6 @@ func run(args []string, out *os.File) error {
 		"addr", ln.Addr().String(), "devices", snap.Devices,
 		"policies", snap.Policies, "ecs", snap.ECs, "seq", snap.Seq,
 		"trace_ring", *traceRing, "journal", *journalPath,
-		"shards", *shards, "tenants", 1+len(tcs))
+		"shards", *shards, "tenants", 1+len(tcs), "follow", *follow)
 	return http.Serve(ln, srv.Handler())
 }

@@ -24,3 +24,19 @@ func TestRunRejectsBadFlag(t *testing.T) {
 		t.Fatal("run() with unknown flag: want error, got nil")
 	}
 }
+
+func TestRunRejectsNegativeSegmentBytes(t *testing.T) {
+	err := run([]string{"-net", "x", "-journal-segment-bytes", "-5"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-journal-segment-bytes") {
+		t.Fatalf("run() with negative segment bytes: got %v, want a -journal-segment-bytes error", err)
+	}
+}
+
+func TestRunRejectsBadFollowURL(t *testing.T) {
+	for _, bad := range []string{"leader:8080", "ftp://leader", "http://leader:8080/v1", "http://"} {
+		err := run([]string{"-net", "x", "-follow", bad}, os.Stdout)
+		if err == nil || !strings.Contains(err.Error(), "-follow") {
+			t.Fatalf("run() with -follow %q: got %v, want a -follow error", bad, err)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"realconfig/internal/netcfg"
+	"realconfig/internal/server"
+	"realconfig/internal/topology"
+)
+
+// ReplRow is one follower count's measurement of read throughput under
+// a steady apply load: R concurrent readers hammer GET /v1/verdicts,
+// spread round-robin across the leader plus its followers, while one
+// writer continuously flaps a link through POST /v1/changes on the
+// leader. The point of read replicas is exactly this row-to-row
+// comparison: reads scale out across daemons while the leader alone
+// pays for writes.
+type ReplRow struct {
+	Followers   int // read replicas attached to the leader
+	Endpoints   int // daemons serving reads (1 + Followers)
+	Readers     int // concurrent reader goroutines
+	Reads       int // GET /v1/verdicts completed in the window
+	Applies     int // change batches the writer landed meanwhile
+	Wall        time.Duration
+	ReadsPerSec float64
+	// Speedup is read throughput relative to the first row (followers=0
+	// when RunRepl is called with the standard sweep).
+	Speedup float64
+}
+
+// replFixture builds one daemon's base state: a fresh fat-tree (applies
+// mutate the network, so every daemon needs its own copy of the same
+// deterministic base) plus a reachability policy per host /24 in the
+// daemon policy grammar.
+func replFixture(k, perPrefix int) (*netcfg.Network, string, error) {
+	net, err := topology.FatTree(k, topology.BGP)
+	if err != nil {
+		return nil, "", err
+	}
+	owners := make([]string, 0, len(net.HostPrefix))
+	for dev := range net.HostPrefix {
+		owners = append(owners, dev)
+	}
+	sort.Strings(owners)
+	var b strings.Builder
+	for i, dev := range owners {
+		for j := 0; j < perPrefix; j++ {
+			src := owners[(i+j*7+1)%len(owners)]
+			if src == dev {
+				src = owners[(i+j*7+2)%len(owners)]
+			}
+			fmt.Fprintf(&b, "reach repl-%s-%d %s %s %s some\n",
+				dev, j, src, dev, net.HostPrefix[dev])
+		}
+	}
+	return net.Network, b.String(), nil
+}
+
+// RunRepl measures read throughput against a leader with each given
+// follower count, under a steady apply load. k sizes the fat-tree,
+// perPrefix the policy suite, readers the concurrent read clients, and
+// window how long each row measures. dir holds the leaders' journals
+// (replication requires one; followers run journal-less).
+func RunRepl(k int, followerCounts []int, perPrefix, readers int, window time.Duration, dir string) ([]ReplRow, error) {
+	link, err := func() (netcfg.Link, error) {
+		net, err := topology.FatTree(k, topology.BGP)
+		if err != nil {
+			return netcfg.Link{}, err
+		}
+		return net.Topology.Links[len(net.Topology.Links)/2], nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	flap := [2]string{
+		fmt.Sprintf(`{"changes":[{"kind":"shutdown_interface","device":%q,"intf":%q,"shutdown":true}]}`, link.DevA, link.IntfA),
+		fmt.Sprintf(`{"changes":[{"kind":"shutdown_interface","device":%q,"intf":%q,"shutdown":false}]}`, link.DevA, link.IntfA),
+	}
+
+	var rows []ReplRow
+	for _, n := range followerCounts {
+		row, err := runReplRow(k, n, perPrefix, readers, window, dir, flap)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if rows[i].ReadsPerSec > 0 {
+			rows[i].Speedup = rows[i].ReadsPerSec / rows[0].ReadsPerSec
+		}
+	}
+	return rows, nil
+}
+
+func runReplRow(k, followers, perPrefix, readers int, window time.Duration, dir string, flap [2]string) (ReplRow, error) {
+	row := ReplRow{Followers: followers, Endpoints: 1 + followers, Readers: readers}
+
+	leaderNet, policyText, err := replFixture(k, perPrefix)
+	if err != nil {
+		return row, err
+	}
+	leader, err := server.New(server.Config{
+		Net:         leaderNet,
+		PolicyText:  policyText,
+		JournalPath: filepath.Join(dir, fmt.Sprintf("leader-f%d.journal", followers)),
+	})
+	if err != nil {
+		return row, err
+	}
+	tsL := httptest.NewServer(leader.Handler())
+	endpoints := []string{tsL.URL}
+	var closers []func()
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		tsL.Close()
+		leader.Close()
+	}()
+
+	for i := 0; i < followers; i++ {
+		fnet, ftext, err := replFixture(k, perPrefix)
+		if err != nil {
+			return row, err
+		}
+		f, err := server.New(server.Config{
+			Net:            fnet,
+			PolicyText:     ftext,
+			FollowURL:      tsL.URL,
+			ReplBackoff:    10 * time.Millisecond,
+			ReplMaxBackoff: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return row, err
+		}
+		tsF := httptest.NewServer(f.Handler())
+		closers = append(closers, func() { tsF.Close(); f.Close() })
+		endpoints = append(endpoints, tsF.URL)
+		deadline := time.Now().Add(30 * time.Second)
+		for f.Snapshot().Seq != leader.Snapshot().Seq {
+			if time.Now().After(deadline) {
+				return row, fmt.Errorf("follower %d did not catch up to leader seq %d", i, leader.Snapshot().Seq)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: readers + 1}}
+	fetch := func(url string) error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+
+	stop := make(chan struct{})
+	errc := make(chan error, readers+1)
+	var reads, applies atomic.Int64
+	var wg sync.WaitGroup
+
+	// Steady apply load: flap the link on the leader, as fast as writes
+	// complete, for the whole window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := client.Post(tsL.URL+"/v1/changes", "application/json",
+				strings.NewReader(flap[i%2]))
+			if err != nil {
+				errc <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("apply %d: status %d", i, resp.StatusCode)
+				return
+			}
+			applies.Add(1)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := fetch(endpoints[i%len(endpoints)] + "/v1/verdicts"); err != nil {
+					errc <- err
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	t0 := time.Now()
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	row.Wall = time.Since(t0)
+	select {
+	case err := <-errc:
+		return row, err
+	default:
+	}
+	row.Reads = int(reads.Load())
+	row.Applies = int(applies.Load())
+	row.ReadsPerSec = float64(row.Reads) / row.Wall.Seconds()
+	return row, nil
+}
+
+// FormatRepl renders the replication sweep in the benchmark-table style.
+func FormatRepl(rows []ReplRow) string {
+	s := fmt.Sprintf("%-10s %-10s %-8s %-8s %-8s %12s %9s\n",
+		"Followers", "Endpoints", "Readers", "Reads", "Applies", "Reads/s", "Speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10d %-10d %-8d %-8d %-8d %12.0f %8.2fx\n",
+			r.Followers, r.Endpoints, r.Readers, r.Reads, r.Applies, r.ReadsPerSec, r.Speedup)
+	}
+	return s
+}

@@ -1,7 +1,11 @@
 package bench
 
-import "testing"
-import "realconfig/internal/topology"
+import (
+	"testing"
+	"time"
+
+	"realconfig/internal/topology"
+)
 
 func TestSmokeTables(t *testing.T) {
 	rows2, err := RunTable2(4, 2)
@@ -38,6 +42,28 @@ func TestSmokeShard(t *testing.T) {
 		t.Errorf("baseline speedup = %v, want 1.0", rows[0].Speedup)
 	}
 	t.Logf("\n%s", FormatShard(rows))
+}
+
+func TestSmokeRepl(t *testing.T) {
+	rows, err := RunRepl(4, []int{0, 1}, 2, 2, 200*time.Millisecond, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Followers != 0 || rows[1].Followers != 1 {
+		t.Fatalf("rows = %+v, want follower counts 0 and 1", rows)
+	}
+	for _, r := range rows {
+		if r.Reads <= 0 || r.ReadsPerSec <= 0 || r.Wall <= 0 {
+			t.Errorf("row %+v: want positive reads and wall time", r)
+		}
+		if r.Endpoints != r.Followers+1 {
+			t.Errorf("row %+v: endpoints != followers+1", r)
+		}
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("baseline speedup = %v, want 1.0", rows[0].Speedup)
+	}
+	t.Logf("\n%s", FormatRepl(rows))
 }
 
 func TestSmokePlan(t *testing.T) {

@@ -1,0 +1,272 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// FollowerConfig wires a Follower to its leader and to the local state
+// it feeds.
+type FollowerConfig struct {
+	// StreamURL is the leader's stream endpoint for this tenant, e.g.
+	// http://leader:8080/v1/journal/stream (required).
+	StreamURL string
+	// From returns the follower's last applied sequence number; every
+	// (re)connection resumes from it, so already-applied entries are
+	// never fetched again (required).
+	From func() uint64
+	// Apply applies one replicated record to local state — replay
+	// through the engine, local journal append, snapshot publish
+	// (required). An error drops the connection and resumes after
+	// backoff; the record will be re-sent.
+	Apply applyFunc
+	// Epoch returns the leader epoch this replica was built from (ok =
+	// false before the first successful hello); SetEpoch persists it.
+	// Nil callbacks keep the epoch in memory only.
+	Epoch    func() (uint64, bool)
+	SetEpoch func(uint64) error
+	// Backoff is the base reconnect delay, doubled per consecutive
+	// failure up to MaxBackoff, with ±50% jitter so a fleet of replicas
+	// does not reconnect in lockstep (0 = 250ms base, 15s max).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Client issues the stream requests (nil = http.DefaultClient; the
+	// client must not impose an overall request timeout, streams are
+	// long-lived).
+	Client *http.Client
+	// Log receives connection-lifecycle lines (nil = discard).
+	Log *slog.Logger
+	// Metrics counts frames/entries/reconnects (nil = uninstrumented).
+	Metrics *FollowerMetrics
+	// rand overrides the jitter source in tests (nil = global rand).
+	rand func() float64
+}
+
+// Follower replicates a leader's journal stream into local state: it
+// connects, fences on the leader epoch, applies entries in sequence
+// order, and reconnects with jittered exponential backoff, resuming
+// from the last applied sequence number. Run blocks until the context
+// is cancelled or the follower is fenced.
+type Follower struct {
+	cfg FollowerConfig
+
+	// memEpoch backs Epoch/SetEpoch when no persistence is wired.
+	memEpoch atomic.Uint64
+
+	// leaderSeq is the newest sequence number any frame reported;
+	// lastFrameNS is when the last frame arrived (both atomics, read by
+	// the lag gauges off the replication goroutine).
+	leaderSeq   atomic.Uint64
+	lastFrameNS atomic.Int64
+	connected   atomic.Bool
+}
+
+// NewFollower validates the config and builds a Follower.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	u, err := url.Parse(cfg.StreamURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("repl: StreamURL %q is not an absolute http(s) URL", cfg.StreamURL)
+	}
+	if cfg.From == nil || cfg.Apply == nil {
+		return nil, errors.New("repl: FollowerConfig.From and Apply are required")
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 15 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.rand == nil {
+		cfg.rand = rand.Float64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &FollowerMetrics{} // nil counters are no-ops
+	}
+	f := &Follower{cfg: cfg}
+	if cfg.Epoch == nil || cfg.SetEpoch == nil {
+		f.cfg.Epoch = func() (uint64, bool) { e := f.memEpoch.Load(); return e, e != 0 }
+		f.cfg.SetEpoch = func(e uint64) error { f.memEpoch.Store(e); return nil }
+	}
+	f.lastFrameNS.Store(time.Now().UnixNano())
+	return f, nil
+}
+
+// LeaderSeq returns the newest leader sequence number any frame has
+// reported (0 before the first hello).
+func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// LagSeq returns how many sequence numbers the local state is behind
+// the leader's last reported position.
+func (f *Follower) LagSeq() uint64 {
+	leader, local := f.leaderSeq.Load(), f.cfg.From()
+	if leader <= local {
+		return 0
+	}
+	return leader - local
+}
+
+// LagSeconds returns how long ago the leader last confirmed the stream
+// position (any frame counts — heartbeats keep this near zero on an
+// idle healthy stream, and it grows while disconnected).
+func (f *Follower) LagSeconds() float64 {
+	return time.Since(time.Unix(0, f.lastFrameNS.Load())).Seconds()
+}
+
+// Connected reports whether a stream is currently attached.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// Run replicates until ctx is cancelled (returns ctx.Err()) or the
+// follower is fenced (returns an error wrapping ErrFenced). All other
+// failures — connection refused, stream torn down, apply errors — are
+// retried with jittered exponential backoff.
+func (f *Follower) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f.cfg.Metrics.Reconnects.Inc()
+		clean, err := f.streamOnce(ctx)
+		if err != nil {
+			if errors.Is(err, ErrFenced) {
+				f.cfg.Metrics.Fenced.Inc()
+				f.cfg.Log.Error("replication fenced; stopping", "err", err)
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			f.cfg.Log.Warn("replication stream failed", "err", err, "attempt", attempt)
+		}
+		if clean {
+			attempt = 0 // the stream made progress; back off from scratch
+		} else {
+			attempt++
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.backoff(attempt)):
+		}
+	}
+}
+
+// backoff returns the jittered delay before reconnect attempt n.
+func (f *Follower) backoff(attempt int) time.Duration {
+	d := f.cfg.Backoff
+	for i := 0; i < attempt && d < f.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > f.cfg.MaxBackoff {
+		d = f.cfg.MaxBackoff
+	}
+	// ±50% jitter: 0.5d .. 1.5d.
+	return time.Duration(float64(d) * (0.5 + f.cfg.rand()))
+}
+
+// streamOnce runs one connection: hello, fence check, entry loop.
+// clean reports whether the stream applied at least one frame (so the
+// caller resets backoff).
+func (f *Follower) streamOnce(ctx context.Context) (clean bool, err error) {
+	from := f.cfg.From()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s?from=%d", f.cfg.StreamURL, from), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		// The leader's log is behind our applied state: a different or
+		// rebuilt lineage. Retrying would never converge.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("%w: leader refused resume at %d: %s", ErrFenced, from, string(body))
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("repl: leader answered %d: %s", resp.StatusCode, string(body))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sawHello := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		frame, err := ParseFrame(line)
+		if err != nil {
+			return clean, err
+		}
+		f.cfg.Metrics.Frames.Inc()
+		f.lastFrameNS.Store(time.Now().UnixNano())
+		if frame.Seq > f.leaderSeq.Load() {
+			f.leaderSeq.Store(frame.Seq)
+		}
+		switch frame.Kind {
+		case FrameHello:
+			if sawHello {
+				return clean, errors.New("repl: duplicate hello frame")
+			}
+			sawHello = true
+			if known, ok := f.cfg.Epoch(); ok && known != frame.Epoch {
+				return clean, fmt.Errorf("%w: leader epoch %d, replica built from %d", ErrFenced, frame.Epoch, known)
+			} else if !ok {
+				if err := f.cfg.SetEpoch(frame.Epoch); err != nil {
+					return clean, fmt.Errorf("repl: persisting leader epoch: %w", err)
+				}
+			}
+			if frame.From != from {
+				return clean, fmt.Errorf("repl: leader granted resume at %d, asked for %d", frame.From, from)
+			}
+			f.connected.Store(true)
+			defer f.connected.Store(false)
+			f.cfg.Log.Info("replication stream attached",
+				"leader", f.cfg.StreamURL, "from", from, "leader_seq", frame.Seq, "epoch", frame.Epoch)
+			clean = true
+		case FrameEntry:
+			if !sawHello {
+				return clean, errors.New("repl: entry before hello")
+			}
+			local := f.cfg.From()
+			if frame.Seq <= local {
+				continue // duplicate; already applied
+			}
+			if frame.Seq != local+1 {
+				return clean, gapError(local+1, frame.Seq)
+			}
+			if err := f.cfg.Apply(ctx, Record{Seq: frame.Seq, Data: frame.Entry}); err != nil {
+				return clean, fmt.Errorf("repl: applying seq %d: %w", frame.Seq, err)
+			}
+			f.cfg.Metrics.Entries.Inc()
+			clean = true
+		case FrameHeartbeat:
+			if !sawHello {
+				return clean, errors.New("repl: heartbeat before hello")
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return clean, err
+	}
+	return clean, errors.New("repl: stream closed by leader")
+}

@@ -1,0 +1,115 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Frame kinds, in the order a stream produces them.
+const (
+	FrameHello     = "hello"     // first line: epoch, granted resume point, leader seq
+	FrameEntry     = "entry"     // one journal entry
+	FrameHeartbeat = "heartbeat" // liveness + current leader seq while idle
+)
+
+// Frame is one JSON line of the replication stream. Exactly one kind of
+// payload is valid per frame; ParseFrame enforces the shape so a
+// follower never has to defend against half-formed frames downstream.
+type Frame struct {
+	Kind string `json:"frame"`
+	// Epoch is the leader's journal-lineage id (hello only, never 0).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// From is the resume point the leader granted (hello only): the
+	// stream continues with sequence number From+1.
+	From uint64 `json:"from,omitempty"`
+	// Seq is the leader's newest durable sequence number (hello,
+	// heartbeat) or this entry's own sequence number (entry).
+	Seq uint64 `json:"seq"`
+	// Entry is the journal entry payload (entry frames only).
+	Entry json.RawMessage `json:"entry,omitempty"`
+}
+
+// MarshalLine renders the frame as one newline-terminated JSON line.
+func (f Frame) MarshalLine() ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// validate enforces the per-kind shape shared by MarshalLine and
+// ParseFrame, so the two ends of the wire agree on what is well-formed.
+func (f Frame) validate() error {
+	switch f.Kind {
+	case FrameHello:
+		if f.Epoch == 0 {
+			return fmt.Errorf("repl: hello frame without epoch")
+		}
+		if f.Entry != nil {
+			return fmt.Errorf("repl: hello frame with entry payload")
+		}
+		if f.From > f.Seq {
+			return fmt.Errorf("repl: hello frame resumes at %d past leader seq %d", f.From, f.Seq)
+		}
+	case FrameEntry:
+		if f.Seq == 0 {
+			return fmt.Errorf("repl: entry frame without seq")
+		}
+		if f.Epoch != 0 || f.From != 0 {
+			return fmt.Errorf("repl: entry frame with hello fields")
+		}
+		if err := decodeEntryPayload(f.Entry); err != nil {
+			return err
+		}
+	case FrameHeartbeat:
+		if f.Entry != nil || f.Epoch != 0 || f.From != 0 {
+			return fmt.Errorf("repl: heartbeat frame with payload fields")
+		}
+	default:
+		return fmt.Errorf("repl: unknown frame kind %q", f.Kind)
+	}
+	return nil
+}
+
+// ParseFrame decodes and validates one stream line. Unknown fields and
+// trailing data are rejected: a frame either matches the protocol
+// exactly or the follower drops the connection and resumes, rather than
+// guessing at a half-understood line.
+func ParseFrame(line []byte) (Frame, error) {
+	var f Frame
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return Frame{}, fmt.Errorf("repl: bad frame: %w", err)
+	}
+	if dec.More() {
+		return Frame{}, fmt.Errorf("repl: trailing data after frame")
+	}
+	if err := f.validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// ParseResumeToken parses the ?from= query value of a stream request: a
+// plain base-10 sequence number, no signs, no whitespace. The zero
+// token means "from the beginning".
+func ParseResumeToken(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("repl: empty resume token")
+	}
+	if len(s) > 1 && s[0] == '0' {
+		return 0, fmt.Errorf("repl: bad resume token %q: leading zeros", s)
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: bad resume token %q: must be a base-10 sequence number", s)
+	}
+	return n, nil
+}

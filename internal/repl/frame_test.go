@@ -1,0 +1,109 @@
+package repl
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFrameRoundTrip: every frame kind survives MarshalLine → ParseFrame
+// unchanged, so the two ends of the wire agree on the encoding.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: FrameHello, Epoch: 7, From: 3, Seq: 12},
+		{Kind: FrameHello, Epoch: 1, From: 0, Seq: 0},
+		{Kind: FrameEntry, Seq: 4, Entry: json.RawMessage(`{"op":"changes"}`)},
+		{Kind: FrameHeartbeat, Seq: 12},
+		{Kind: FrameHeartbeat, Seq: 0},
+	}
+	for _, want := range frames {
+		line, err := want.MarshalLine()
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", want, err)
+		}
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("marshal %+v: line not newline-terminated: %q", want, line)
+		}
+		got, err := ParseFrame(line[:len(line)-1])
+		if err != nil {
+			t.Fatalf("parse %s: %v", line, err)
+		}
+		if got.Kind != want.Kind || got.Epoch != want.Epoch || got.From != want.From || got.Seq != want.Seq {
+			t.Errorf("round trip %+v: got %+v", want, got)
+		}
+		if string(got.Entry) != string(want.Entry) {
+			t.Errorf("round trip %+v: entry %s", want, got.Entry)
+		}
+	}
+}
+
+// TestFrameRejects: malformed frames fail ParseFrame (and the shared
+// validate keeps MarshalLine from producing them).
+func TestFrameRejects(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"empty", ``},
+		{"not json", `hello`},
+		{"unknown kind", `{"frame":"goodbye","seq":1}`},
+		{"no kind", `{"seq":1}`},
+		{"hello without epoch", `{"frame":"hello","from":0,"seq":1}`},
+		{"hello with entry", `{"frame":"hello","epoch":1,"seq":1,"entry":{}}`},
+		{"hello from past seq", `{"frame":"hello","epoch":1,"from":5,"seq":2}`},
+		{"entry without seq", `{"frame":"entry","entry":{"op":"x"}}`},
+		{"entry without payload", `{"frame":"entry","seq":3}`},
+		{"entry with epoch", `{"frame":"entry","seq":3,"epoch":9,"entry":{}}`},
+		{"entry with from", `{"frame":"entry","seq":3,"from":1,"entry":{}}`},
+		{"heartbeat with entry", `{"frame":"heartbeat","seq":3,"entry":{}}`},
+		{"heartbeat with epoch", `{"frame":"heartbeat","seq":3,"epoch":1}`},
+		{"unknown field", `{"frame":"heartbeat","seq":3,"bogus":1}`},
+		{"trailing data", `{"frame":"heartbeat","seq":3}{"frame":"heartbeat","seq":4}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseFrame([]byte(tc.line)); err == nil {
+			t.Errorf("%s: ParseFrame(%q) accepted", tc.name, tc.line)
+		}
+	}
+}
+
+// TestMarshalLineValidates: a frame that violates the protocol shape is
+// refused at the sender, not shipped for the follower to choke on.
+func TestMarshalLineValidates(t *testing.T) {
+	bad := []Frame{
+		{Kind: "goodbye", Seq: 1},
+		{Kind: FrameHello, Epoch: 0, Seq: 1},
+		{Kind: FrameEntry, Seq: 0, Entry: json.RawMessage(`{}`)},
+		{Kind: FrameEntry, Seq: 2, Entry: json.RawMessage(`{`)},
+		{Kind: FrameEntry, Seq: 2},
+	}
+	for _, f := range bad {
+		if _, err := f.MarshalLine(); err == nil {
+			t.Errorf("MarshalLine(%+v) accepted", f)
+		}
+	}
+}
+
+// TestParseResumeToken: plain base-10 sequence numbers only.
+func TestParseResumeToken(t *testing.T) {
+	ok := map[string]uint64{"0": 0, "1": 1, "42": 42, "18446744073709551615": 1<<64 - 1}
+	for s, want := range ok {
+		got, err := ParseResumeToken(s)
+		if err != nil || got != want {
+			t.Errorf("ParseResumeToken(%q) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "-1", "+1", " 1", "1 ", "0x10", "1.5", "abc", "18446744073709551616"} {
+		if _, err := ParseResumeToken(s); err == nil {
+			t.Errorf("ParseResumeToken(%q) accepted", s)
+		}
+	}
+}
+
+// TestParseResumeTokenErrIsClear: the error names the bad token so the
+// operator can see what the follower actually sent.
+func TestParseResumeTokenErrIsClear(t *testing.T) {
+	_, err := ParseResumeToken("banana")
+	if err == nil || !strings.Contains(err.Error(), "banana") {
+		t.Fatalf("error should quote the token: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package repl
+
+import (
+	"testing"
+)
+
+// FuzzStreamFrame throws arbitrary bytes at the wire parser — the same
+// code path a follower runs on every line an untrusted-at-this-layer
+// leader sends. Invariants: never panic; an accepted frame is exactly
+// re-marshalable (round trip through MarshalLine and back yields the
+// same frame), so whatever ParseFrame lets through is something the
+// protocol can also produce.
+func FuzzStreamFrame(f *testing.F) {
+	seeds := []string{
+		`{"frame":"hello","epoch":7,"from":3,"seq":12}`,
+		`{"frame":"hello","epoch":1,"seq":0}`,
+		`{"frame":"entry","seq":4,"entry":{"op":"changes","changes":[]}}`,
+		`{"frame":"entry","seq":1,"entry":{}}`,
+		`{"frame":"heartbeat","seq":12}`,
+		`{"frame":"heartbeat","seq":0}`,
+		`{"frame":"entry","seq":0,"entry":{}}`,
+		`{"frame":"hello","from":5,"seq":2,"epoch":1}`,
+		`{"frame":"entry","seq":3,"entry":"not an object"}`,
+		`{"frame":"goodbye","seq":1}`,
+		`{"frame":"heartbeat","seq":3}{"frame":"heartbeat","seq":4}`,
+		`{"frame":"entry","seq":3,"entry":{`,
+		`{}`,
+		`[]`,
+		`null`,
+		``,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		frame, err := ParseFrame(line)
+		if err != nil {
+			return // rejected; the follower drops the stream and resumes
+		}
+		out, err := frame.MarshalLine()
+		if err != nil {
+			t.Fatalf("accepted frame %+v failed to re-marshal: %v", frame, err)
+		}
+		again, err := ParseFrame(out[:len(out)-1])
+		if err != nil {
+			t.Fatalf("re-marshaled frame %s failed to parse: %v", out, err)
+		}
+		if again.Kind != frame.Kind || again.Epoch != frame.Epoch ||
+			again.From != frame.From || again.Seq != frame.Seq {
+			t.Fatalf("round trip diverged: %+v -> %+v", frame, again)
+		}
+	})
+}
+
+// FuzzResumeToken: the ?from= parser must never panic and must only
+// accept canonical base-10 (what the follower's fmt.Sprintf produces).
+func FuzzResumeToken(f *testing.F) {
+	for _, s := range []string{"0", "1", "42", "18446744073709551615", "-1", "+1", "00", "07", "0x10", "", " 1", "1_000", "1e3"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseResumeToken(s)
+		if err != nil {
+			return
+		}
+		if canonical := formatUint(n); canonical != s {
+			t.Fatalf("accepted non-canonical token %q (canonical %q)", s, canonical)
+		}
+	})
+}
+
+func formatUint(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,44 @@
+package repl
+
+import "realconfig/internal/obs"
+
+// StreamMetrics are the leader-side instruments: how many replicas are
+// attached and how much journal they are being fed. Registered per
+// tenant (the registry carries the tenant label).
+type StreamMetrics struct {
+	Streams *obs.Counter // streams opened
+	Active  *obs.Gauge   // streams currently attached
+	Entries *obs.Counter // entry frames sent (catch-up + tail)
+	Drops   *obs.Counter // streams dropped for falling behind
+}
+
+// NewStreamMetrics registers the leader-side stream instruments on reg.
+func NewStreamMetrics(reg *obs.Registry) *StreamMetrics {
+	return &StreamMetrics{
+		Streams: reg.Counter("realconfig_repl_streams_total", "Replication streams opened by followers.", nil),
+		Active:  reg.Gauge("realconfig_repl_streams_active", "Replication streams currently attached.", nil),
+		Entries: reg.Counter("realconfig_repl_stream_entries_total", "Journal entries sent to followers (catch-up and live tail).", nil),
+		Drops:   reg.Counter("realconfig_repl_stream_drops_total", "Replication streams dropped because the follower fell behind the live buffer.", nil),
+	}
+}
+
+// FollowerMetrics are the follower-side instruments. The lag gauges
+// (realconfig_repl_lag_seq, realconfig_repl_lag_seconds) are registered
+// by the daemon as GaugeFuncs over Follower state, since they derive
+// from both the stream position and the tenant's applied sequence.
+type FollowerMetrics struct {
+	Entries    *obs.Counter // entries applied from the stream
+	Frames     *obs.Counter // frames received (hello, entry, heartbeat)
+	Reconnects *obs.Counter // stream (re)connection attempts
+	Fenced     *obs.Counter // terminal epoch/lineage fences
+}
+
+// NewFollowerMetrics registers the follower-side instruments on reg.
+func NewFollowerMetrics(reg *obs.Registry) *FollowerMetrics {
+	return &FollowerMetrics{
+		Entries:    reg.Counter("realconfig_repl_entries_applied_total", "Journal entries applied from the leader's stream.", nil),
+		Frames:     reg.Counter("realconfig_repl_frames_total", "Replication frames received from the leader.", nil),
+		Reconnects: reg.Counter("realconfig_repl_reconnects_total", "Replication stream connection attempts.", nil),
+		Fenced:     reg.Counter("realconfig_repl_fenced_total", "Replication streams stopped by epoch/lineage fencing.", nil),
+	}
+}

@@ -1,0 +1,95 @@
+// Package repl is RealConfig's journal-streaming replication core: the
+// machinery that turns a leader daemon's change journal into a live
+// feed a read replica can replay.
+//
+// The design leans on a property the journal already has (and the
+// golden replay tests prove): a tenant's observable state is a pure
+// function of its base snapshot plus the ordered journal entries.
+// Replication therefore never ships verifier state — it ships the
+// journal, and the follower re-derives byte-identical verdicts by
+// replaying entries through its own engine, exactly as a restart does.
+//
+// Wire protocol (JSON lines over a chunked HTTP response):
+//
+//	{"frame":"hello","epoch":E,"from":N,"seq":S}   stream header
+//	{"frame":"entry","seq":N+1,"entry":{...}}      one journal entry
+//	{"frame":"heartbeat","seq":S}                  liveness + lag signal
+//
+// The hello frame carries the leader's epoch — a random identifier
+// minted once per journal lineage — and fences a follower off a leader
+// whose state diverged: a follower remembers the first epoch it synced
+// from and refuses any other, because entries from a different lineage
+// would be replayed onto mismatched state. After the hello the leader
+// sends every journal entry with sequence number > from (catch-up read
+// from the sealed segment chain plus the active file), then tails live
+// appends, interleaving heartbeats so an idle stream still proves
+// liveness and lets the follower measure lag.
+//
+// Resumability is by sequence number: a follower that reconnects asks
+// for ?from=<last applied seq> and receives only what it is missing.
+// Entries are opaque bytes to this package — framing and transport live
+// here, semantics stay with the journal's owner.
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Record is one journaled write as the replication layer carries it:
+// the sequence number the write bumped the tenant to, plus the
+// journal's own JSON entry line (without the trailing newline). The
+// payload is opaque to repl — followers hand it back to the journal
+// layer for decoding and local re-append, preserving the leader's bytes.
+type Record struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Log is a resumable, segment-aware entry log — the leader-side view a
+// journal exposes for streaming. Implementations must be safe for
+// concurrent use with the writer appending.
+type Log interface {
+	// Epoch identifies the log's lineage (minted once, persisted beside
+	// the journal). Followers fence on it.
+	Epoch() (uint64, error)
+	// LastSeq is the sequence number of the newest durable entry.
+	LastSeq() uint64
+	// Stream returns every record with sequence number > from: a
+	// catch-up batch read from storage, then a live channel carrying
+	// subsequent appends in order. The channel is closed when the log
+	// shuts down or the subscriber falls too far behind (the consumer
+	// should reconnect and resume by sequence number). cancel
+	// unsubscribes; it is safe to call more than once.
+	Stream(from uint64) (catchup []Record, live <-chan Record, cancel func(), err error)
+}
+
+// ErrFenced is returned (wrapped) by Follower.Run when the leader's
+// epoch does not match the one this follower first synced from, or the
+// leader's log is behind the follower's applied state. Both mean the
+// leader is not the lineage this replica was built from; replaying on
+// would corrupt it, so the follower stops instead of retrying.
+var ErrFenced = errors.New("repl: fenced: leader epoch/lineage mismatch")
+
+// applyFunc applies one replicated record; see FollowerConfig.Apply.
+type applyFunc func(ctx context.Context, rec Record) error
+
+// gapError reports a protocol violation: the leader sent a sequence
+// number that does not extend the follower's applied state.
+func gapError(want, got uint64) error {
+	return fmt.Errorf("repl: stream gap: want seq %d, got %d", want, got)
+}
+
+// decodeEntryPayload proves a record payload is one JSON object (the
+// journal line contract) before it is applied or re-appended.
+func decodeEntryPayload(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("repl: empty entry payload")
+	}
+	if !json.Valid(data) {
+		return errors.New("repl: entry payload is not valid JSON")
+	}
+	return nil
+}

@@ -1,0 +1,549 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memLog is an in-memory Log for exercising ServeStream and Follower
+// without a daemon: appends notify subscribers exactly like the journal
+// (including the close-on-overflow policy), and the epoch is settable so
+// tests can simulate a rebuilt leader lineage.
+type memLog struct {
+	buffer int // subscriber channel buffer (0 = subBuffer-like default)
+
+	mu    sync.Mutex
+	epoch uint64
+	recs  []Record
+	subs  map[int]chan Record
+	next  int
+}
+
+func newMemLog(epoch uint64) *memLog {
+	return &memLog{epoch: epoch, buffer: 64, subs: make(map[int]chan Record)}
+}
+
+func (l *memLog) Epoch() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch, nil
+}
+
+func (l *memLog) setEpoch(e uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.epoch = e
+}
+
+func (l *memLog) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.recs))
+}
+
+func (l *memLog) append(data string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := Record{Seq: uint64(len(l.recs) + 1), Data: []byte(data)}
+	l.recs = append(l.recs, rec)
+	for id, ch := range l.subs {
+		select {
+		case ch <- rec:
+		default:
+			close(ch)
+			delete(l.subs, id)
+		}
+	}
+}
+
+// dropSubs closes every live subscriber channel, ending their streams
+// (what journal close or an overflow does).
+func (l *memLog) dropSubs() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, ch := range l.subs {
+		close(ch)
+		delete(l.subs, id)
+	}
+}
+
+func (l *memLog) Stream(from uint64) ([]Record, <-chan Record, func(), error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from > uint64(len(l.recs)) {
+		return nil, nil, nil, fmt.Errorf("memlog: from %d past %d", from, len(l.recs))
+	}
+	catchup := make([]Record, 0, len(l.recs)-int(from))
+	catchup = append(catchup, l.recs[from:]...)
+	ch := make(chan Record, l.buffer)
+	id := l.next
+	l.next++
+	l.subs[id] = ch
+	cancel := func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			close(ch)
+		}
+	}
+	return catchup, ch, cancel, nil
+}
+
+// newTestLeader serves log's replication stream with a fast heartbeat.
+func newTestLeader(t *testing.T, log Log) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeStream(w, r, log, 20*time.Millisecond, nil)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// applySink accumulates replicated records, standing in for a tenant.
+type applySink struct {
+	mu   sync.Mutex
+	recs []Record
+	errs int // remaining applies to fail (injected fault)
+}
+
+func (s *applySink) apply(_ context.Context, rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.errs > 0 {
+		s.errs--
+		return errors.New("injected apply failure")
+	}
+	if rec.Seq != uint64(len(s.recs)+1) {
+		return fmt.Errorf("sink at %d got seq %d", len(s.recs), rec.Seq)
+	}
+	s.recs = append(s.recs, rec)
+	return nil
+}
+
+func (s *applySink) seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.recs))
+}
+
+func (s *applySink) data() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.recs))
+	for i, r := range s.recs {
+		out[i] = string(r.Data)
+	}
+	return out
+}
+
+// newTestFollower builds a follower over sink with test-friendly timing.
+func newTestFollower(t *testing.T, url string, sink *applySink) *Follower {
+	t.Helper()
+	f, err := NewFollower(FollowerConfig{
+		StreamURL:  url,
+		From:       sink.seq,
+		Apply:      sink.apply,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond,
+		rand:       func() float64 { return 0.5 }, // deterministic jitter factor 1.0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runFollower starts f.Run and returns its terminal error via a channel.
+func runFollower(f *Follower) (cancel context.CancelFunc, done <-chan error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan error, 1)
+	go func() { ch <- f.Run(ctx) }()
+	return cancel, ch
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicationCatchUpAndTail: a follower starting from zero receives
+// the backlog, then live appends, in order and exactly once.
+func TestReplicationCatchUpAndTail(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	log.append(`{"n":2}`)
+	log.append(`{"n":3}`)
+	ts := newTestLeader(t, log)
+	sink := &applySink{}
+	f := newTestFollower(t, ts.URL, sink)
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "catch-up", func() bool { return sink.seq() == 3 })
+	if !f.Connected() {
+		t.Error("follower should report connected")
+	}
+	log.append(`{"n":4}`)
+	log.append(`{"n":5}`)
+	waitFor(t, "live tail", func() bool { return sink.seq() == 5 })
+
+	want := []string{`{"n":1}`, `{"n":2}`, `{"n":3}`, `{"n":4}`, `{"n":5}`}
+	got := sink.data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: got %s, want %s", i+1, got[i], want[i])
+		}
+	}
+	if f.LagSeq() != 0 {
+		t.Errorf("lag = %d after full sync", f.LagSeq())
+	}
+	if f.LeaderSeq() < 5 {
+		t.Errorf("leaderSeq = %d, want >= 5", f.LeaderSeq())
+	}
+}
+
+// TestReplicationResume: a follower that already applied part of the
+// log asks for ?from=N and is fed only what it is missing.
+func TestReplicationResume(t *testing.T) {
+	log := newMemLog(7)
+	for i := 1; i <= 5; i++ {
+		log.append(fmt.Sprintf(`{"n":%d}`, i))
+	}
+	ts := newTestLeader(t, log)
+	sink := &applySink{recs: []Record{{Seq: 1}, {Seq: 2}, {Seq: 3}}} // already applied 1..3
+	f := newTestFollower(t, ts.URL, sink)
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "resume", func() bool { return sink.seq() == 5 })
+	got := sink.data()
+	if got[3] != `{"n":4}` || got[4] != `{"n":5}` {
+		t.Errorf("resume applied wrong entries: %v", got[3:])
+	}
+}
+
+// TestReplicationReconnects: when the leader drops the stream (log
+// closed a lagging subscriber), the follower reconnects on its own and
+// converges without missing entries.
+func TestReplicationReconnects(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	ts := newTestLeader(t, log)
+	sink := &applySink{}
+	f := newTestFollower(t, ts.URL, sink)
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "first sync", func() bool { return sink.seq() == 1 })
+	log.dropSubs() // leader tears the stream down
+	log.append(`{"n":2}`)
+	log.append(`{"n":3}`)
+	waitFor(t, "reconnect and converge", func() bool { return sink.seq() == 3 })
+}
+
+// TestReplicationApplyErrorRetries: a failing apply drops the
+// connection; the retry re-delivers the same record, which must apply
+// exactly once overall.
+func TestReplicationApplyErrorRetries(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	log.append(`{"n":2}`)
+	ts := newTestLeader(t, log)
+	sink := &applySink{errs: 2}
+	f := newTestFollower(t, ts.URL, sink)
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "convergence after apply failures", func() bool { return sink.seq() == 2 })
+	if got := sink.data(); got[0] != `{"n":1}` || got[1] != `{"n":2}` {
+		t.Errorf("wrong entries after retries: %v", got)
+	}
+}
+
+// TestFollowerFencedOnEpochMismatch: once synced to one lineage, a
+// leader reporting a different epoch is terminal, not retried.
+func TestFollowerFencedOnEpochMismatch(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	ts := newTestLeader(t, log)
+	sink := &applySink{}
+	f := newTestFollower(t, ts.URL, sink)
+	cancel, done := runFollower(f)
+	defer cancel()
+
+	waitFor(t, "first sync", func() bool { return sink.seq() == 1 })
+	log.setEpoch(99) // leader rebuilt from a different base
+	log.dropSubs()   // force a reconnect, which sees the new epoch
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("Run returned %v, want ErrFenced", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not fence on epoch change")
+	}
+}
+
+// TestFollowerFencedWhenAheadOfLeader: a follower whose applied state is
+// past the leader's log gets 409 and stops — retrying cannot converge.
+func TestFollowerFencedWhenAheadOfLeader(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	ts := newTestLeader(t, log)
+	sink := &applySink{recs: make([]Record, 10)} // pretends to be at seq 10
+	f := newTestFollower(t, ts.URL, sink)
+	_, done := runFollower(f)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrFenced) {
+			t.Fatalf("Run returned %v, want ErrFenced", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower did not fence when ahead of leader")
+	}
+}
+
+// fakeLeader serves a scripted set of raw lines as a stream once.
+func fakeLeader(t *testing.T, lines ...string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, l := range lines {
+			io.WriteString(w, l+"\n")
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStreamProtocolViolations: gaps, entries before hello, duplicate
+// hellos and wrong resume grants all fail the connection (retryable),
+// without fencing and without applying anything out of order.
+func TestStreamProtocolViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		lines   []string
+		wantErr string
+	}{
+		{
+			"gap",
+			[]string{`{"frame":"hello","epoch":7,"from":0,"seq":5}`, `{"frame":"entry","seq":3,"entry":{}}`},
+			"gap",
+		},
+		{
+			"entry before hello",
+			[]string{`{"frame":"entry","seq":1,"entry":{}}`},
+			"before hello",
+		},
+		{
+			"heartbeat before hello",
+			[]string{`{"frame":"heartbeat","seq":1}`},
+			"before hello",
+		},
+		{
+			"duplicate hello",
+			[]string{`{"frame":"hello","epoch":7,"from":0,"seq":0}`, `{"frame":"hello","epoch":7,"from":0,"seq":0}`},
+			"duplicate hello",
+		},
+		{
+			"wrong resume grant",
+			[]string{`{"frame":"hello","epoch":7,"from":3,"seq":5}`},
+			"granted resume",
+		},
+		{
+			"garbage line",
+			[]string{`not json at all`},
+			"bad frame",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := fakeLeader(t, tc.lines...)
+			sink := &applySink{}
+			f := newTestFollower(t, ts.URL, sink)
+			_, err := f.streamOnce(context.Background())
+			if err == nil || errors.Is(err, ErrFenced) || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("streamOnce: got %v, want retryable error containing %q", err, tc.wantErr)
+			}
+			if sink.seq() != 0 {
+				t.Errorf("applied %d entries from a bad stream", sink.seq())
+			}
+		})
+	}
+}
+
+// TestStreamDuplicateEntriesSkipped: entries at or below the local seq
+// are ignored, so leader-side duplication around the catch-up/tail
+// boundary is harmless.
+func TestStreamDuplicateEntriesSkipped(t *testing.T) {
+	ts := fakeLeader(t,
+		`{"frame":"hello","epoch":7,"from":0,"seq":2}`,
+		`{"frame":"entry","seq":1,"entry":{"n":1}}`,
+		`{"frame":"entry","seq":1,"entry":{"n":1}}`,
+		`{"frame":"entry","seq":2,"entry":{"n":2}}`,
+	)
+	sink := &applySink{}
+	f := newTestFollower(t, ts.URL, sink)
+	if _, err := f.streamOnce(context.Background()); err == nil || !strings.Contains(err.Error(), "closed by leader") {
+		t.Fatalf("streamOnce: %v", err)
+	}
+	if sink.seq() != 2 {
+		t.Fatalf("applied %d entries, want 2", sink.seq())
+	}
+}
+
+// TestServeStreamRejects: bad resume tokens answer 400; a resume point
+// past the leader's log answers 409 (the terminal fencing signal).
+func TestServeStreamRejects(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	ts := newTestLeader(t, log)
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"?from=banana", http.StatusBadRequest},
+		{"?from=-1", http.StatusBadRequest},
+		{"?from=99", http.StatusConflict},
+		{"?from=1", http.StatusOK},
+		{"", http.StatusOK},
+	} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+tc.query, nil)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+		if err != nil {
+			cancel()
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d, want %d", tc.query, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+		cancel()
+	}
+}
+
+// TestServeStreamHeartbeats: an idle stream carries hello then
+// heartbeats, keeping the follower's lag clock fresh.
+func TestServeStreamHeartbeats(t *testing.T) {
+	log := newMemLog(7)
+	log.append(`{"n":1}`)
+	ts := newTestLeader(t, log) // 20ms heartbeat
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"?from=1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	var got []byte
+	deadline := time.Now().Add(2 * time.Second)
+	for strings.Count(string(got), "\n") < 3 && time.Now().Before(deadline) {
+		n, err := resp.Body.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(string(got)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("got %d lines, want hello + >=2 heartbeats: %q", len(lines), got)
+	}
+	first, err := ParseFrame([]byte(lines[0]))
+	if err != nil || first.Kind != FrameHello || first.Epoch != 7 || first.From != 1 {
+		t.Fatalf("first frame %q: %+v, %v", lines[0], first, err)
+	}
+	for _, l := range lines[1:] {
+		hb, err := ParseFrame([]byte(l))
+		if err != nil || hb.Kind != FrameHeartbeat || hb.Seq != 1 {
+			t.Fatalf("heartbeat frame %q: %+v, %v", l, hb, err)
+		}
+	}
+}
+
+// TestBackoffBounds: the delay doubles per attempt, caps at MaxBackoff,
+// and jitter keeps it within ±50% of the nominal value.
+func TestBackoffBounds(t *testing.T) {
+	f := &Follower{cfg: FollowerConfig{
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: time.Second,
+	}}
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		f.cfg.rand = func() float64 { return r }
+		for attempt, nominal := range map[int]time.Duration{
+			0: 100 * time.Millisecond,
+			1: 200 * time.Millisecond,
+			2: 400 * time.Millisecond,
+			3: 800 * time.Millisecond,
+			4: time.Second, // capped
+			9: time.Second,
+		} {
+			d := f.backoff(attempt)
+			lo, hi := nominal/2, nominal+nominal/2
+			if d < lo || d > hi {
+				t.Errorf("backoff(%d) with rand=%v = %v, want in [%v, %v]", attempt, r, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestNewFollowerValidation: nonsense configs are rejected with clear
+// errors instead of failing at connect time.
+func TestNewFollowerValidation(t *testing.T) {
+	sink := &applySink{}
+	ok := FollowerConfig{StreamURL: "http://leader:8080/v1/journal/stream", From: sink.seq, Apply: sink.apply}
+	if _, err := NewFollower(ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []FollowerConfig{
+		{StreamURL: "", From: sink.seq, Apply: sink.apply},
+		{StreamURL: "not a url", From: sink.seq, Apply: sink.apply},
+		{StreamURL: "ftp://leader/journal", From: sink.seq, Apply: sink.apply},
+		{StreamURL: "/v1/journal/stream", From: sink.seq, Apply: sink.apply},
+		{StreamURL: "http://leader:8080", From: nil, Apply: sink.apply},
+		{StreamURL: "http://leader:8080", From: sink.seq, Apply: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := NewFollower(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestLagSeconds: the lag clock advances while no frames arrive and
+// resets when one does.
+func TestLagSeconds(t *testing.T) {
+	log := newMemLog(7)
+	ts := newTestLeader(t, log)
+	sink := &applySink{}
+	f := newTestFollower(t, ts.URL, sink)
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+	waitFor(t, "attach", f.Connected)
+	// Heartbeats every 20ms keep the clock under a second.
+	time.Sleep(100 * time.Millisecond)
+	if lag := f.LagSeconds(); lag > 1 {
+		t.Errorf("lag %.3fs on a healthy idle stream", lag)
+	}
+}

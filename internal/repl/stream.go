@@ -1,0 +1,130 @@
+package repl
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// DefaultHeartbeat is the idle-stream heartbeat interval when the
+// caller does not choose one.
+const DefaultHeartbeat = 2 * time.Second
+
+// ServeStream answers GET <...>/journal/stream?from=<seq> from log: a
+// hello frame (epoch, granted resume point, current seq), the catch-up
+// records after from, then the live tail interleaved with heartbeats.
+// The response is chunked JSON lines, flushed per frame so a follower
+// sees an entry as soon as it is durable on the leader.
+//
+// The stream ends when the client goes away, the log shuts down, or the
+// subscriber buffer overflows (the follower reconnects and resumes by
+// sequence number, so ending the stream is always safe). A resume point
+// past the log's current seq is answered 409: this follower replayed
+// entries the leader does not have, which is a lineage mismatch, not a
+// transient failure.
+func ServeStream(w http.ResponseWriter, r *http.Request, log Log, heartbeat time.Duration, m *StreamMetrics) {
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
+	from := uint64(0)
+	if tok := r.URL.Query().Get("from"); tok != "" {
+		n, err := ParseResumeToken(tok)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		from = n
+	}
+	epoch, err := log.Epoch()
+	if err != nil {
+		http.Error(w, "repl: leader epoch unavailable: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if last := log.LastSeq(); from > last {
+		http.Error(w, fmt.Sprintf("repl: resume point %d is past leader seq %d (lineage mismatch)", from, last),
+			http.StatusConflict)
+		return
+	}
+	catchup, live, cancel, err := log.Stream(from)
+	if err != nil {
+		http.Error(w, "repl: stream unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer cancel()
+	if m != nil {
+		m.Streams.Inc()
+		m.Active.Add(1)
+		defer m.Active.Add(-1)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	seq := from + uint64(len(catchup))
+	last := log.LastSeq()
+	if last < seq {
+		last = seq
+	}
+	send := func(f Frame) bool {
+		line, err := f.MarshalLine()
+		if err != nil {
+			return false // protocol bug; drop the stream, follower resumes
+		}
+		if _, err := w.Write(line); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !send(Frame{Kind: FrameHello, Epoch: epoch, From: from, Seq: last}) {
+		return
+	}
+	for _, rec := range catchup {
+		if !send(Frame{Kind: FrameEntry, Seq: rec.Seq, Entry: rec.Data}) {
+			return
+		}
+		if m != nil {
+			m.Entries.Inc()
+		}
+	}
+
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case rec, ok := <-live:
+			if !ok {
+				// Log closed or this subscriber fell behind its buffer;
+				// the follower reconnects and catches up from storage.
+				if m != nil {
+					m.Drops.Inc()
+				}
+				return
+			}
+			if rec.Seq <= seq {
+				continue // duplicate of the catch-up batch
+			}
+			if !send(Frame{Kind: FrameEntry, Seq: rec.Seq, Entry: rec.Data}) {
+				return
+			}
+			seq = rec.Seq
+			if m != nil {
+				m.Entries.Inc()
+			}
+		case <-ticker.C:
+			last := log.LastSeq()
+			if last < seq {
+				last = seq
+			}
+			if !send(Frame{Kind: FrameHeartbeat, Seq: last}) {
+				return
+			}
+		}
+	}
+}

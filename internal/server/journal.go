@@ -2,6 +2,9 @@ package server
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,10 +13,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
+	"realconfig/internal/repl"
 )
 
 // Journal operations.
@@ -42,22 +47,46 @@ type Entry struct {
 	Waves   [][]int           `json:"waves,omitempty"`
 }
 
-// journal is an append-only JSON-lines log of applied writes. The
-// active file lives at path; when segBytes > 0 and an append pushes the
-// active file past that size, the file is sealed by renaming it to
+// journal is an append-only JSON-lines log of applied writes, and the
+// tenant's single source of truth for replication: it implements
+// repl.Log, so a follower can catch up from the sealed segment chain
+// and then tail live appends, resumable by sequence number.
+//
+// The active file lives at path; when segBytes > 0 and an append pushes
+// the active file past that size, the file is sealed by renaming it to
 // path.NNNNNN (monotonically increasing, zero-padded) and a fresh
 // active file is opened. Replay reads sealed segments in index order,
 // then the active file, so rotation never changes the replayed
 // sequence. segBytes == 0 disables rotation (one unbounded file, the
 // historical behavior).
+//
+// Concurrency: the owning tenant's apply goroutine is the only writer;
+// replication streams subscribe and read the active file under mu.
+// Sealed segments are immutable once renamed, so catch-up reads them
+// without the lock.
 type journal struct {
 	path     string
 	segBytes int64
-	size     int64 // bytes in the active file
-	nextSeg  int   // index the next sealed segment will take
+
+	mu      sync.Mutex
+	size    int64  // bytes in the active file
+	nextSeg int    // index the next sealed segment will take
+	lastSeq uint64 // sequence number of the newest durable entry
+	epoch   uint64 // journal-lineage id (0 until minted or adopted)
+	closed  bool
 
 	f *os.File
 	w *bufio.Writer
+
+	// subs are live replication subscribers, keyed for removal. A
+	// subscriber that falls behind its buffer is closed and dropped;
+	// the follower reconnects and resumes from storage.
+	subs    map[int]chan repl.Record
+	nextSub int
+
+	// tornBytes records how many trailing bytes of the active file were
+	// truncated at open because a crash tore the final record.
+	tornBytes int64
 
 	// Instruments (nil-safe; wired by the server when metrics are on).
 	appends       *obs.Counter
@@ -65,6 +94,9 @@ type journal struct {
 	fsyncSeconds  *obs.Histogram
 	rotations     *obs.Counter
 }
+
+// subBuffer bounds each replication subscriber's live-tail channel.
+const subBuffer = 1024
 
 // segmentIndex parses name as a sealed segment of the journal whose
 // active file is base ("base.NNNNNN").
@@ -113,33 +145,98 @@ func journalSegments(path string) ([]string, int, error) {
 	return paths, next, nil
 }
 
-// readEntries decodes the JSON-lines entries of one journal file.
-func readEntries(r io.Reader, path string) ([]Entry, error) {
-	var entries []Entry
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+// readEntries decodes the JSON-lines entries of one journal file. good
+// is the byte offset just past the last intact record; torn reports a
+// partial trailing record — a final line that is unterminated or not
+// valid JSON, the signature of a crash mid-append. Callers decide
+// whether a torn tail is recoverable (the chain's final file: truncate
+// to good) or corruption (a sealed mid-chain segment: fail).
+func readEntries(r io.Reader, path string) (entries []Entry, good int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 64*1024)
 	lineno := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			lineno++
+			terminated := line[len(line)-1] == '\n'
+			body := bytes.TrimSuffix(line, []byte("\n"))
+			if len(bytes.TrimSpace(body)) == 0 {
+				good += int64(len(line))
+			} else {
+				var e Entry
+				jerr := json.Unmarshal(body, &e)
+				switch {
+				case jerr == nil && terminated:
+					entries = append(entries, e)
+					good += int64(len(line))
+				case rerr == io.EOF || (jerr != nil && peekEOF(br)):
+					// Partial trailing record: unterminated, or the
+					// final line failed to decode.
+					return entries, good, true, nil
+				default:
+					return nil, 0, false, fmt.Errorf("journal %s line %d: %w", path, lineno, jerr)
+				}
+			}
+		}
+		if rerr == io.EOF {
+			return entries, good, false, nil
+		}
+		if rerr != nil {
+			return nil, 0, false, fmt.Errorf("journal %s: %w", path, rerr)
+		}
+	}
+}
+
+// peekEOF reports whether br has no bytes left (so the line just read
+// was the file's last).
+func peekEOF(br *bufio.Reader) bool {
+	_, err := br.Peek(1)
+	return err == io.EOF
+}
+
+// readRawLines returns the non-blank lines of one journal file without
+// decoding them, newline stripped — the byte-preserving read path
+// replication catch-up uses. max bounds how many lines are returned
+// (<0 = all); reading stops early once reached, so a concurrent append
+// past the caller's snapshot of lastSeq is never picked up.
+func readRawLines(path string, max int) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
-		lineno++
+		if max >= 0 && len(out) >= max {
+			return out, nil
+		}
 		line := sc.Bytes()
-		if len(line) == 0 {
+		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
-		var e Entry
-		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("journal %s line %d: %w", path, lineno, err)
-		}
-		entries = append(entries, e)
+		out = append(out, append([]byte(nil), line...))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("journal %s: %w", path, err)
 	}
-	return entries, nil
+	return out, nil
 }
 
 // openJournal reads any existing entries — sealed segments first, then
 // the active file — and opens the active file for appending. An empty
 // or absent journal yields no entries.
+//
+// Crash recovery: a torn final record can only live at the tail of the
+// active file (segments are sealed strictly after a durable append, and
+// the rename is atomic), so a torn active-file tail is truncated away
+// and recovery proceeds — the record was never acknowledged. A torn
+// tail on a sealed segment that is not the end of the chain means real
+// corruption (entries after it would be silently renumbered) and fails.
 func openJournal(path string, segBytes int64) (*journal, []Entry, error) {
 	segPaths, nextSeg, err := journalSegments(path)
 	if err != nil {
@@ -151,10 +248,13 @@ func openJournal(path string, segBytes int64) (*journal, []Entry, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		es, err := readEntries(sf, sp)
+		es, _, torn, err := readEntries(sf, sp)
 		sf.Close()
 		if err != nil {
 			return nil, nil, err
+		}
+		if torn {
+			return nil, nil, fmt.Errorf("journal %s: sealed segment has a torn tail (mid-chain corruption; entries after it would be renumbered)", sp)
 		}
 		entries = append(entries, es...)
 	}
@@ -162,37 +262,69 @@ func openJournal(path string, segBytes int64) (*journal, []Entry, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	es, err := readEntries(f, path)
+	es, good, torn, err := readEntries(f, path)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
+	}
+	var tornBytes int64
+	if torn {
+		end, serr := f.Seek(0, io.SeekEnd)
+		if serr != nil {
+			f.Close()
+			return nil, nil, serr
+		}
+		tornBytes = end - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal %s: truncating torn tail: %w", path, err)
+		}
 	}
 	entries = append(entries, es...)
-	size, err := f.Seek(0, io.SeekEnd)
-	if err != nil {
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
-	return &journal{
-		path:     path,
-		segBytes: segBytes,
-		size:     size,
-		nextSeg:  nextSeg,
-		f:        f,
-		w:        bufio.NewWriter(f),
-	}, entries, nil
+	j := &journal{
+		path:      path,
+		segBytes:  segBytes,
+		size:      good,
+		nextSeg:   nextSeg,
+		lastSeq:   uint64(len(entries)),
+		tornBytes: tornBytes,
+		f:         f,
+		w:         bufio.NewWriter(f),
+		subs:      make(map[int]chan repl.Record),
+	}
+	if e, err := readEpochFile(epochPath(path)); err != nil {
+		f.Close()
+		return nil, nil, err
+	} else {
+		j.epoch = e
+	}
+	return j, entries, nil
 }
 
 // append durably records one entry (write + flush + fsync), sealing the
 // active file into a numbered segment afterwards if it crossed the
 // rotation threshold.
 func (j *journal) append(e Entry) error {
-	t0 := time.Now()
-	defer func() { j.appendSeconds.ObserveDuration(time.Since(t0)) }()
 	b, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
+	return j.appendRaw(b)
+}
+
+// appendRaw durably records one pre-encoded entry line (no newline).
+// Followers use it directly so the local journal preserves the leader's
+// bytes; append funnels through it. After the entry is durable, every
+// replication subscriber is notified.
+func (j *journal) appendRaw(b []byte) error {
+	t0 := time.Now()
+	defer func() { j.appendSeconds.ObserveDuration(time.Since(t0)) }()
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	n, err := j.w.Write(append(b, '\n'))
 	if err != nil {
 		return err
@@ -207,6 +339,18 @@ func (j *journal) append(e Entry) error {
 	}
 	j.fsyncSeconds.ObserveDuration(time.Since(ts))
 	j.appends.Inc()
+	j.lastSeq++
+	rec := repl.Record{Seq: j.lastSeq, Data: append([]byte(nil), b...)}
+	for id, ch := range j.subs {
+		select {
+		case ch <- rec:
+		default:
+			// Subscriber fell behind its buffer: drop it. The stream
+			// ends and the follower reconnects, resuming from storage.
+			close(ch)
+			delete(j.subs, id)
+		}
+	}
 	if j.segBytes > 0 && j.size >= j.segBytes {
 		if err := j.rotate(); err != nil {
 			return err
@@ -216,7 +360,7 @@ func (j *journal) append(e Entry) error {
 }
 
 // rotate seals the (already flushed and synced) active file under the
-// next segment index and starts a fresh one.
+// next segment index and starts a fresh one. Caller holds mu.
 func (j *journal) rotate() error {
 	if err := j.f.Close(); err != nil {
 		return err
@@ -236,11 +380,196 @@ func (j *journal) rotate() error {
 }
 
 func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.closed = true
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
 	if err := j.w.Flush(); err != nil {
 		j.f.Close()
 		return err
 	}
 	return j.f.Close()
+}
+
+// ---- repl.Log ----
+
+// LastSeq returns the sequence number of the newest durable entry.
+func (j *journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastSeq
+}
+
+// Epoch returns the journal's lineage id, minting and persisting one on
+// first use (leader side). A follower's journal instead adopts the
+// leader's epoch via setEpoch before ever streaming.
+func (j *journal) Epoch() (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.epoch != 0 {
+		return j.epoch, nil
+	}
+	e, err := mintEpoch()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeEpochFile(epochPath(j.path), e); err != nil {
+		return 0, err
+	}
+	j.epoch = e
+	return e, nil
+}
+
+// knownEpoch returns the persisted epoch without minting one.
+func (j *journal) knownEpoch() (uint64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch, j.epoch != 0
+}
+
+// setEpoch adopts (and persists) the leader's epoch on a follower.
+func (j *journal) setEpoch(e uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := writeEpochFile(epochPath(j.path), e); err != nil {
+		return err
+	}
+	j.epoch = e
+	return nil
+}
+
+// Stream implements repl.Log: the catch-up records after from, plus a
+// live channel for subsequent appends.
+//
+// Catch-up reads sealed segments without the lock (they are immutable);
+// the active file is read and the subscriber registered under mu, so
+// the handoff between catch-up and tail is gapless: every entry is in
+// exactly one of them (modulo the harmless duplicate guard downstream).
+func (j *journal) Stream(from uint64) ([]repl.Record, <-chan repl.Record, func(), error) {
+	segPaths, _, err := journalSegments(j.path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var catchup []repl.Record
+	seq := uint64(0)
+	addLines := func(lines [][]byte) {
+		for _, line := range lines {
+			seq++
+			if seq > from {
+				catchup = append(catchup, repl.Record{Seq: seq, Data: line})
+			}
+		}
+	}
+	for _, sp := range segPaths {
+		lines, err := readRawLines(sp, -1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		addLines(lines)
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, nil, nil, fmt.Errorf("journal %s: closed", j.path)
+	}
+	// Segments sealed between the unlocked listing and here are
+	// immutable too; pick up the stragglers before the active file.
+	segPaths2, _, err := journalSegments(j.path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, sp := range segPaths2[len(segPaths):] {
+		lines, err := readRawLines(sp, -1)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		addLines(lines)
+	}
+	if seq > j.lastSeq {
+		return nil, nil, nil, fmt.Errorf("journal %s: segment chain has %d entries past lastSeq %d", j.path, seq-j.lastSeq, j.lastSeq)
+	}
+	lines, err := readRawLines(j.path, int(j.lastSeq-seq))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	addLines(lines)
+	if seq != j.lastSeq {
+		return nil, nil, nil, fmt.Errorf("journal %s: catch-up found %d entries, expected %d", j.path, seq, j.lastSeq)
+	}
+
+	ch := make(chan repl.Record, subBuffer)
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	cancel := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(ch)
+		}
+	}
+	return catchup, ch, cancel, nil
+}
+
+// ---- epoch persistence ----
+
+// epochPath is the sidecar file holding the journal's lineage id.
+func epochPath(journalPath string) string { return journalPath + ".epoch" }
+
+// mintEpoch draws a random non-zero 63-bit lineage id.
+func mintEpoch() (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0, fmt.Errorf("minting journal epoch: %w", err)
+		}
+		e := binary.BigEndian.Uint64(b[:]) >> 1
+		if e != 0 {
+			return e, nil
+		}
+	}
+}
+
+// readEpochFile loads a persisted epoch (0 if the file does not exist).
+func readEpochFile(path string) (uint64, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	e, perr := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if perr != nil || e == 0 {
+		return 0, fmt.Errorf("journal epoch file %s: bad contents %q", path, strings.TrimSpace(string(b)))
+	}
+	return e, nil
+}
+
+// writeEpochFile persists an epoch durably (write, sync, rename).
+func writeEpochFile(path string, e uint64) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", e); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // changesEntry builds a journal entry for an applied change batch.

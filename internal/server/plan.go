@@ -95,6 +95,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.rejectReplicaWrite(w, r) {
+		return
+	}
 	var req planRequest
 	body := http.MaxBytesReader(w, r.Body, 8<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {

@@ -45,6 +45,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,6 +56,7 @@ import (
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
 	"realconfig/internal/policy"
+	"realconfig/internal/repl"
 	"realconfig/internal/trace"
 )
 
@@ -76,8 +78,23 @@ type Config struct {
 	Shards int
 	// JournalSegmentBytes seals a journal file into a numbered segment
 	// once an append pushes it past this size (0 = one unbounded file).
-	// Applies to every tenant's journal.
+	// Applies to every tenant's journal. Negative values are rejected.
 	JournalSegmentBytes int64
+	// FollowURL turns the daemon into a read replica of the leader at
+	// this base URL ("" = leader mode). Every tenant follows the
+	// same-named tenant on the leader: it replays the leader's journal
+	// stream into its own engine, serves reads from lock-free
+	// snapshots, and rejects writes with 503 plus a Leader hint. The
+	// replica must be started from the same base snapshot and policy
+	// text as the leader — replication ships only the journal.
+	FollowURL string
+	// ReplHeartbeat is the leader's idle-stream heartbeat interval
+	// (0 = repl.DefaultHeartbeat).
+	ReplHeartbeat time.Duration
+	// ReplBackoff/ReplMaxBackoff tune the follower's jittered reconnect
+	// backoff (0 = repl defaults; mostly for tests).
+	ReplBackoff    time.Duration
+	ReplMaxBackoff time.Duration
 	// Tenants declares additional named tenants, each with its own
 	// network, policies, journal and shard count.
 	Tenants []TenantConfig
@@ -101,6 +118,9 @@ type serverOptions struct {
 	queueDepth      int
 	applyTimeout    time.Duration
 	journalSegBytes int64
+	follow          string // leader base URL ("" = leader mode)
+	replBackoff     time.Duration
+	replMaxBackoff  time.Duration
 	log             *slog.Logger
 }
 
@@ -114,6 +134,11 @@ type Server struct {
 	mux   *http.ServeMux
 	h     http.Handler // mux wrapped in the tenant-routing and req_id middleware
 	start time.Time
+
+	// follow is the leader base URL when this daemon is a read replica
+	// ("" on a leader); heartbeat paces idle replication streams.
+	follow    string
+	heartbeat time.Duration
 
 	log    *slog.Logger
 	reqSeq atomic.Uint64
@@ -173,6 +198,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Net == nil {
 		return nil, errors.New("server: Config.Net is required")
 	}
+	if cfg.JournalSegmentBytes < 0 {
+		return nil, fmt.Errorf("server: Config.JournalSegmentBytes must be >= 0, got %d", cfg.JournalSegmentBytes)
+	}
+	if cfg.FollowURL != "" {
+		if err := ValidateLeaderURL(cfg.FollowURL); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
@@ -184,16 +217,21 @@ func New(cfg Config) (*Server, error) {
 		log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		tenants: make(map[string]*Tenant, 1+len(cfg.Tenants)),
-		start:   time.Now(),
-		log:     log,
-		reg:     obs.NewRegistry(),
+		tenants:   make(map[string]*Tenant, 1+len(cfg.Tenants)),
+		start:     time.Now(),
+		follow:    cfg.FollowURL,
+		heartbeat: cfg.ReplHeartbeat,
+		log:       log,
+		reg:       obs.NewRegistry(),
 	}
 	opts := serverOptions{
 		verifier:        cfg.Options,
 		queueDepth:      cfg.QueueDepth,
 		applyTimeout:    cfg.ApplyTimeout,
 		journalSegBytes: cfg.JournalSegmentBytes,
+		follow:          cfg.FollowURL,
+		replBackoff:     cfg.ReplBackoff,
+		replMaxBackoff:  cfg.ReplMaxBackoff,
 		log:             log,
 	}
 
@@ -253,6 +291,26 @@ func New(cfg Config) (*Server, error) {
 	s.routes(cfg.EnablePprof)
 	s.h = s.withReqID(s.withTenant(s.mux))
 	return s, nil
+}
+
+// ValidateLeaderURL checks a -follow / Config.FollowURL value: an
+// absolute http(s) URL with a host and no path/query/fragment (the
+// daemon derives per-tenant stream paths itself).
+func ValidateLeaderURL(s string) error {
+	u, err := url.Parse(s)
+	if err != nil {
+		return fmt.Errorf("server: leader URL %q: %v", s, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("server: leader URL %q must use http or https, got scheme %q", s, u.Scheme)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("server: leader URL %q has no host", s)
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return fmt.Errorf("server: leader URL %q must be a bare base URL (scheme://host[:port])", s)
+	}
+	return nil
 }
 
 // policyLines extracts the significant (non-blank, non-comment) lines of
@@ -349,6 +407,15 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards per-frame flushes to the underlying writer, so the
+// replication stream's chunked JSON lines leave the server immediately
+// instead of sitting in the response buffer behind the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withReqID assigns every request a daemon-unique id, echoes it in the
 // X-Request-Id response header, threads it through the context (logs,
 // error bodies, apply traces) and writes one access-log line per
@@ -411,6 +478,7 @@ func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("GET /v1/applies", s.handleApplies)
 	s.mux.HandleFunc("GET /v1/applies/{id}/trace", s.handleApplyTrace)
 	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /v1/journal/stream", s.handleJournalStream)
 	s.mux.Handle("/v1/metrics", s.reg.Handler())
 	if enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -459,6 +527,38 @@ type tenantSummary struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	ReqID string `json:"reqId,omitempty"`
+}
+
+// rejectReplicaWrite answers a write request on a read replica: 503
+// plus a Leader header naming where writes go. Returns true if the
+// request was handled (the caller returns immediately).
+func (s *Server) rejectReplicaWrite(w http.ResponseWriter, r *http.Request) bool {
+	if s.follow == "" {
+		return false
+	}
+	w.Header().Set("Leader", s.follow)
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: "read replica: writes are served by the leader at " + s.follow,
+		ReqID: reqIDFrom(r),
+	})
+	return true
+}
+
+// handleJournalStream serves the tenant's journal as a replication
+// stream (see internal/repl): hello frame with the journal epoch,
+// catch-up entries after ?from=<seq>, then the live tail. Works on a
+// replica too — its local journal mirrors the leader's bytes, so
+// replicas can fan out into chains.
+func (s *Server) handleJournalStream(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantFrom(r)
+	if t.journal == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+			Error: "replication requires a journal (start the daemon with -journal)",
+			ReqID: reqIDFrom(r),
+		})
+		return
+	}
+	repl.ServeStream(w, r, t.journal, s.heartbeat, t.streamM)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -523,8 +623,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	t := s.tenantFrom(r)
 	snap := t.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"ok":            true,
+		"role":          "leader",
 		"seq":           snap.Seq,
 		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
 		"devices":       snap.Devices,
@@ -533,7 +634,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"fibRules":      snap.FIBRules,
 		"queueLength":   len(t.jobs),
 		"queueCapacity": cap(t.jobs),
-	})
+	}
+	if f := t.Follower(); f != nil {
+		out["role"] = "follower"
+		out["leader"] = s.follow
+		out["leaderSeq"] = f.LeaderSeq()
+		out["replLagSeq"] = f.LagSeq()
+		out["replConnected"] = f.Connected()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
@@ -584,6 +693,9 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.rejectReplicaWrite(w, r) {
 		return
 	}
 	changes, ok := decodeChangesBody(w, r)
@@ -694,6 +806,9 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.rejectReplicaWrite(w, r) {
 		return
 	}
 	var req policiesRequest

@@ -378,12 +378,15 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// TestJournalCorruptionRejected: a truncated or garbled journal fails
-// startup loudly instead of silently recovering partial state.
+// TestJournalCorruptionRejected: a garbled record in the middle of the
+// journal fails startup loudly instead of silently recovering partial
+// state. (A garbled *final* record is different — that is the
+// crash-torn-tail case, recovered by truncation; see journal tests.)
 func TestJournalCorruptionRejected(t *testing.T) {
 	net, policyText := campusConfig(t)
 	path := filepath.Join(t.TempDir(), "j")
-	if err := os.WriteFile(path, []byte("{\"op\":\"changes\"\n"), 0o644); err != nil {
+	corrupt := "{\"op\":\"changes\"\n" + `{"op":"policies","policyText":""}` + "\n"
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	_, err := New(Config{Net: net, PolicyText: policyText, JournalPath: path})

@@ -2,15 +2,18 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
 	"realconfig/internal/plan"
+	"realconfig/internal/repl"
 )
 
 // DefaultTenant is the tenant behind the unprefixed /v1/... routes.
@@ -57,6 +60,17 @@ type Tenant struct {
 	m     serverMetrics
 	planM *plan.Metrics
 
+	// Replication. streamM instruments the leader side (set when a
+	// journal exists); follower is set in follower mode and drives the
+	// replication loop whose lifecycle followCancel/followDone manage.
+	streamM      *repl.StreamMetrics
+	follower     atomic.Pointer[repl.Follower]
+	followCancel context.CancelFunc
+	followDone   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
 	// State below is owned by the tenant's apply goroutine after
 	// newTenant returns.
 	eng      Engine
@@ -100,6 +114,11 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 		j.fsyncSeconds = t.m.journalFsyncSeconds
 		j.rotations = t.m.journalRotations
 		t.journal = j
+		t.streamM = repl.NewStreamMetrics(reg)
+		if j.tornBytes > 0 {
+			t.log.Warn("journal recovered from a torn tail",
+				"path", tc.JournalPath, "truncated_bytes", j.tornBytes)
+		}
 		t0 := time.Now()
 		for i, e := range entries {
 			rep, err := t.applyEntry(e)
@@ -127,7 +146,86 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 	t.snap.Store(buildSnapshot(t.eng, t.seq, lastReport))
 	t.m.snapshotPublishes.Inc()
 	go t.applyLoop()
+	if opts.follow != "" {
+		if err := t.startFollower(opts, reg); err != nil {
+			t.close()
+			return nil, err
+		}
+	}
 	return t, nil
+}
+
+// startFollower wires and launches the replication loop: this tenant
+// becomes a read replica of the same-named tenant on the leader,
+// resuming from the sequence its local journal replay recovered.
+func (t *Tenant) startFollower(opts serverOptions, reg *obs.Registry) error {
+	stream := strings.TrimSuffix(opts.follow, "/") + "/v1/journal/stream"
+	if t.ID != DefaultTenant {
+		stream = strings.TrimSuffix(opts.follow, "/") + "/v1/tenants/" + t.ID + "/journal/stream"
+	}
+	fc := repl.FollowerConfig{
+		StreamURL:  stream,
+		From:       func() uint64 { return t.Snapshot().Seq },
+		Apply:      t.applyReplicated,
+		Backoff:    opts.replBackoff,
+		MaxBackoff: opts.replMaxBackoff,
+		Log:        t.log.With("role", "follower"),
+		Metrics:    repl.NewFollowerMetrics(reg),
+	}
+	if t.journal != nil {
+		fc.Epoch = t.journal.knownEpoch
+		fc.SetEpoch = t.journal.setEpoch
+	}
+	f, err := repl.NewFollower(fc)
+	if err != nil {
+		return err
+	}
+	t.follower.Store(f)
+	reg.GaugeFunc("realconfig_repl_lag_seq",
+		"Sequence numbers the replica is behind the leader's last reported position.", nil,
+		func() float64 { return float64(f.LagSeq()) })
+	reg.GaugeFunc("realconfig_repl_lag_seconds",
+		"Seconds since the leader last confirmed the stream position (grows while disconnected).", nil,
+		f.LagSeconds)
+	ctx, cancel := context.WithCancel(context.Background())
+	t.followCancel = cancel
+	t.followDone = make(chan struct{})
+	go func() {
+		defer close(t.followDone)
+		if err := f.Run(ctx); err != nil && ctx.Err() == nil {
+			t.log.Error("replication stopped", "err", err)
+		}
+	}()
+	return nil
+}
+
+// applyReplicated replays one leader journal record on the apply
+// goroutine: verify, append the leader's bytes to the local journal,
+// bump the sequence, publish. Blocking submit (not fail-fast): a
+// replication entry must never be dropped for a momentarily full queue.
+func (t *Tenant) applyReplicated(ctx context.Context, rec repl.Record) error {
+	var e Entry
+	if err := json.Unmarshal(rec.Data, &e); err != nil {
+		return fmt.Errorf("decoding replicated entry: %w", err)
+	}
+	_, err := t.doBlocking(ctx, func() (any, error) {
+		if t.seq+1 != rec.Seq {
+			return nil, fmt.Errorf("replica at seq %d cannot apply seq %d", t.seq, rec.Seq)
+		}
+		rep, err := t.applyEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		if t.journal != nil {
+			if err := t.journal.appendRaw(rec.Data); err != nil {
+				return nil, fmt.Errorf("applied but not journaled: %w", err)
+			}
+		}
+		t.seq++
+		t.publish(rep)
+		return nil, nil
+	})
+	return err
 }
 
 // instrument wires the tenant's instruments on reg: the engine
@@ -269,6 +367,28 @@ func (t *Tenant) do(ctx context.Context, fn func() (any, error)) (any, error) {
 	}
 }
 
+// doBlocking submits fn like do, but waits for queue space instead of
+// failing fast — the replication path's discipline, where dropping a
+// job would stall the stream for a full backoff cycle.
+func (t *Tenant) doBlocking(ctx context.Context, fn func() (any, error)) (any, error) {
+	j := &job{ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	select {
+	case t.jobs <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.quit:
+		return nil, errShutdown
+	}
+	select {
+	case r := <-j.done:
+		return r.v, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.quit:
+		return nil, errShutdown
+	}
+}
+
 // publish rebuilds and atomically installs the snapshot. Runs on the
 // tenant's apply goroutine.
 func (t *Tenant) publish(rep *ReportJSON) {
@@ -285,15 +405,26 @@ func (t *Tenant) Snapshot() *Snapshot { return t.snap.Load() }
 // Engine returns the tenant's verification backend.
 func (t *Tenant) Engine() Engine { return t.eng }
 
-// close stops the apply goroutine and closes the journal.
+// close stops the replication loop (if any), then the apply goroutine,
+// then closes the journal (which ends any attached replica streams).
+// Idempotent: later calls return the first result.
 func (t *Tenant) close() error {
-	close(t.quit)
-	<-t.done
-	if t.journal != nil {
-		return t.journal.close()
-	}
-	return nil
+	t.closeOnce.Do(func() {
+		if t.followCancel != nil {
+			t.followCancel()
+			<-t.followDone
+		}
+		close(t.quit)
+		<-t.done
+		if t.journal != nil {
+			t.closeErr = t.journal.close()
+		}
+	})
+	return t.closeErr
 }
+
+// Follower returns the tenant's replication loop (nil on a leader).
+func (t *Tenant) Follower() *repl.Follower { return t.follower.Load() }
 
 // ---- Tenant routing ----
 

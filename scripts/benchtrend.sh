@@ -61,6 +61,11 @@ def aggregate(rep, table):
             "rows": [(r["shards"], r["policies"], r["applies"]) for r in data],
         }
         ns = sum(r["apply_ns"] for r in data)
+    elif table == "repl":
+        # Read counts vary run to run (throughput over a fixed window),
+        # so aggregate mean read latency per row, not raw wall time.
+        cfg = {"k": rep.get("k"), "rows": [(r["followers"], r["readers"]) for r in data]}
+        ns = sum(r["wall_ns"] / max(r["reads"], 1) for r in data)
     else:
         return None
     return cfg, ns
@@ -68,7 +73,7 @@ def aggregate(rep, table):
 
 fail = False
 compared = 0
-for table in ("table2", "table3", "stages", "mining", "plan", "shard"):
+for table in ("table2", "table3", "stages", "mining", "plan", "shard", "repl"):
     a, b = aggregate(old, table), aggregate(new, table)
     if a is None or b is None:
         continue
