@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke replica-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
+.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke replica-smoke backend-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
 
 all: build
 
@@ -28,6 +28,23 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) plan-smoke
 	$(MAKE) replica-smoke
+	$(MAKE) backend-smoke
+
+# backend-smoke verifies the same snapshot under both model backends
+# through the real CLI and requires identical policy verdicts and FIB
+# contents. Only the lines from "policies:" down are diffed: the report
+# header's EC counts legitimately differ (atoms never merge).
+backend-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/realconfig ./cmd/realconfig; \
+	for b in bdd atom; do \
+		$$tmp/realconfig verify -net examples/rollout/net -policies examples/rollout/net/policies.txt \
+			-fib -backend $$b | sed -n '/^policies:/,$$p' >$$tmp/$$b.out; \
+	done; \
+	diff $$tmp/bdd.out $$tmp/atom.out || { echo "backend-smoke: backends disagree"; exit 1; }; \
+	grep -q SATISFIED $$tmp/bdd.out || { echo "backend-smoke: no verdicts"; exit 1; }; \
+	echo "backend-smoke: ok"
 
 # fuzz-smoke runs each native fuzz target briefly (go supports one
 # -fuzz pattern per invocation). Long sessions: raise -fuzztime.
@@ -39,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -fuzz '^FuzzTenantPath$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/server
 	$(GO) test -fuzz '^FuzzStreamFrame$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/repl
 	$(GO) test -fuzz '^FuzzResumeToken$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/repl
+	$(GO) test -fuzz '^FuzzBackendEquivalence$$' -fuzztime $(FUZZTIME) -run '^$$' ./internal/core
 
 # cover measures per-package statement coverage and fails if any package
 # listed in coverage.txt dropped below its recorded floor. After

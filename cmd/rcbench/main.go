@@ -117,6 +117,19 @@ type jsonReplRow struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// jsonBackendRow is one (workload, backend) cell of the model-backend
+// A/B race: the same FIB delta through the bdd and atom backends,
+// durations in nanoseconds.
+type jsonBackendRow struct {
+	Change   string `json:"change"`
+	Backend  string `json:"backend"`
+	RulesIns int    `json:"rules_ins"`
+	RulesDel int    `json:"rules_del"`
+	ECs      int    `json:"ecs"`
+	ModelNs  int64  `json:"model_update_ns"`
+	CheckNs  int64  `json:"policy_check_ns"`
+}
+
 // jsonPlan is the update-planner comparison: the same ordering search
 // probed incrementally vs from scratch.
 type jsonPlan struct {
@@ -159,6 +172,7 @@ type jsonReport struct {
 	Plan      *jsonPlan        `json:"plan,omitempty"`
 	Shard     []jsonShardRow   `json:"shard,omitempty"`
 	Repl      []jsonReplRow    `json:"repl,omitempty"`
+	Backend   []jsonBackendRow `json:"backend,omitempty"`
 	Trace     []jsonTraceApply `json:"trace,omitempty"`
 }
 
@@ -178,7 +192,7 @@ func nextBenchPath() (string, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rcbench", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, plan, shard, all")
+	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, plan, shard, repl, backend, all")
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
@@ -210,7 +224,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") && !want("backend") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -245,6 +259,11 @@ func run(args []string) error {
 	}
 	if want("repl") {
 		if err := runRepl(*k, *replPolicies, *replReaders, *replWindow, rep); err != nil {
+			return err
+		}
+	}
+	if want("backend") {
+		if err := runBackend(*k, *samples, rep); err != nil {
 			return err
 		}
 	}
@@ -308,6 +327,31 @@ func runTable3(k int, rep *jsonReport) error {
 			Pairs:      r.Pairs,
 			PairsTotal: r.PairsTotal,
 			CheckNs:    r.T2.Nanoseconds(),
+		})
+	}
+	return nil
+}
+
+// runBackend races the bdd and atom model backends on the Table 3
+// workloads (base FIB load, LinkFailure and LP deltas) and reports
+// model-update and policy-check times per backend.
+func runBackend(k, samples int, rep *jsonReport) error {
+	header(k, "Model backends: bdd vs atom on the Table 3 workloads (BGP)")
+	rows, err := bench.RunBackend(k, samples)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatBackend(rows))
+	fmt.Println()
+	for _, r := range rows {
+		rep.Backend = append(rep.Backend, jsonBackendRow{
+			Change:   r.Change,
+			Backend:  r.Backend,
+			RulesIns: r.RulesIns,
+			RulesDel: r.RulesDel,
+			ECs:      r.ECs,
+			ModelNs:  r.T1.Nanoseconds(),
+			CheckNs:  r.T2.Nanoseconds(),
 		})
 	}
 	return nil

@@ -30,7 +30,7 @@ func TestRunGeneratesLoadableNetwork(t *testing.T) {
 	if _, err := v.Load(net); err != nil {
 		t.Fatal(err)
 	}
-	ps, err := core.ParsePolicies(string(polText), v.Model().H)
+	ps, err := core.ParsePolicies(string(polText))
 	if err != nil {
 		t.Fatal(err)
 	}

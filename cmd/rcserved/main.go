@@ -106,8 +106,13 @@ func parseTenant(spec string) (server.TenantConfig, error) {
 				return tc, fmt.Errorf("-tenant %q: bad shards %q", spec, v)
 			}
 			tc.Shards = n
+		case "backend":
+			if err := core.ValidateBackend(v); err != nil {
+				return tc, fmt.Errorf("-tenant %q: %w", spec, err)
+			}
+			tc.Backend = v
 		default:
-			return tc, fmt.Errorf("-tenant %q: unknown key %q (want id, net, policies, journal, shards)", spec, k)
+			return tc, fmt.Errorf("-tenant %q: unknown key %q (want id, net, policies, journal, shards, backend)", spec, k)
 		}
 	}
 	if tc.ID == "" || tc.Net == nil {
@@ -131,8 +136,9 @@ func run(args []string, out *os.File) error {
 	segBytes := fs.Int64("journal-segment-bytes", 0, "seal journal files into numbered segments past this size (0 = one unbounded file)")
 	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080)")
 	shards := fs.Int("shards", 1, "destination-space verifier shards for the default tenant (<=1 = monolithic)")
+	backend := fs.String("backend", "", "model backend: bdd (default) or atom; per-tenant backend= overrides")
 	var tenants tenantFlags
-	fs.Var(&tenants, "tenant", "add a named tenant: id=NAME,net=DIR[,policies=FILE][,journal=FILE][,shards=N] (repeatable)")
+	fs.Var(&tenants, "tenant", "add a named tenant: id=NAME,net=DIR[,policies=FILE][,journal=FILE][,shards=N][,backend=bdd|atom] (repeatable)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	parallel := fs.Int("parallel", 0, "policy-checker worker count (<=1 = sequential)")
 	queue := fs.Int("queue", 64, "apply queue depth (writes beyond it get 503)")
@@ -155,6 +161,9 @@ func run(args []string, out *os.File) error {
 	logger := slog.New(handler)
 	if *netDir == "" {
 		return fmt.Errorf("-net is required")
+	}
+	if err := core.ValidateBackend(*backend); err != nil {
+		return fmt.Errorf("-backend: %w", err)
 	}
 	if *segBytes < 0 {
 		return fmt.Errorf("-journal-segment-bytes must be >= 0, got %d", *segBytes)
@@ -191,6 +200,7 @@ func run(args []string, out *os.File) error {
 			DetectOscillation: true,
 			Parallel:          *parallel,
 			TraceApplies:      *traceRing,
+			Backend:           *backend,
 		},
 		JournalPath:         *journalPath,
 		Shards:              *shards,
@@ -217,6 +227,7 @@ func run(args []string, out *os.File) error {
 		"addr", ln.Addr().String(), "devices", snap.Devices,
 		"policies", snap.Policies, "ecs", snap.ECs, "seq", snap.Seq,
 		"trace_ring", *traceRing, "journal", *journalPath,
-		"shards", *shards, "tenants", 1+len(tcs), "follow", *follow)
+		"shards", *shards, "tenants", 1+len(tcs), "follow", *follow,
+		"backend", core.Options{Backend: *backend}.ModelBackend())
 	return http.Serve(ln, srv.Handler())
 }

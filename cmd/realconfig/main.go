@@ -154,6 +154,7 @@ func cmdVerify(args []string) error {
 	polFile := fs.String("policies", "", "policy specification file")
 	showFIB := fs.Bool("fib", false, "print the computed FIB")
 	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	backend := fs.String("backend", "", "data plane model backend: bdd or atom")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,7 +165,11 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	v := core.New(options(*deleteFirst))
+	opts, err := options(*deleteFirst, *backend)
+	if err != nil {
+		return err
+	}
+	v := core.New(opts)
 	rep, err := v.Load(net)
 	if err != nil {
 		return err
@@ -185,6 +190,7 @@ func cmdCheck(args []string) error {
 	netDir := fs.String("net", "", "base snapshot directory (required)")
 	polFile := fs.String("policies", "", "policy specification file")
 	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	backend := fs.String("backend", "", "data plane model backend: bdd or atom")
 	tracePath := fs.String("trace", "", "export every step's provenance trace as Chrome trace-event JSON to this file")
 	explain := fs.String("explain", "", "after all steps, explain this policy's latest verdict flip (change -> rules -> ECs)")
 	if err := fs.Parse(args); err != nil {
@@ -201,7 +207,10 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := options(*deleteFirst)
+	opts, err := options(*deleteFirst, *backend)
+	if err != nil {
+		return err
+	}
 	if *tracePath != "" || *explain != "" {
 		opts.TraceApplies = len(steps) + 1 // retain the load and every step
 	}
@@ -257,6 +266,7 @@ func cmdPlan(args []string) error {
 	workers := fs.Int("workers", 0, "probe worker-pool size (0 = min(4, GOMAXPROCS))")
 	maxProbes := fs.Int("max-probes", 0, "probe budget (0 = default)")
 	deleteFirst := fs.Bool("delete-first", false, "apply deletions before insertions in model updates")
+	backend := fs.String("backend", "", "data plane model backend: bdd or atom")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -271,7 +281,11 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	v := core.New(options(*deleteFirst))
+	opts, err := options(*deleteFirst, *backend)
+	if err != nil {
+		return err
+	}
+	v := core.New(opts)
 	if _, err := v.Load(net); err != nil {
 		return err
 	}
@@ -361,12 +375,15 @@ func writeChromeTrace(v *core.Verifier, path string) error {
 	return f.Close()
 }
 
-func options(deleteFirst bool) core.Options {
-	opts := core.Options{DetectOscillation: true}
+func options(deleteFirst bool, backend string) (core.Options, error) {
+	if err := core.ValidateBackend(backend); err != nil {
+		return core.Options{}, err
+	}
+	opts := core.Options{DetectOscillation: true, Backend: backend}
 	if deleteFirst {
 		opts.Order = apkeep.DeleteFirst
 	}
-	return opts
+	return opts, nil
 }
 
 func addPolicies(v *core.Verifier, file string) error {
@@ -377,7 +394,7 @@ func addPolicies(v *core.Verifier, file string) error {
 	if err != nil {
 		return err
 	}
-	ps, err := core.ParsePolicies(string(text), v.Model().H)
+	ps, err := core.ParsePolicies(string(text))
 	if err != nil {
 		return err
 	}

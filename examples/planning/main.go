@@ -51,9 +51,8 @@ func main() {
 
 	// The intent, as policies: no SSH from the client edge to the
 	// server, but web traffic must flow.
-	h := v.Model().H
-	ssh := h.And(h.DstPrefix(serverPfx), h.And(h.Proto(netcfg.ProtoTCP), h.DstPortRange(22, 22)))
-	web := h.And(h.DstPrefix(serverPfx), h.And(h.Proto(netcfg.ProtoTCP), h.DstPortRange(80, 80)))
+	ssh := realconfig.Match{Dst: serverPfx, Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22}
+	web := realconfig.Match{Dst: serverPfx, Proto: netcfg.ProtoTCP, DstPortLo: 80, DstPortHi: 80}
 	v.AddPolicy(realconfig.Reachability{PolicyName: "ssh-blocked", Src: client, Dst: server, Hdr: ssh, Mode: realconfig.ReachNone})
 	v.AddPolicy(realconfig.Reachability{PolicyName: "web-allowed", Src: client, Dst: server, Hdr: web, Mode: realconfig.ReachAll})
 	fmt.Println("baseline verdicts:", v.Verdicts())

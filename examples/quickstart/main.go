@@ -29,14 +29,13 @@ func main() {
 
 	// Policies: traffic from edge00-00 must reach edge01-00's hosts, and
 	// host traffic must never loop.
-	h := v.Model().H
 	src, dst := "edge00-00", "edge01-00"
 	hostPfx := net.HostPrefix[dst]
 	v.AddPolicy(realconfig.Reachability{
 		PolicyName: "edge-to-edge", Src: src, Dst: dst,
-		Hdr: h.DstPrefix(hostPfx), Mode: realconfig.ReachAll,
+		Hdr: realconfig.Match{Dst: hostPfx}, Mode: realconfig.ReachAll,
 	})
-	v.AddPolicy(realconfig.LoopFree{PolicyName: "no-loops", Scope: h.DstPrefix(mustPrefix("10.0.0.0/8"))})
+	v.AddPolicy(realconfig.LoopFree{PolicyName: "no-loops", Scope: realconfig.Match{Dst: mustPrefix("10.0.0.0/8")}})
 	fmt.Println("policies registered:", v.Verdicts())
 
 	// The paper's LP change: prefer routes from one neighbor. Traffic
@@ -63,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("link failures: violations = %v\n", rep.Violations())
-	fmt.Println("explanation:", v.Checker().Explain(src, dst, h.DstPrefix(hostPfx)))
+	fmt.Println("explanation:", v.Checker().Explain(src, dst, realconfig.Match{Dst: hostPfx}))
 
 	// Repair and confirm the verifier reports the policy as satisfied
 	// again (the paper: this is how operators test a repair plan).

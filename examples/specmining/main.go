@@ -41,13 +41,12 @@ func main() {
 	var nCands int
 	res, err := realconfig.Mine(net.Network,
 		func(v *realconfig.Verifier) []realconfig.Policy {
-			h := v.Model().H
 			var cands []realconfig.Policy
 			for _, dst := range edges[1:] {
 				cands = append(cands, realconfig.Reachability{
 					PolicyName: fmt.Sprintf("%s->%s", src, dst),
 					Src:        src, Dst: dst,
-					Hdr:  h.DstPrefix(net.HostPrefix[dst]),
+					Hdr:  realconfig.Match{Dst: net.HostPrefix[dst]},
 					Mode: realconfig.ReachAll,
 				})
 			}

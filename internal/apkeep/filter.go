@@ -58,8 +58,10 @@ func (m *Model) FilterKeys() []FilterKey {
 // UpdateFilters applies filter rule changes (insertions and deletions of
 // ACL lines at bindings) and refreshes the affected bindings' EC status.
 // A binding whose last line disappears is removed entirely (interface
-// without ACL permits everything).
-func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) {
+// without ACL permits everything). The BDD backend supports every filter
+// match, so the error is always nil; the signature carries the error so
+// backends with a restricted match fragment (atom) can reject.
+func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) error {
 	touched := make(map[FilterKey]bool)
 	for _, e := range changes {
 		k := FilterKey{Device: e.Val.Device, Intf: e.Val.Intf, Dir: e.Val.Dir}
@@ -84,11 +86,12 @@ func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) {
 		for _, k := range sortedFilterKeys(touched) {
 			m.refreshFilter(k)
 		}
-		return
+		return nil
 	}
 	for k := range touched {
 		m.refreshFilter(k)
 	}
+	return nil
 }
 
 // refreshFilter recomputes a binding's allow predicate (first-match

@@ -167,6 +167,10 @@ type Model struct {
 	ops     OpStats
 	metrics ModelMetrics
 
+	// preds caches interned Match predicates (policies re-test the same
+	// header spaces on every update).
+	preds map[dataplane.Match]bdd.Node
+
 	// tr is the provenance trace of the in-flight apply (nil = tracing
 	// off); curRule labels the rule or filter binding driving the
 	// current update, the "rule" attribute of split/transfer events.

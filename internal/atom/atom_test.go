@@ -1,0 +1,387 @@
+package atom
+
+import (
+	"errors"
+	"testing"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
+	"realconfig/internal/trace"
+)
+
+func mustPfx(s string) netcfg.Prefix { return netcfg.MustPrefix(s) }
+
+func fwd(dev, pfx, nh string) dataplane.Rule {
+	return dataplane.Rule{Device: dev, Prefix: mustPfx(pfx), Action: dataplane.Forward, NextHop: nh, OutIntf: "eth0"}
+}
+
+func ins(rs ...dataplane.Rule) []dd.Entry[dataplane.Rule] {
+	var out []dd.Entry[dataplane.Rule]
+	for _, r := range rs {
+		out = append(out, dd.Entry[dataplane.Rule]{Val: r, Diff: 1})
+	}
+	return out
+}
+
+func del(rs ...dataplane.Rule) []dd.Entry[dataplane.Rule] {
+	var out []dd.Entry[dataplane.Rule]
+	for _, r := range rs {
+		out = append(out, dd.Entry[dataplane.Rule]{Val: r, Diff: -1})
+	}
+	return out
+}
+
+func TestNewModelSingleAtom(t *testing.T) {
+	m := New()
+	if m.Backend() != Backend {
+		t.Errorf("Backend() = %q", m.Backend())
+	}
+	if m.NumECs() != 1 {
+		t.Fatalf("fresh model has %d atoms", m.NumECs())
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything drops everywhere.
+	if p := m.Lookup("r1", bdd.Packet{Dst: netcfg.MustAddr("10.0.0.1")}); p != apkeep.DropPort {
+		t.Errorf("fresh lookup = %v", p)
+	}
+}
+
+func TestInsertSplitsAndKeepsLowerID(t *testing.T) {
+	m := New()
+	var initial bdd.Node
+	for ec := range m.ECs() {
+		initial = ec
+	}
+	if _, err := m.ApplyBatch(ins(fwd("r1", "10.0.0.0/24", "r2")), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	// [0, 10.0.0.0) keeps the initial ID, plus two new atoms.
+	if m.NumECs() != 3 {
+		t.Fatalf("after one /24: %d atoms", m.NumECs())
+	}
+	low := bdd.Packet{Dst: netcfg.MustAddr("0.0.0.1")}
+	if !m.ContainsPacket(initial, low) {
+		t.Error("lower half did not keep its ID across the split")
+	}
+	in := bdd.Packet{Dst: netcfg.MustAddr("10.0.0.7")}
+	want := apkeep.Port{Action: dataplane.Forward, NextHop: "r2", OutIntf: "eth0"}
+	if p := m.Lookup("r1", in); p != want {
+		t.Errorf("Lookup inside prefix = %v, want %v", p, want)
+	}
+	if p := m.Lookup("r1", low); p != apkeep.DropPort {
+		t.Errorf("Lookup outside prefix = %v", p)
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPMNestingAndDelete(t *testing.T) {
+	m := New()
+	wide, narrow := fwd("r1", "10.0.0.0/8", "r2"), fwd("r1", "10.0.1.0/24", "r3")
+	if _, err := m.ApplyBatch(ins(wide, narrow), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	inNarrow := bdd.Packet{Dst: netcfg.MustAddr("10.0.1.5")}
+	inWide := bdd.Packet{Dst: netcfg.MustAddr("10.9.9.9")}
+	if p := m.Lookup("r1", inNarrow); p.NextHop != "r3" {
+		t.Errorf("narrow lookup = %v", p)
+	}
+	if p := m.Lookup("r1", inWide); p.NextHop != "r2" {
+		t.Errorf("wide lookup = %v", p)
+	}
+	// Deleting the narrow rule falls back to the covering /8.
+	br, err := m.ApplyBatch(del(narrow), apkeep.InsertFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Transfers) == 0 {
+		t.Error("delete produced no transfers")
+	}
+	if p := m.Lookup("r1", inNarrow); p.NextHop != "r2" {
+		t.Errorf("post-delete lookup = %v", p)
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAbsentRule(t *testing.T) {
+	m := New()
+	_, err := m.ApplyBatch(del(fwd("r1", "10.0.0.0/24", "r2")), apkeep.InsertFirst)
+	if !errors.Is(err, apkeep.ErrAbsentRule) {
+		t.Fatalf("err = %v, want ErrAbsentRule", err)
+	}
+}
+
+func TestDuplicateRuleStacking(t *testing.T) {
+	m := New()
+	r := fwd("r1", "10.0.0.0/24", "r2")
+	if _, err := m.ApplyBatch(ins(r, r), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	// Removing one copy leaves the other owning the prefix.
+	if _, err := m.ApplyBatch(del(r), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Lookup("r1", bdd.Packet{Dst: netcfg.MustAddr("10.0.0.1")}); p.NextHop != "r2" {
+		t.Errorf("lookup after removing duplicate = %v", p)
+	}
+	if _, err := m.ApplyBatch(del(r), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Lookup("r1", bdd.Packet{Dst: netcfg.MustAddr("10.0.0.1")}); p != apkeep.DropPort {
+		t.Errorf("lookup after removing both = %v", p)
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterFragmentRejected(t *testing.T) {
+	m := New()
+	bad := []dataplane.FilterRule{
+		{Device: "r1", Intf: "eth0", Dir: dataplane.In, Seq: 10, Action: netcfg.Deny,
+			Match: dataplane.Match{Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22}},
+		{Device: "r1", Intf: "eth0", Dir: dataplane.In, Seq: 10, Action: netcfg.Deny,
+			Match: dataplane.Match{Src: mustPfx("10.0.0.0/8")}},
+		{Device: "r1", Intf: "eth0", Dir: dataplane.In, Seq: 10, Action: netcfg.Deny,
+			Match: dataplane.Match{Dst: mustPfx("10.0.0.0/8"), DstPortLo: 80, DstPortHi: 80}},
+	}
+	for _, f := range bad {
+		err := m.UpdateFilters([]dd.Entry[dataplane.FilterRule]{{Val: f, Diff: 1}})
+		if !errors.Is(err, ErrUnsupported) {
+			t.Errorf("filter %v: err = %v, want ErrUnsupported", f, err)
+		}
+	}
+	// Rejection happens before any state changes.
+	if len(m.filters) != 0 {
+		t.Error("rejected batch left filter state behind")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDstOnlyFilterBlocksAndUnblocks(t *testing.T) {
+	m := New()
+	if _, err := m.ApplyBatch(ins(fwd("r1", "10.0.0.0/24", "r2")), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	denyLine := dataplane.FilterRule{Device: "r1", Intf: "eth0", Dir: dataplane.In,
+		Seq: 10, Action: netcfg.Deny, Match: dataplane.Match{Dst: mustPfx("10.0.0.0/25")}}
+	permitAll := dataplane.FilterRule{Device: "r1", Intf: "eth0", Dir: dataplane.In,
+		Seq: 20, Action: netcfg.Permit, Match: dataplane.MatchAll}
+	if err := m.UpdateFilters([]dd.Entry[dataplane.FilterRule]{
+		{Val: denyLine, Diff: 1}, {Val: permitAll, Diff: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fts := m.TakeFilterTransfers()
+	if len(fts) == 0 {
+		t.Fatal("no filter transfers recorded")
+	}
+	ecLow := ecOf(t, m, "10.0.0.1")
+	ecHigh := ecOf(t, m, "10.0.0.200")
+	if !m.Blocked("r1", "eth0", dataplane.In, ecLow) {
+		t.Error("denied half not blocked")
+	}
+	if m.Blocked("r1", "eth0", dataplane.In, ecHigh) {
+		t.Error("permitted half blocked")
+	}
+	if m.Blocked("r1", "eth1", dataplane.In, ecLow) {
+		t.Error("unbound interface blocked")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the binding's lines unblocks everything.
+	if err := m.UpdateFilters([]dd.Entry[dataplane.FilterRule]{
+		{Val: denyLine, Diff: -1}, {Val: permitAll, Diff: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Blocked("r1", "eth0", dataplane.In, ecLow) {
+		t.Error("still blocked after binding removal")
+	}
+	if err := m.CheckPartition(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ecOf(t *testing.T, m *Model, addr string) bdd.Node {
+	t.Helper()
+	pkt := bdd.Packet{Dst: netcfg.MustAddr(addr)}
+	for ec := range m.ECs() {
+		if m.ContainsPacket(ec, pkt) {
+			return ec
+		}
+	}
+	t.Fatalf("no atom contains %s", addr)
+	return bdd.False
+}
+
+func TestMatchOverlapsAndWitness(t *testing.T) {
+	m := New()
+	if _, err := m.ApplyBatch(ins(fwd("r1", "10.0.0.0/24", "r2")), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	ec := ecOf(t, m, "10.0.0.1")
+	if !m.MatchOverlaps(dataplane.Match{Dst: mustPfx("10.0.0.0/16")}, ec) {
+		t.Error("covering match does not overlap")
+	}
+	if m.MatchOverlaps(dataplane.Match{Dst: mustPfx("192.168.0.0/16")}, ec) {
+		t.Error("disjoint match overlaps")
+	}
+	if !m.MatchOverlaps(dataplane.MatchAll, ec) {
+		t.Error("match-all does not overlap")
+	}
+	if w, ok := m.Witness(ec); !ok || !m.ContainsPacket(ec, w) {
+		t.Errorf("Witness = %v, %v", w, ok)
+	}
+	hdr := dataplane.Match{Dst: mustPfx("10.0.0.128/25"), Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22}
+	if w, ok := m.WitnessIn(hdr, ec); !ok || w.Dst != netcfg.MustAddr("10.0.0.128") || w.Proto != netcfg.ProtoTCP || w.DstPort != 22 {
+		t.Errorf("WitnessIn = %v, %v", w, ok)
+	}
+	if _, ok := m.WitnessIn(dataplane.Match{Dst: mustPfx("192.168.0.0/16")}, ec); ok {
+		t.Error("WitnessIn found a packet in a disjoint match")
+	}
+	// Unknown EC IDs answer negatively everywhere.
+	if m.MatchOverlaps(dataplane.MatchAll, bdd.Node(9999)) {
+		t.Error("unknown EC overlaps")
+	}
+	if _, ok := m.Witness(bdd.Node(9999)); ok {
+		t.Error("unknown EC has a witness")
+	}
+	if _, ok := m.WitnessIn(dataplane.MatchAll, bdd.Node(9999)); ok {
+		t.Error("unknown EC has a scoped witness")
+	}
+}
+
+func TestDeleteFirstOrder(t *testing.T) {
+	// DeleteFirst removes the old rule before inserting the replacement;
+	// both orders converge to the same final state.
+	old, new_ := fwd("r1", "10.0.0.0/24", "r2"), fwd("r1", "10.0.0.0/24", "r3")
+	for _, order := range []apkeep.Order{apkeep.InsertFirst, apkeep.DeleteFirst} {
+		m := New()
+		if _, err := m.ApplyBatch(ins(old), apkeep.InsertFirst); err != nil {
+			t.Fatal(err)
+		}
+		batch := append(del(old), ins(new_)...)
+		if _, err := m.ApplyBatch(batch, order); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if p := m.Lookup("r1", bdd.Packet{Dst: netcfg.MustAddr("10.0.0.1")}); p.NextHop != "r3" {
+			t.Errorf("order %v: lookup = %v", order, p)
+		}
+		if err := m.CheckPartition(); err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+	}
+}
+
+func TestInstrumentAndTraceEvents(t *testing.T) {
+	m := New()
+	reg := obs.NewRegistry()
+	m.Instrument(reg)
+	rec := trace.NewRecorder(4)
+	a := rec.Begin("test")
+	m.SetTrace(a)
+	if _, err := m.ApplyBatch(ins(fwd("r1", "10.0.0.0/24", "r2")), apkeep.InsertFirst); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UpdateFilters([]dd.Entry[dataplane.FilterRule]{{
+		Val: dataplane.FilterRule{Device: "r1", Intf: "eth0", Dir: dataplane.In,
+			Seq: 10, Action: netcfg.Deny, Match: dataplane.Match{Dst: mustPfx("10.0.0.0/24")}},
+		Diff: 1,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTrace(nil)
+	a.Finish(1)
+
+	counts := map[string]int{}
+	for _, ev := range a.Events {
+		counts[ev.Kind]++
+	}
+	for _, name := range []string{obs.EventECSplit, obs.EventECTransfer, obs.EventFilterFlip} {
+		if counts[name] == 0 {
+			t.Errorf("no %s events in trace (got %v)", name, counts)
+		}
+	}
+	if got := m.metrics.Atoms; got == nil {
+		t.Fatal("Instrument left metrics nil")
+	}
+}
+
+func TestSpanSetOperations(t *testing.T) {
+	top := ^uint32(0)
+	var ss spanSet
+	ss = ss.add(span{Lo: 10, Hi: 20})
+	ss = ss.add(span{Lo: 30, Hi: 40})
+	if len(ss) != 2 {
+		t.Fatalf("disjoint add: %v", ss)
+	}
+	// Adjacent spans coalesce.
+	ss = ss.add(span{Lo: 21, Hi: 29})
+	if len(ss) != 1 || ss[0] != (span{Lo: 10, Hi: 40}) {
+		t.Fatalf("coalesce: %v", ss)
+	}
+	// Overlapping extension.
+	ss = ss.add(span{Lo: 35, Hi: 50})
+	if len(ss) != 1 || ss[0] != (span{Lo: 10, Hi: 50}) {
+		t.Fatalf("extend: %v", ss)
+	}
+	if !ss.contains(10) || !ss.contains(50) || ss.contains(9) || ss.contains(51) {
+		t.Errorf("contains wrong on %v", ss)
+	}
+	// minus carves holes.
+	rest := ss.minus(span{Lo: 0, Hi: 100})
+	if len(rest) != 2 || rest[0] != (span{Lo: 0, Hi: 9}) || rest[1] != (span{Lo: 51, Hi: 100}) {
+		t.Fatalf("minus: %v", rest)
+	}
+	// complement round-trips at the address-space edges.
+	comp := ss.complement()
+	if len(comp) != 2 || comp[0] != (span{Lo: 0, Hi: 9}) || comp[1] != (span{Lo: 51, Hi: top}) {
+		t.Fatalf("complement: %v", comp)
+	}
+	if got := spanSet(nil).complement(); len(got) != 1 || got[0] != (span{Lo: 0, Hi: top}) {
+		t.Fatalf("empty complement: %v", got)
+	}
+	full := spanSet{{Lo: 0, Hi: top}}
+	if got := full.complement(); len(got) != 0 {
+		t.Fatalf("full complement: %v", got)
+	}
+	// Overflow edges: add at the very top of the space.
+	var edge spanSet
+	edge = edge.add(span{Lo: top - 1, Hi: top})
+	edge = edge.add(span{Lo: 0, Hi: 0})
+	if len(edge) != 2 {
+		t.Fatalf("edge add: %v", edge)
+	}
+}
+
+func TestPrefixSpan(t *testing.T) {
+	cases := []struct {
+		pfx    string
+		lo, hi uint32
+	}{
+		{"0.0.0.0/0", 0, ^uint32(0)},
+		{"10.0.0.0/8", 0x0a000000, 0x0affffff},
+		{"10.0.1.0/24", 0x0a000100, 0x0a0001ff},
+		{"10.0.1.5/32", 0x0a000105, 0x0a000105},
+		{"255.255.255.255/32", ^uint32(0), ^uint32(0)},
+	}
+	for _, c := range cases {
+		s := prefixSpan(mustPfx(c.pfx))
+		if s.Lo != c.lo || s.Hi != c.hi {
+			t.Errorf("prefixSpan(%s) = [%x,%x], want [%x,%x]", c.pfx, s.Lo, s.Hi, c.lo, c.hi)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package atom
+
+import (
+	"sort"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+)
+
+// ApplyBatch applies a batch of FIB rule changes in the given order and
+// returns the resulting model changes, mirroring the BDD backend's
+// sequencing exactly (expansion by diff magnitude, longest-prefix-first
+// deterministic ordering, insertions/deletions per Order). Atoms are
+// never merged, so Merges is always empty.
+func (m *Model) ApplyBatch(changes []dd.Entry[dataplane.Rule], order apkeep.Order) (*apkeep.BatchResult, error) {
+	var ins, del []dataplane.Rule
+	for _, e := range changes {
+		switch {
+		case e.Diff > 0:
+			for i := int64(0); i < e.Diff; i++ {
+				ins = append(ins, e.Val)
+			}
+		case e.Diff < 0:
+			for i := e.Diff; i < 0; i++ {
+				del = append(del, e.Val)
+			}
+		}
+	}
+	sortRules(ins)
+	sortRules(del)
+
+	res := &apkeep.BatchResult{Inserted: len(ins), Deleted: len(del)}
+	apply := func(rules []dataplane.Rule, insert bool) error {
+		for _, r := range rules {
+			if insert {
+				m.InsertRule(r)
+			} else if err := m.DeleteRule(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var err error
+	if order == apkeep.InsertFirst {
+		err = apply(ins, true)
+		if err == nil {
+			err = apply(del, false)
+		}
+	} else {
+		err = apply(del, false)
+		if err == nil {
+			err = apply(ins, true)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Transfers = m.TakeTransfers()
+	res.FilterTransfers = m.TakeFilterTransfers()
+	m.metrics.Atoms.Set(int64(len(m.ids)))
+	return res, nil
+}
+
+// sortRules orders rules longest-prefix first, then by device and
+// next-hop, for deterministic batches (same order as the BDD backend).
+func sortRules(rules []dataplane.Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Prefix.Len != b.Prefix.Len {
+			return a.Prefix.Len > b.Prefix.Len
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Prefix.Addr != b.Prefix.Addr {
+			return a.Prefix.Addr < b.Prefix.Addr
+		}
+		if a.NextHop != b.NextHop {
+			return a.NextHop < b.NextHop
+		}
+		return a.OutIntf < b.OutIntf
+	})
+}

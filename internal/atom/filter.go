@@ -1,0 +1,176 @@
+package atom
+
+import (
+	"fmt"
+	"sort"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/obs"
+	"realconfig/internal/trace"
+)
+
+// filterState is one ACL binding's compiled form: its lines and the set
+// of atoms it currently denies.
+type filterState struct {
+	lines   []dataplane.FilterRule
+	deny    spanSet
+	blocked map[bdd.Node]bool
+}
+
+// Blocked reports whether an atom is denied at a binding. Bindings that
+// do not exist permit everything.
+func (m *Model) Blocked(dev, intf string, dir dataplane.Direction, ec bdd.Node) bool {
+	if fs := m.filters[apkeep.FilterKey{Device: dev, Intf: intf, Dir: dir}]; fs != nil {
+		return fs.blocked[ec]
+	}
+	return false
+}
+
+// dstOnly reports whether a filter match falls inside the backend's
+// supported fragment: destination prefix only. An atom spans the full
+// source, protocol and port dimensions, so a filter constraining any of
+// them cannot be evaluated per atom.
+func dstOnly(match dataplane.Match) bool {
+	return match.Src == (netcfg.Prefix{}) &&
+		match.Proto == netcfg.ProtoIPAny &&
+		match.DstPortLo == 0 && match.DstPortHi == 0
+}
+
+// UpdateFilters applies filter rule changes and refreshes the affected
+// bindings' atom statuses, mirroring apkeep's first-match semantics with
+// implicit trailing deny. Lines matching on anything but the destination
+// prefix are outside the interval backend's fragment: the whole batch is
+// rejected with ErrUnsupported before any state changes.
+func (m *Model) UpdateFilters(changes []dd.Entry[dataplane.FilterRule]) error {
+	for _, e := range changes {
+		if !dstOnly(e.Val.Match) {
+			return fmt.Errorf("%w: filter line %v matches on source/protocol/port", ErrUnsupported, e.Val)
+		}
+	}
+	touched := make(map[apkeep.FilterKey]bool)
+	for _, e := range changes {
+		k := apkeep.FilterKey{Device: e.Val.Device, Intf: e.Val.Intf, Dir: e.Val.Dir}
+		fs := m.filters[k]
+		if fs == nil {
+			fs = &filterState{blocked: make(map[bdd.Node]bool)}
+			m.filters[k] = fs
+		}
+		if e.Diff > 0 {
+			fs.lines = append(fs.lines, e.Val)
+		} else {
+			for i, l := range fs.lines {
+				if l == e.Val {
+					fs.lines = append(fs.lines[:i], fs.lines[i+1:]...)
+					break
+				}
+			}
+		}
+		touched[k] = true
+	}
+	keys := make([]apkeep.FilterKey, 0, len(touched))
+	for k := range touched {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Intf != b.Intf {
+			return a.Intf < b.Intf
+		}
+		return a.Dir < b.Dir
+	})
+	for _, k := range keys {
+		m.refreshFilter(k)
+	}
+	return nil
+}
+
+// refreshFilter recompiles a binding's deny set (first-match semantics
+// with implicit trailing deny, as interval arithmetic) and flips atoms
+// whose status changed.
+func (m *Model) refreshFilter(k apkeep.FilterKey) {
+	fs := m.filters[k]
+	if m.tr != nil {
+		m.curRule = "filter " + k.Device + ":" + k.Intf + ":" + k.Dir.String()
+	}
+	if len(fs.lines) == 0 {
+		// Binding removed: everything allowed again.
+		for _, id := range sortedBlocked(fs.blocked) {
+			m.flipFilter(k, id, false)
+		}
+		delete(m.filters, k)
+		return
+	}
+	sort.Slice(fs.lines, func(i, j int) bool { return fs.lines[i].Seq < fs.lines[j].Seq })
+	var allow, covered spanSet
+	for _, l := range fs.lines {
+		s := prefixSpan(l.Match.Dst)
+		for _, eff := range covered.minus(s) {
+			if l.Action == netcfg.Permit {
+				allow = allow.add(eff)
+			}
+		}
+		covered = covered.add(s)
+	}
+	deny := allow.complement()
+	// Split so every atom is pure w.r.t. the new boundary, then flip
+	// statuses that changed.
+	for _, s := range deny {
+		m.ensureBoundary(s.Lo)
+		if s.Hi != ^uint32(0) {
+			m.ensureBoundary(s.Hi + 1)
+		}
+	}
+	fs.deny = deny
+	for i, b := range m.bounds {
+		id := m.ids[i]
+		now := deny.contains(b)
+		if now != fs.blocked[id] {
+			m.flipFilter(k, id, now)
+		}
+	}
+}
+
+// flipFilter records one atom's filter-status change at a binding.
+func (m *Model) flipFilter(k apkeep.FilterKey, ec bdd.Node, blocked bool) {
+	if blocked {
+		fs := m.filters[k]
+		fs.blocked[ec] = true
+	} else {
+		delete(m.filters[k].blocked, ec)
+	}
+	m.ftransfers = append(m.ftransfers, apkeep.FilterTransfer{Key: k, EC: ec, Blocked: blocked})
+	m.metrics.FilterTransfers.Inc()
+	if m.tr != nil {
+		action := "allow"
+		if blocked {
+			action = "block"
+		}
+		m.tr.Event(obs.TrackModel, obs.EventFilterFlip,
+			trace.S("filter", k.Device+":"+k.Intf+":"+k.Dir.String()),
+			trace.U("ec", uint64(ec)), trace.S("action", action))
+	}
+}
+
+// TakeFilterTransfers returns and clears accumulated filter transfers.
+func (m *Model) TakeFilterTransfers() []apkeep.FilterTransfer {
+	out := m.ftransfers
+	m.ftransfers = nil
+	return out
+}
+
+// sortedBlocked returns a blocked set's atoms in ascending ID order.
+func sortedBlocked(set map[bdd.Node]bool) []bdd.Node {
+	out := make([]bdd.Node, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,95 @@
+package atom
+
+import "realconfig/internal/netcfg"
+
+// span is an inclusive destination-address interval [Lo, Hi]. Inclusive
+// bounds sidestep uint32 overflow at the top of the address space.
+type span struct {
+	Lo, Hi uint32
+}
+
+// prefixSpan returns the address interval a CIDR prefix covers.
+func prefixSpan(p netcfg.Prefix) span {
+	lo := uint32(p.Addr)
+	return span{Lo: lo, Hi: lo | ^uint32(p.Mask())}
+}
+
+func (s span) contains(a uint32) bool { return s.Lo <= a && a <= s.Hi }
+
+func (s span) overlaps(t span) bool { return s.Lo <= t.Hi && t.Lo <= s.Hi }
+
+// spanSet is a sorted list of disjoint, non-adjacent spans: the interval
+// arithmetic behind dst-only ACL evaluation. The zero value is empty.
+type spanSet []span
+
+// add unions one span into the set, coalescing overlapping or adjacent
+// entries.
+func (ss spanSet) add(n span) spanSet {
+	out := make(spanSet, 0, len(ss)+1)
+	i := 0
+	// Spans entirely before n and not adjacent to it.
+	for i < len(ss) && n.Lo > 0 && ss[i].Hi < n.Lo-1 {
+		out = append(out, ss[i])
+		i++
+	}
+	// Absorb every span overlapping or adjacent to n.
+	for i < len(ss) {
+		s := ss[i]
+		if n.Hi < ^uint32(0) && s.Lo > n.Hi+1 {
+			break
+		}
+		if s.Lo < n.Lo {
+			n.Lo = s.Lo
+		}
+		if s.Hi > n.Hi {
+			n.Hi = s.Hi
+		}
+		i++
+	}
+	out = append(out, n)
+	return append(out, ss[i:]...)
+}
+
+// minus returns the part of n not covered by the set, as disjoint spans
+// in ascending order.
+func (ss spanSet) minus(n span) spanSet {
+	var out spanSet
+	cur := n.Lo
+	for _, s := range ss {
+		if s.Hi < n.Lo {
+			continue
+		}
+		if s.Lo > n.Hi {
+			break
+		}
+		if s.Lo > cur {
+			out = append(out, span{Lo: cur, Hi: s.Lo - 1})
+		}
+		if s.Hi >= n.Hi {
+			return out // covered through the end of n
+		}
+		cur = s.Hi + 1
+	}
+	if cur <= n.Hi {
+		out = append(out, span{Lo: cur, Hi: n.Hi})
+	}
+	return out
+}
+
+// complement returns the full address space minus the set.
+func (ss spanSet) complement() spanSet {
+	return ss.minus(span{Lo: 0, Hi: ^uint32(0)})
+}
+
+// contains reports whether the set covers address a.
+func (ss spanSet) contains(a uint32) bool {
+	for _, s := range ss {
+		if s.contains(a) {
+			return true
+		}
+		if s.Lo > a {
+			break
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"realconfig/internal/apkeep"
+	"realconfig/internal/atom"
+	"realconfig/internal/core"
+	"realconfig/internal/dataplane"
+	"realconfig/internal/dd"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/policy"
+	"realconfig/internal/routing"
+	"realconfig/internal/topology"
+)
+
+// BackendRow is one (workload, backend) cell of the backend A/B table:
+// the same FIB delta driven through one model backend, timing the model
+// update (T1) and the downstream policy check (T2).
+type BackendRow struct {
+	Change   string // "BaseLoad", "LinkFailure", "LP"
+	Backend  string // "bdd", "atom"
+	RulesIns int
+	RulesDel int
+	ECs      int           // partition size after the update
+	T1       time.Duration // model update (averaged over samples)
+	T2       time.Duration // policy checking (averaged over samples)
+}
+
+// newBackendModel builds a bench model for a backend name.
+func newBackendModel(backend string) (core.Model, error) {
+	switch backend {
+	case core.BackendBDD:
+		m := apkeep.New()
+		m.AutoMerge = true
+		return m, nil
+	case core.BackendAtom:
+		return atom.New(), nil
+	}
+	return nil, fmt.Errorf("bench: unknown backend %q", backend)
+}
+
+// RunBackend races the bdd and atom model backends on the Table 3
+// workloads: the BGP fat-tree's base FIB load, then the LinkFailure and
+// LP change deltas, InsertFirst order. Every delta is applied and
+// reverted samples times per backend on a warm model and the update and
+// check times are averaged. The FIB is IPv4 destination-prefix only —
+// the fragment where the interval backend is expected to win T1.
+func RunBackend(k, samples int) ([]BackendRow, error) {
+	if samples <= 0 {
+		samples = defaultSamples
+	}
+	net, err := topology.FatTree(k, topology.BGP)
+	if err != nil {
+		return nil, err
+	}
+	gen := routing.New(routing.Options{})
+	gen.SetNetwork(net.Network)
+	if _, err := gen.Step(); err != nil {
+		return nil, err
+	}
+	var baseRules []dd.Entry[dataplane.Rule]
+	for r, d := range gen.FIB() {
+		if d > 0 {
+			baseRules = append(baseRules, dd.Entry[dataplane.Rule]{Val: r, Diff: 1})
+		}
+	}
+
+	// Compute each change's FIB delta once (generation is
+	// backend-independent), reverting between changes.
+	link := net.Topology.Links[len(net.Topology.Links)/2]
+	peer := net.Devices[link.DevB].Intf(link.IntfB).Addr.Addr
+	changes := []struct {
+		name           string
+		change, revert netcfg.Change
+	}{
+		{"LinkFailure",
+			netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: true},
+			netcfg.ShutdownInterface{Device: link.DevA, Intf: link.IntfA, Shutdown: false}},
+		{"LP",
+			netcfg.SetLocalPref{Device: link.DevA, Neighbor: peer, LocalPref: 150},
+			netcfg.SetLocalPref{Device: link.DevA, Neighbor: peer, LocalPref: 0}},
+	}
+	deltas := make(map[string][]dd.Entry[dataplane.Rule])
+	for _, ch := range changes {
+		if err := ch.change.Apply(net.Network); err != nil {
+			return nil, err
+		}
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return nil, err
+		}
+		deltas[ch.name] = append([]dd.Entry[dataplane.Rule](nil), gen.FIBChanges()...)
+		if err := ch.revert.Apply(net.Network); err != nil {
+			return nil, err
+		}
+		gen.SetNetwork(net.Network)
+		if _, err := gen.Step(); err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []BackendRow
+	for _, backend := range core.Backends() {
+		// BaseLoad: price of building the warm model from scratch.
+		model, err := newBackendModel(backend)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := model.ApplyBatch(baseRules, apkeep.InsertFirst); err != nil {
+			return nil, err
+		}
+		loadT1 := time.Since(t0)
+		checker := policy.NewChecker(model)
+		checker.SetTopology(net.DeviceNames(), dataplane.Adjacencies(net.Network))
+		t0 = time.Now()
+		checker.Update(nil, nil)
+		loadT2 := time.Since(t0)
+		rows = append(rows, BackendRow{
+			Change: "BaseLoad", Backend: backend,
+			RulesIns: len(baseRules), ECs: model.NumECs(),
+			T1: loadT1, T2: loadT2,
+		})
+
+		for _, ch := range changes {
+			delta := deltas[ch.name]
+			row := BackendRow{Change: ch.name, Backend: backend}
+			for _, e := range delta {
+				if e.Diff > 0 {
+					row.RulesIns += int(e.Diff)
+				} else {
+					row.RulesDel += int(-e.Diff)
+				}
+			}
+			revert := make([]dd.Entry[dataplane.Rule], len(delta))
+			for i, e := range delta {
+				revert[i] = dd.Entry[dataplane.Rule]{Val: e.Val, Diff: -e.Diff}
+			}
+			for s := 0; s < samples; s++ {
+				t0 := time.Now()
+				res, err := model.ApplyBatch(delta, apkeep.InsertFirst)
+				if err != nil {
+					return nil, err
+				}
+				row.T1 += time.Since(t0)
+				t0 = time.Now()
+				checker.Update(res.Transfers, res.FilterTransfers, res.Merges...)
+				row.T2 += time.Since(t0)
+				// The revert epoch is the other half of the same
+				// workload, so it counts toward the average too.
+				t0 = time.Now()
+				res, err = model.ApplyBatch(revert, apkeep.InsertFirst)
+				if err != nil {
+					return nil, err
+				}
+				row.T1 += time.Since(t0)
+				t0 = time.Now()
+				checker.Update(res.Transfers, res.FilterTransfers, res.Merges...)
+				row.T2 += time.Since(t0)
+			}
+			row.T1 /= time.Duration(2 * samples)
+			row.T2 /= time.Duration(2 * samples)
+			row.ECs = model.NumECs()
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatBackend renders the A/B table with per-workload speedups of
+// atom over bdd on the model-update stage.
+func FormatBackend(rows []BackendRow) string {
+	s := fmt.Sprintf("%-12s %-8s %14s %8s %12s %12s %10s\n",
+		"Change", "Backend", "#Rules", "#ECs", "T1(model)", "T2(check)", "T1 speedup")
+	t1 := make(map[string]map[string]time.Duration)
+	for _, r := range rows {
+		if t1[r.Change] == nil {
+			t1[r.Change] = make(map[string]time.Duration)
+		}
+		t1[r.Change][r.Backend] = r.T1
+	}
+	for _, r := range rows {
+		speedup := ""
+		if r.Backend == core.BackendAtom && r.T1 > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(t1[r.Change][core.BackendBDD])/float64(r.T1))
+		}
+		s += fmt.Sprintf("%-12s %-8s %14s %8d %12s %12s %10s\n",
+			r.Change, r.Backend,
+			fmt.Sprintf("+%d/-%d", r.RulesIns, r.RulesDel),
+			r.ECs,
+			r.T1.Round(time.Microsecond),
+			r.T2.Round(time.Microsecond),
+			speedup)
+	}
+	return s
+}

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"realconfig/internal/apkeep"
-	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
@@ -42,7 +41,7 @@ type ShardRow struct {
 // With P confined policies and A affected ECs per apply, the
 // monolithic checker pays P*A relevance tests where an n-way set pays
 // about P*A/n, which is the speedup this benchmark measures.
-func shardPolicies(h *bdd.Headers, net *topology.Net, perPrefix int) []policy.Policy {
+func shardPolicies(net *topology.Net, perPrefix int) []policy.Policy {
 	owners := make([]string, 0, len(net.HostPrefix))
 	for dev := range net.HostPrefix {
 		owners = append(owners, dev)
@@ -58,12 +57,12 @@ func shardPolicies(h *bdd.Headers, net *topology.Net, perPrefix int) []policy.Po
 		edges = owners
 	}
 	ps := []policy.Policy{
-		policy.LoopFree{PolicyName: "no-loops", Scope: bdd.True},
-		policy.BlackholeFree{PolicyName: "no-blackholes", Scope: h.DstPrefix(netcfg.MustPrefix("10.0.0.0/16"))},
+		policy.LoopFree{PolicyName: "no-loops", Scope: dataplane.MatchAll},
+		policy.BlackholeFree{PolicyName: "no-blackholes", Scope: dataplane.Match{Dst: netcfg.MustPrefix("10.0.0.0/16")}},
 	}
 	modes := []policy.ReachMode{policy.ReachAll, policy.ReachSome, policy.ReachNone}
 	for i, dev := range owners {
-		hdr := h.DstPrefix(net.HostPrefix[dev])
+		hdr := dataplane.Match{Dst: net.HostPrefix[dev]}
 		for j := 0; j < perPrefix; j++ {
 			src := edges[(i*perPrefix+j*7)%len(edges)]
 			if src == dev {
@@ -136,10 +135,9 @@ func RunShard(k int, counts []int, repeat, perPrefix int) ([]ShardRow, error) {
 		if _, _, _, _, err := set.Apply(baseRules, nil, apkeep.InsertFirst, devices, adjs); err != nil {
 			return nil, err
 		}
-		master := bdd.NewHeaders()
-		suite := shardPolicies(master, net, perPrefix)
+		suite := shardPolicies(net, perPrefix)
 		for _, p := range suite {
-			set.AddPolicy(master, p)
+			set.AddPolicy(p)
 		}
 		row := ShardRow{Shards: n, Policies: len(suite)}
 		for r := 0; r < repeat; r++ {

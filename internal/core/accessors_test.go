@@ -23,10 +23,9 @@ func TestAccessorsReturnCopies(t *testing.T) {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	h := v.Model().H
 	if !v.AddPolicy(policy.Reachability{
 		PolicyName: "r00->r02", Src: "r00", Dst: "r02",
-		Hdr: h.DstPrefix(net.HostPrefix["r02"]), Mode: policy.ReachAll,
+		Hdr: dataplane.Match{Dst: net.HostPrefix["r02"]}, Mode: policy.ReachAll,
 	}) {
 		t.Fatal("reachability should hold initially")
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"realconfig/internal/topology"
+)
+
+// FuzzBackendEquivalence interprets the fuzz input as a change
+// trajectory over a fixed topology — each byte selects the next
+// change/undo pair from the pool — and drives the bdd and atom backends
+// through it in lockstep. Any divergence in policy verdicts, violation
+// or repair events, or FIB contents is a crash: the two model backends
+// must be observationally equal on every reachable state.
+func FuzzBackendEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 0})                  // do then undo the same change
+	f.Add([]byte{1, 3, 5, 7, 9, 11, 13}) // spread across the pool
+	f.Add([]byte{2, 2, 2, 2})            // rapid flapping
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 24 {
+			data = data[:24] // bound trajectory length per exec
+		}
+		net, err := topology.Line(4, topology.OSPF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bddV := New(Options{Backend: BackendBDD, DetectOscillation: true})
+		atomV := New(Options{Backend: BackendAtom, DetectOscillation: true})
+		if _, err := bddV.Load(net.Network.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := atomV.Load(net.Network.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range backendPolicies(net) {
+			bddV.AddPolicy(p)
+			atomV.AddPolicy(p)
+		}
+
+		pool := backendChangePool(net)
+		applied := make([]bool, len(pool))
+		for step, b := range data {
+			i := int(b) % len(pool)
+			ch := pool[i].do
+			if applied[i] {
+				ch = pool[i].undo
+			}
+			applied[i] = !applied[i]
+
+			bddRep, errB := bddV.Apply(ch)
+			atomRep, errA := atomV.Apply(ch)
+			if (errB == nil) != (errA == nil) {
+				t.Fatalf("step %d (%s): apply errors diverge: bdd=%v atom=%v", step, ch, errB, errA)
+			}
+			if errB != nil {
+				t.Fatalf("step %d (%s): %v", step, ch, errB)
+			}
+			bv, av := bddRep.Violations(), atomRep.Violations()
+			sort.Strings(bv)
+			sort.Strings(av)
+			if !reflect.DeepEqual(bv, av) {
+				t.Fatalf("step %d (%s): violations diverge: bdd=%v atom=%v", step, ch, bv, av)
+			}
+			br, ar := bddRep.Repaired(), atomRep.Repaired()
+			sort.Strings(br)
+			sort.Strings(ar)
+			if !reflect.DeepEqual(br, ar) {
+				t.Fatalf("step %d (%s): repairs diverge: bdd=%v atom=%v", step, ch, br, ar)
+			}
+			if got, want := atomV.Verdicts(), bddV.Verdicts(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d (%s): verdicts diverge: atom=%v bdd=%v", step, ch, got, want)
+			}
+			if got, want := atomV.FIB(), bddV.FIB(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d (%s): FIBs diverge (%d vs %d rules)", step, ch, len(got), len(want))
+			}
+		}
+		if err := atomV.Model().CheckPartition(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

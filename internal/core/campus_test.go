@@ -43,7 +43,7 @@ func TestCampusGoldenVerdicts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps, err := ParsePolicies(string(text), v.Model().H)
+	ps, err := ParsePolicies(string(text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +114,9 @@ func TestCampusTraces(t *testing.T) {
 
 func TestCampusBorderLinkFailureFailsOver(t *testing.T) {
 	v, net := loadCampus(t)
-	h := v.Model().H
 	v.AddPolicy(policy.Reachability{
 		PolicyName: "edge1-isp", Src: "edge1", Dst: "isp",
-		Hdr: h.DstPrefix(netcfg.MustPrefix("203.0.113.0/24")), Mode: policy.ReachAll,
+		Hdr: dataplane.Match{Dst: netcfg.MustPrefix("203.0.113.0/24")}, Mode: policy.ReachAll,
 	})
 	// Fail core1's uplink to the border: traffic must fail over via
 	// core2 and the policy must stay satisfied.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"realconfig/internal/apkeep"
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 	"realconfig/internal/topology"
@@ -23,11 +24,10 @@ func TestExplainVerdictFlip(t *testing.T) {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	h := v.Model().H
 	src, dst := "edge00-00", "edge01-00"
 	v.AddPolicy(policy.Reachability{
 		PolicyName: "edge-to-edge", Src: src, Dst: dst,
-		Hdr: h.DstPrefix(net.HostPrefix[dst]), Mode: policy.ReachAll,
+		Hdr: dataplane.Match{Dst: net.HostPrefix[dst]}, Mode: policy.ReachAll,
 	})
 	if sat, _ := v.Checker().Verdict("edge-to-edge"); !sat {
 		t.Fatal("edge-to-edge should hold initially")

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 	"realconfig/internal/topology"
@@ -21,7 +22,7 @@ func forkSameFixture(t *testing.T) *Verifier {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	ps, err := ParsePolicies("reach r0-to-r3 r00 r03 "+net.HostPrefix["r03"].String()+" all\nloopfree no-loops 10.0.0.0/8\n", v.Model().H)
+	ps, err := ParsePolicies("reach r0-to-r3 r00 r03 " + net.HostPrefix["r03"].String() + " all\nloopfree no-loops 10.0.0.0/8\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,9 +30,8 @@ func forkSameFixture(t *testing.T) *Verifier {
 		v.AddPolicy(p)
 	}
 	// A policy no specification line produced: an isolation check over a
-	// hand-built header predicate.
-	h := v.Model().H
-	hdr := h.And(h.DstPrefix(net.HostPrefix["r00"]), h.Proto(netcfg.ProtoTCP))
+	// hand-built header space.
+	hdr := dataplane.Match{Dst: net.HostPrefix["r00"], Proto: netcfg.ProtoTCP}
 	v.AddPolicy(policy.Reachability{PolicyName: "prog-tcp-none", Src: "r03", Dst: "r00", Hdr: hdr, Mode: policy.ReachNone})
 	return v
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 	"realconfig/internal/topology"
@@ -53,9 +54,8 @@ func TestPoliciesSurviveMerges(t *testing.T) {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	h := v.Model().H
 	dst := net.HostPrefix["r02"]
-	ssh := h.And(h.DstPrefix(dst), h.And(h.Proto(netcfg.ProtoTCP), h.DstPortRange(22, 22)))
+	ssh := dataplane.Match{Dst: dst, Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22}
 	v.AddPolicy(policy.Reachability{PolicyName: "ssh-ok", Src: "r00", Dst: "r02", Hdr: ssh, Mode: policy.ReachAll})
 	if sat, _ := v.Checker().Verdict("ssh-ok"); !sat {
 		t.Fatal("ssh reachable initially")

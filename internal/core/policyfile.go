@@ -6,7 +6,7 @@ import (
 	"strconv"
 	"strings"
 
-	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 )
@@ -18,9 +18,10 @@ import (
 //	loopfree <name> <prefix|any>
 //	blackholefree <name> <prefix|any>
 //
-// Header predicates are built on h (the verifier's BDD table). Blank
-// lines and '#' comments are ignored.
-func ParsePolicies(text string, h *bdd.Headers) ([]policy.Policy, error) {
+// Header spaces are backend-neutral dataplane.Match values, so the
+// parsed policies register on any verifier regardless of its model
+// backend. Blank lines and '#' comments are ignored.
+func ParsePolicies(text string) ([]policy.Policy, error) {
 	var out []policy.Policy
 	names := make(map[string]bool)
 	sc := bufio.NewScanner(strings.NewReader(text))
@@ -31,7 +32,7 @@ func ParsePolicies(text string, h *bdd.Headers) ([]policy.Policy, error) {
 		if line == "" || line[0] == '#' {
 			continue
 		}
-		p, err := parsePolicyLine(line, h)
+		p, err := parsePolicyLine(line)
 		if err != nil {
 			return nil, fmt.Errorf("policy line %d: %w", lineno, err)
 		}
@@ -44,17 +45,17 @@ func ParsePolicies(text string, h *bdd.Headers) ([]policy.Policy, error) {
 	return out, sc.Err()
 }
 
-func parsePolicyLine(line string, h *bdd.Headers) (policy.Policy, error) {
+func parsePolicyLine(line string) (policy.Policy, error) {
 	f := strings.Fields(line)
-	hdrOf := func(s string) (bdd.Node, error) {
+	hdrOf := func(s string) (dataplane.Match, error) {
 		if s == "any" {
-			return bdd.True, nil
+			return dataplane.MatchAll, nil
 		}
 		p, err := netcfg.ParsePrefix(s)
 		if err != nil {
-			return bdd.False, err
+			return dataplane.Match{}, err
 		}
-		return h.DstPrefix(p), nil
+		return dataplane.Match{Dst: p}, nil
 	}
 	switch f[0] {
 	case "reach":
@@ -77,20 +78,18 @@ func parsePolicyLine(line string, h *bdd.Headers) (policy.Policy, error) {
 			return nil, fmt.Errorf("bad mode %q", f[5])
 		}
 		if len(f) >= 7 {
-			var proto netcfg.IPProto
 			switch f[6] {
 			case "tcp":
-				proto = netcfg.ProtoTCP
+				hdr.Proto = netcfg.ProtoTCP
 			case "udp":
-				proto = netcfg.ProtoUDP
+				hdr.Proto = netcfg.ProtoUDP
 			case "icmp":
-				proto = netcfg.ProtoICMP
+				hdr.Proto = netcfg.ProtoICMP
 			case "ip":
-				proto = netcfg.ProtoIPAny
+				hdr.Proto = netcfg.ProtoIPAny
 			default:
 				return nil, fmt.Errorf("bad protocol %q", f[6])
 			}
-			hdr = h.And(hdr, h.Proto(proto))
 		}
 		if len(f) >= 8 {
 			lo, err := strconv.Atoi(f[7])
@@ -103,7 +102,7 @@ func parsePolicyLine(line string, h *bdd.Headers) (policy.Policy, error) {
 					return nil, fmt.Errorf("bad port range")
 				}
 			}
-			hdr = h.And(hdr, h.DstPortRange(uint16(lo), uint16(hi)))
+			hdr.DstPortLo, hdr.DstPortHi = uint16(lo), uint16(hi)
 		}
 		return policy.Reachability{PolicyName: f[1], Src: f[2], Dst: f[3], Hdr: hdr, Mode: mode}, nil
 	case "waypoint":

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"realconfig/internal/apkeep"
 	"realconfig/internal/bdd"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
@@ -12,7 +13,6 @@ import (
 )
 
 func TestParsePoliciesAllKinds(t *testing.T) {
-	h := bdd.NewHeaders()
 	text := `
 # comment
 reach web-ok a b 10.9.0.0/24 all tcp 80
@@ -22,7 +22,7 @@ waypoint via-fw a b fw 10.9.0.0/24
 loopfree lf any
 blackholefree bh 10.0.0.0/8
 `
-	ps, err := ParsePolicies(text, h)
+	ps, err := ParsePolicies(text)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,18 +41,20 @@ blackholefree bh 10.0.0.0/8
 	if _, ok := ps[5].(policy.BlackholeFree); !ok {
 		t.Errorf("policy[5] = %#v", ps[5])
 	}
-	// The header predicate actually constrains the port.
+	// The header space actually constrains the port: realize it as a
+	// BDD predicate and test concrete packets against it.
 	r := ps[0].(policy.Reachability)
-	if !h.Contains(r.Hdr, bdd.Packet{Dst: netcfg.MustAddr("10.9.0.1"), Proto: netcfg.ProtoTCP, DstPort: 80}) {
+	m := apkeep.New()
+	hdr := m.Pred(r.Hdr)
+	if !m.H.Contains(hdr, bdd.Packet{Dst: netcfg.MustAddr("10.9.0.1"), Proto: netcfg.ProtoTCP, DstPort: 80}) {
 		t.Error("web-ok header rejects matching packet")
 	}
-	if h.Contains(r.Hdr, bdd.Packet{Dst: netcfg.MustAddr("10.9.0.1"), Proto: netcfg.ProtoTCP, DstPort: 81}) {
+	if m.H.Contains(hdr, bdd.Packet{Dst: netcfg.MustAddr("10.9.0.1"), Proto: netcfg.ProtoTCP, DstPort: 81}) {
 		t.Error("web-ok header accepts wrong port")
 	}
 }
 
 func TestParsePoliciesErrors(t *testing.T) {
-	h := bdd.NewHeaders()
 	bad := []string{
 		"frobnicate x",
 		"reach x a b 10.0.0.0/8", // missing mode
@@ -67,7 +69,7 @@ func TestParsePoliciesErrors(t *testing.T) {
 		"reach dup a b any all\nreach dup a b any all",
 	}
 	for _, text := range bad {
-		if _, err := ParsePolicies(text, h); err == nil {
+		if _, err := ParsePolicies(text); err == nil {
 			t.Errorf("ParsePolicies(%q) succeeded", text)
 		}
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"realconfig/internal/apkeep"
 	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
@@ -79,13 +78,13 @@ func (v *Verifier) Trace(src string, pkt bdd.Packet) Trace {
 // longest-prefix matching. It is the engine-independent core of
 // Verifier.Trace; the shard coordinator calls it against the one shard
 // whose destination slice owns the packet.
-func TracePacket(model *apkeep.Model, checker *policy.Checker, fib map[dataplane.Rule]dd.Diff, src string, pkt bdd.Packet) Trace {
+func TracePacket(model Model, checker *policy.Checker, fib map[dataplane.Rule]dd.Diff, src string, pkt bdd.Packet) Trace {
 	tr := Trace{Packet: pkt}
 	// The EC containing the packet determines outcomes; the concrete
 	// rules are recovered per hop by longest-prefix match over the FIB.
 	var ec bdd.Node
 	for cand := range model.ECs() {
-		if model.H.Contains(cand, pkt) {
+		if model.ContainsPacket(cand, pkt) {
 			ec = cand
 			break
 		}

@@ -49,6 +49,11 @@ type Options struct {
 	// bounded ring of the last TraceApplies applies. 0 disables tracing
 	// — the pipeline then pays only nil checks on its hot paths.
 	TraceApplies int
+	// Backend selects the data plane model implementation: "" or "bdd"
+	// for the APKeep-style BDD backend, "atom" for the Delta-net-style
+	// destination-interval backend. Forks inherit it via Options, so
+	// what-if sessions and planner probes stay on the same backend.
+	Backend string
 }
 
 // Verifier is an incremental configuration verifier. Load a network
@@ -57,7 +62,7 @@ type Options struct {
 type Verifier struct {
 	opts    Options
 	gen     *routing.Generator
-	model   *apkeep.Model
+	model   Model
 	checker *policy.Checker
 	cur     *netcfg.Network
 
@@ -200,10 +205,11 @@ func (r *Report) Repaired() []string {
 	return out
 }
 
-// New creates an empty verifier.
+// New creates an empty verifier on the backend named by opts.Backend
+// (empty = bdd). Validate names from user input with ValidateBackend
+// first; an unknown name panics.
 func New(opts Options) *Verifier {
-	model := apkeep.New()
-	model.AutoMerge = true // keep the EC partition minimal, as APKeep does
+	model := newModel(opts.Backend)
 	checker := policy.NewChecker(model)
 	checker.SetParallelism(opts.Parallel)
 	var rec *trace.Recorder
@@ -321,7 +327,9 @@ func (v *Verifier) SetNetwork(net *netcfg.Network) (*Report, error) {
 	// Stage 2: incremental data plane model update.
 	t0 = time.Now()
 	s0 = tr.Now()
-	v.model.UpdateFilters(filterChanges)
+	if err := v.model.UpdateFilters(filterChanges); err != nil {
+		return nil, fmt.Errorf("core: %s backend rejected filter changes: %w", v.model.Backend(), err)
+	}
 	rep.Model, err = v.model.ApplyBatch(ruleChanges, v.opts.Order)
 	if err != nil {
 		// The generator only retracts rules it previously emitted, so an
@@ -421,10 +429,10 @@ func (v *Verifier) Fork(policyText string) (*Verifier, error) {
 }
 
 // ForkSame builds an independent verifier over a copy of the current
-// network, reusing the already-compiled policy set: each registered
-// policy's predicates are transferred into the fork's own BDD table
-// (policy.Rebindable), skipping the specification re-parse that Fork
-// pays. Unlike Fork it also carries policies that were registered
+// network, reusing the already-compiled policy set: policies are plain
+// values with backend-neutral Match headers, so they register on the
+// fork directly, skipping the specification re-parse that Fork pays.
+// Unlike Fork it also carries policies that were registered
 // programmatically and never had a source line. Planner probes use it
 // to spin up oracle forks cheaply. Returns ErrNotLoaded before Load.
 func (v *Verifier) ForkSame() (*Verifier, error) {
@@ -436,22 +444,17 @@ func (v *Verifier) ForkSame() (*Verifier, error) {
 
 // ForkSameAt is ForkSame generalized: the fork loads the given network
 // snapshot (used directly, not cloned) under the given options, then
-// registers this verifier's compiled policies rebound into the fork's
-// table. Benchmarks use it to price a from-scratch verification of an
-// arbitrary intermediate state, and the planner uses it to build a
-// tracing fork positioned at a counterexample prefix.
+// registers this verifier's compiled policies. Benchmarks use it to
+// price a from-scratch verification of an arbitrary intermediate state,
+// and the planner uses it to build a tracing fork positioned at a
+// counterexample prefix.
 func (v *Verifier) ForkSameAt(net *netcfg.Network, opts Options) (*Verifier, error) {
 	fork := New(opts)
 	if _, err := fork.Load(net); err != nil {
 		return nil, err
 	}
-	from, to := v.model.H, fork.model.H
 	for _, p := range v.checker.Policies() {
-		rp, ok := p.(policy.Rebindable)
-		if !ok {
-			return nil, fmt.Errorf("core: policy %q (%T) cannot be rebound into a fork; use Fork with policy text", p.Name(), p)
-		}
-		fork.AddPolicy(rp.Rebind(from, to))
+		fork.AddPolicy(p)
 	}
 	return fork, nil
 }
@@ -466,7 +469,7 @@ func Bootstrap(opts Options, net *netcfg.Network, policyText string) (*Verifier,
 	if err != nil {
 		return nil, nil, err
 	}
-	ps, err := ParsePolicies(policyText, v.Model().H)
+	ps, err := ParsePolicies(policyText)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -506,8 +509,9 @@ func (v *Verifier) FIB() map[dataplane.Rule]dd.Diff {
 	return out
 }
 
-// Model exposes the data plane model (ECs, ports) for inspection.
-func (v *Verifier) Model() *apkeep.Model { return v.model }
+// Model exposes the data plane model backend (ECs, ports) for
+// inspection, behind the backend-neutral interface.
+func (v *Verifier) Model() Model { return v.model }
 
 // Checker exposes the policy checker for advanced queries (path traces,
 // pair maps, explanations).
@@ -516,12 +520,12 @@ func (v *Verifier) Checker() *policy.Checker { return v.checker }
 // Generator exposes the data plane generator (per-protocol bests).
 func (v *Verifier) Generator() *routing.Generator { return v.gen }
 
-// ParsePolicyText parses a policy specification against this verifier's
-// BDD table, so the returned policies can be registered directly with
-// AddPolicy. Part of the engine interface shared with the shard
-// coordinator.
+// ParsePolicyText parses a policy specification into registrable
+// policies. Part of the engine interface shared with the shard
+// coordinator (policies are backend-neutral values, so no per-verifier
+// state is involved anymore).
 func (v *Verifier) ParsePolicyText(text string) ([]policy.Policy, error) {
-	return ParsePolicies(text, v.model.H)
+	return ParsePolicies(text)
 }
 
 // NumECs returns the current number of packet equivalence classes.

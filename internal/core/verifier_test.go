@@ -6,6 +6,7 @@ import (
 
 	"realconfig/internal/apkeep"
 	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 	"realconfig/internal/simulate"
@@ -62,10 +63,9 @@ func TestVerifierEndToEndLine(t *testing.T) {
 	crossCheck(t, v, net.Network)
 
 	// Register policies.
-	h := v.Model().H
 	p02 := net.HostPrefix["r02"]
 	if !v.AddPolicy(policy.Reachability{
-		PolicyName: "r00->r02", Src: "r00", Dst: "r02", Hdr: h.DstPrefix(p02), Mode: policy.ReachAll,
+		PolicyName: "r00->r02", Src: "r00", Dst: "r02", Hdr: dataplane.Match{Dst: p02}, Mode: policy.ReachAll,
 	}) {
 		t.Fatal("reachability should hold initially")
 	}
@@ -148,10 +148,9 @@ func TestVerifierACLChange(t *testing.T) {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	h := v.Model().H
 	p02 := net.HostPrefix["r02"]
-	sshHdr := h.And(h.DstPrefix(p02), h.And(h.Proto(netcfg.ProtoTCP), h.DstPortRange(22, 22)))
-	webHdr := h.And(h.DstPrefix(p02), h.And(h.Proto(netcfg.ProtoTCP), h.DstPortRange(80, 80)))
+	sshHdr := dataplane.Match{Dst: p02, Proto: netcfg.ProtoTCP, DstPortLo: 22, DstPortHi: 22}
+	webHdr := dataplane.Match{Dst: p02, Proto: netcfg.ProtoTCP, DstPortLo: 80, DstPortHi: 80}
 	v.AddPolicy(policy.Reachability{PolicyName: "no-ssh", Src: "r00", Dst: "r02", Hdr: sshHdr, Mode: policy.ReachNone})
 	v.AddPolicy(policy.Reachability{PolicyName: "web-ok", Src: "r00", Dst: "r02", Hdr: webHdr, Mode: policy.ReachAll})
 	if sat, _ := v.Checker().Verdict("no-ssh"); sat {
@@ -269,9 +268,9 @@ func TestVerifierLoopPolicyOnStaticLoop(t *testing.T) {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	h := v.Model().H
 	ext := netcfg.MustPrefix("203.0.113.0/24")
-	if !v.AddPolicy(policy.LoopFree{PolicyName: "loopfree", Scope: h.DstPrefix(ext)}) {
+	extHdr := dataplane.Match{Dst: ext}
+	if !v.AddPolicy(policy.LoopFree{PolicyName: "loopfree", Scope: extHdr}) {
 		t.Fatal("loop-free should hold initially")
 	}
 	rep, err := v.Apply(
@@ -287,7 +286,7 @@ func TestVerifierLoopPolicyOnStaticLoop(t *testing.T) {
 	// And the witness machinery can explain it.
 	ec := bdd.False
 	for e := range v.Model().ECs() {
-		if v.Model().H.Overlaps(e, h.DstPrefix(ext)) {
+		if v.Model().MatchOverlaps(extHdr, e) {
 			ec = e
 		}
 	}
@@ -321,7 +320,7 @@ func TestForkIsIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := "reach r00-r02 r00 r02 " + net.HostPrefix["r02"].String() + " all"
-	ps, err := ParsePolicies(spec, v.Model().H)
+	ps, err := ParsePolicies(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

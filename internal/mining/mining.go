@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"realconfig/internal/core"
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 )
@@ -116,7 +117,6 @@ func Mine(net *netcfg.Network, buildCandidates func(*core.Verifier) []policy.Pol
 // all-pairs host-prefix reachability for the given devices and prefixes.
 // This is the policy space Config2Spec enumerates for reachability.
 func ReachabilityCandidates(v *core.Verifier, hostPrefix map[string]netcfg.Prefix, devices []string) []policy.Policy {
-	h := v.Model().H
 	var out []policy.Policy
 	sorted := append([]string(nil), devices...)
 	sort.Strings(sorted)
@@ -132,7 +132,7 @@ func ReachabilityCandidates(v *core.Verifier, hostPrefix map[string]netcfg.Prefi
 			out = append(out, policy.Reachability{
 				PolicyName: fmt.Sprintf("reach/%s->%s", src, dst),
 				Src:        src, Dst: dst,
-				Hdr:  h.DstPrefix(p),
+				Hdr:  dataplane.Match{Dst: p},
 				Mode: policy.ReachAll,
 			})
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"realconfig/internal/core"
+	"realconfig/internal/dataplane"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
 	"realconfig/internal/topology"
@@ -94,7 +95,7 @@ func TestMineBaseViolationsAttributed(t *testing.T) {
 	res, err := Mine(net.Network, func(v *core.Verifier) []policy.Policy {
 		return []policy.Policy{policy.Reachability{
 			PolicyName: "bogus", Src: "r00", Dst: "r01",
-			Hdr:  v.Model().H.DstPrefix(netcfg.MustPrefix("203.0.113.0/24")), // no such route
+			Hdr:  dataplane.Match{Dst: netcfg.MustPrefix("203.0.113.0/24")}, // no such route
 			Mode: policy.ReachAll,
 		}}
 	}, FailureModel{MaxLinkFailures: 1}, core.Options{})

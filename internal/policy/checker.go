@@ -71,9 +71,15 @@ type ecResult struct {
 }
 
 // Checker incrementally maintains forwarding outcomes and policy
-// verdicts over an apkeep data plane model.
+// verdicts over a data plane model backend.
 type Checker struct {
-	model *apkeep.Model
+	model Model
+
+	// scope confines relevance tests and witnesses to a shard's slice of
+	// the destination space (scoped=false means the full space). Set via
+	// SetScope; requires a ScopedModel backend.
+	scope  bdd.Node
+	scoped bool
 
 	devices []string
 	// ingress maps (device, egress interface) to the neighbor and its
@@ -134,9 +140,9 @@ func (c *Checker) Instrument(reg *obs.Registry) {
 // results are merged sequentially, keeping output deterministic.
 func (c *Checker) SetParallelism(n int) { c.parallelism = n }
 
-// NewChecker creates a checker over a model. Call SetTopology before the
-// first Update.
-func NewChecker(m *apkeep.Model) *Checker {
+// NewChecker creates a checker over a model backend. Call SetTopology
+// before the first Update.
+func NewChecker(m Model) *Checker {
 	return &Checker{
 		model:    m,
 		ingress:  make(map[[2]string][2]string),
@@ -145,6 +151,41 @@ func NewChecker(m *apkeep.Model) *Checker {
 		policies: make(map[string]Policy),
 		verdicts: make(map[string]bool),
 	}
+}
+
+// Model returns the backend the checker evaluates against.
+func (c *Checker) Model() Model { return c.model }
+
+// SetScope confines the checker's relevance tests and witnesses to a
+// slice of the destination space, given as a predicate in the backend's
+// BDD table. The shard layer scopes each unit's checker to its slice so
+// a policy's header space only "registers" where it intersects the
+// slice. Panics if the backend does not support scoping (sharding is a
+// bdd-backend feature).
+func (c *Checker) SetScope(space bdd.Node) {
+	if _, ok := c.model.(ScopedModel); !ok {
+		panic("policy: SetScope requires a ScopedModel backend (sharding is bdd-only)")
+	}
+	c.scope = space
+	c.scoped = true
+}
+
+// MatchOverlaps reports whether m's packet space intersects ec, confined
+// to the checker's scope when one is set.
+func (c *Checker) MatchOverlaps(m dataplane.Match, ec bdd.Node) bool {
+	if c.scoped {
+		return c.model.(ScopedModel).MatchOverlapsIn(m, c.scope, ec)
+	}
+	return c.model.MatchOverlaps(m, ec)
+}
+
+// WitnessIn returns a concrete packet in the intersection of m and ec,
+// confined to the checker's scope when one is set.
+func (c *Checker) WitnessIn(m dataplane.Match, ec bdd.Node) (bdd.Packet, bool) {
+	if c.scoped {
+		return c.model.(ScopedModel).WitnessInScope(m, c.scope, ec)
+	}
+	return c.model.WitnessIn(m, ec)
 }
 
 // SetTopology installs the device list and adjacency view used for walks
@@ -278,7 +319,7 @@ func (c *Checker) Update(transfers []apkeep.Transfer, ftransfers []apkeep.Filter
 		var relECs []bdd.Node
 		relevant := false
 		for ec := range affected {
-			if p.Relevant(c.model.H, ec) {
+			if p.Relevant(c, ec) {
 				relevant = true
 				if c.tr == nil {
 					break

@@ -134,12 +134,11 @@ func TestLoopDetection(t *testing.T) {
 	}
 	// LoopFree over this space must be violated; over disjoint space it
 	// must hold.
-	h := m.H
-	scope := h.DstPrefix(p)
+	scope := dataplane.Match{Dst: p}
 	if (LoopFree{PolicyName: "lf", Scope: scope}).Eval(c) {
 		t.Error("LoopFree satisfied despite loop")
 	}
-	other := h.DstPrefix(netcfg.MustPrefix("172.16.0.0/16"))
+	other := dataplane.Match{Dst: netcfg.MustPrefix("172.16.0.0/16")}
 	if !(LoopFree{PolicyName: "lf2", Scope: other}).Eval(c) {
 		t.Error("LoopFree violated outside loop space")
 	}
@@ -175,16 +174,17 @@ func TestFilterOutcomes(t *testing.T) {
 func TestPoliciesIncrementalRecheck(t *testing.T) {
 	m, c := lineModel(t)
 	c.Update(nil, nil)
-	h := m.H
-	hdr := h.DstPrefix(netcfg.MustPrefix("10.9.0.0/24"))
+	hdr := dataplane.Match{Dst: netcfg.MustPrefix("10.9.0.0/24")}
 	if !c.AddPolicy(Reachability{PolicyName: "a->c", Src: "a", Dst: "c", Hdr: hdr, Mode: ReachAll}) {
 		t.Fatal("reachability should initially hold")
 	}
 	if !c.AddPolicy(Waypoint{PolicyName: "via-b", Src: "a", Dst: "c", Via: "b", Hdr: hdr}) {
 		t.Fatal("waypoint should initially hold")
 	}
+	udpHdr := hdr
+	udpHdr.Proto = netcfg.ProtoUDP
 	c.AddPolicy(Reachability{PolicyName: "isolated", Src: "a", Dst: "c",
-		Hdr: h.And(hdr, h.Proto(netcfg.ProtoUDP)), Mode: ReachNone})
+		Hdr: udpHdr, Mode: ReachNone})
 
 	// An unrelated change must not recheck these policies.
 	other := dataplane.Rule{Device: "a", Prefix: netcfg.MustPrefix("203.0.113.0/24"), Action: dataplane.Drop}
@@ -255,8 +255,7 @@ func TestWaypointViolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Update(br.Transfers, br.FilterTransfers)
-	h := m.H
-	hdr := h.DstPrefix(netcfg.MustPrefix("10.9.0.0/24"))
+	hdr := dataplane.Match{Dst: netcfg.MustPrefix("10.9.0.0/24")}
 	if (Waypoint{PolicyName: "via-b", Src: "a", Dst: "c", Via: "b", Hdr: hdr}).Eval(c) {
 		t.Error("waypoint satisfied despite bypass")
 	}
@@ -265,8 +264,7 @@ func TestWaypointViolation(t *testing.T) {
 func TestBlackholeFreeAndExplain(t *testing.T) {
 	m, c := lineModel(t)
 	c.Update(nil, nil)
-	h := m.H
-	hdr := h.DstPrefix(netcfg.MustPrefix("10.9.0.0/24"))
+	hdr := dataplane.Match{Dst: netcfg.MustPrefix("10.9.0.0/24")}
 	if !(BlackholeFree{PolicyName: "bh", Scope: hdr}).Eval(c) {
 		t.Error("blackhole-free violated on healthy network")
 	}
@@ -291,7 +289,7 @@ func TestBlackholeFreeAndExplain(t *testing.T) {
 func TestRemovePolicy(t *testing.T) {
 	_, c := lineModel(t)
 	c.Update(nil, nil)
-	c.AddPolicy(LoopFree{PolicyName: "lf", Scope: bdd.True})
+	c.AddPolicy(LoopFree{PolicyName: "lf", Scope: dataplane.MatchAll})
 	if _, known := c.Verdict("lf"); !known {
 		t.Fatal("policy not registered")
 	}

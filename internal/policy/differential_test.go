@@ -197,8 +197,11 @@ func compareOutcomesByPacket(t *testing.T, trial, step int, a, b *Checker, devs 
 
 // ecContaining finds the checker's EC containing a concrete packet.
 func ecContaining(c *Checker, pkt bdd.Packet) bdd.Node {
+	m := c.model.(interface {
+		ContainsPacket(ec bdd.Node, pkt bdd.Packet) bool
+	})
 	for cand := range c.model.ECs() {
-		if c.model.H.Contains(cand, pkt) {
+		if m.ContainsPacket(cand, pkt) {
 			return cand
 		}
 	}

@@ -2,18 +2,22 @@ package policy
 
 import (
 	"fmt"
+	"sort"
 
 	"realconfig/internal/bdd"
+	"realconfig/internal/dataplane"
 )
 
 // Policy is a forwarding property registered with the checker. Policies
 // declare which packets they "register" on via Relevant, so the checker
 // can skip them when unrelated ECs change — the key to incremental
-// policy checking.
+// policy checking. Header spaces are dataplane.Match values (the zero
+// value matches everything), so policies carry no backend-specific
+// handles and transfer between verifiers and backends as plain values.
 type Policy interface {
 	Name() string
 	// Relevant reports whether a change to ec can affect this policy.
-	Relevant(h *bdd.Headers, ec bdd.Node) bool
+	Relevant(c *Checker, ec bdd.Node) bool
 	// Eval computes the policy's satisfaction from the checker state.
 	Eval(c *Checker) bool
 }
@@ -50,6 +54,17 @@ func (c *Checker) Verdicts() map[string]bool {
 	return out
 }
 
+// Policies returns the registered policies sorted by name, so callers
+// that rebuild a checker (forks) register them deterministically.
+func (c *Checker) Policies() []Policy {
+	out := make([]Policy, 0, len(c.policies))
+	for _, p := range c.policies {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
 // ReachMode selects reachability semantics.
 type ReachMode uint8
 
@@ -70,7 +85,7 @@ const (
 type Reachability struct {
 	PolicyName string
 	Src, Dst   string
-	Hdr        bdd.Node // packet space the policy registers on
+	Hdr        dataplane.Match // packet space the policy registers on
 	Mode       ReachMode
 }
 
@@ -78,13 +93,13 @@ type Reachability struct {
 func (p Reachability) Name() string { return p.PolicyName }
 
 // Relevant implements Policy.
-func (p Reachability) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Hdr, ec) }
+func (p Reachability) Relevant(c *Checker, ec bdd.Node) bool { return c.MatchOverlaps(p.Hdr, ec) }
 
 // Eval implements Policy.
 func (p Reachability) Eval(c *Checker) bool {
 	delivered, total := 0, 0
 	for ec := range c.model.ECs() {
-		if !c.model.H.Overlaps(p.Hdr, ec) {
+		if !c.MatchOverlaps(p.Hdr, ec) {
 			continue
 		}
 		total++
@@ -108,19 +123,19 @@ type Waypoint struct {
 	PolicyName string
 	Src, Dst   string
 	Via        string
-	Hdr        bdd.Node
+	Hdr        dataplane.Match
 }
 
 // Name implements Policy.
 func (p Waypoint) Name() string { return p.PolicyName }
 
 // Relevant implements Policy.
-func (p Waypoint) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Hdr, ec) }
+func (p Waypoint) Relevant(c *Checker, ec bdd.Node) bool { return c.MatchOverlaps(p.Hdr, ec) }
 
 // Eval implements Policy.
 func (p Waypoint) Eval(c *Checker) bool {
 	for ec := range c.model.ECs() {
-		if !c.model.H.Overlaps(p.Hdr, ec) {
+		if !c.MatchOverlaps(p.Hdr, ec) {
 			continue
 		}
 		o, ok := c.OutcomeOf(ec, p.Src)
@@ -145,19 +160,19 @@ func (p Waypoint) Eval(c *Checker) bool {
 // paper's example of a universal invariant.
 type LoopFree struct {
 	PolicyName string
-	Scope      bdd.Node
+	Scope      dataplane.Match
 }
 
 // Name implements Policy.
 func (p LoopFree) Name() string { return p.PolicyName }
 
 // Relevant implements Policy.
-func (p LoopFree) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Scope, ec) }
+func (p LoopFree) Relevant(c *Checker, ec bdd.Node) bool { return c.MatchOverlaps(p.Scope, ec) }
 
 // Eval implements Policy.
 func (p LoopFree) Eval(c *Checker) bool {
 	for ec, r := range c.ecs {
-		if !c.model.H.Overlaps(p.Scope, ec) {
+		if !c.MatchOverlaps(p.Scope, ec) {
 			continue
 		}
 		for _, o := range r.outcomes {
@@ -173,19 +188,19 @@ func (p LoopFree) Eval(c *Checker) bool {
 // without a route (static drop routes count as drops too).
 type BlackholeFree struct {
 	PolicyName string
-	Scope      bdd.Node
+	Scope      dataplane.Match
 }
 
 // Name implements Policy.
 func (p BlackholeFree) Name() string { return p.PolicyName }
 
 // Relevant implements Policy.
-func (p BlackholeFree) Relevant(h *bdd.Headers, ec bdd.Node) bool { return h.Overlaps(p.Scope, ec) }
+func (p BlackholeFree) Relevant(c *Checker, ec bdd.Node) bool { return c.MatchOverlaps(p.Scope, ec) }
 
 // Eval implements Policy.
 func (p BlackholeFree) Eval(c *Checker) bool {
 	for ec, r := range c.ecs {
-		if !c.model.H.Overlaps(p.Scope, ec) {
+		if !c.MatchOverlaps(p.Scope, ec) {
 			continue
 		}
 		for _, o := range r.outcomes {
@@ -199,16 +214,16 @@ func (p BlackholeFree) Eval(c *Checker) bool {
 
 // Explain renders a human-readable account of why a reachability-style
 // check currently fails between src and dst for packets in hdr.
-func (c *Checker) Explain(src, dst string, hdr bdd.Node) string {
+func (c *Checker) Explain(src, dst string, hdr dataplane.Match) string {
 	for ec := range c.model.ECs() {
-		if !c.model.H.Overlaps(hdr, ec) {
+		if !c.MatchOverlaps(hdr, ec) {
 			continue
 		}
 		o, ok := c.OutcomeOf(ec, src)
 		if ok && o.Kind == Delivered && o.At == dst {
 			continue
 		}
-		pkt, _ := c.Witness(c.model.H.And(hdr, ec))
+		pkt, _ := c.WitnessIn(hdr, ec)
 		path := c.TracePath(ec, src)
 		if !ok {
 			return fmt.Sprintf("packet %v: no outcome at %s", pkt, src)

@@ -1,13 +1,13 @@
 package policy
 
-import "realconfig/internal/bdd"
+import "realconfig/internal/dataplane"
 
 // JoinMode says how per-shard verdicts of a destination-partitioned
-// policy combine into the global verdict. The shard layer restricts a
-// policy's header space to each shard's slice of the destination space;
-// because the slices partition the full space and equivalence classes
-// refine packet behaviour, evaluating the restricted copies and joining
-// their verdicts is exactly the unsharded evaluation.
+// policy combine into the global verdict. The shard layer scopes each
+// unit's checker to that unit's slice of the destination space; because
+// the slices partition the full space and equivalence classes refine
+// packet behaviour, evaluating the policy under the per-unit scopes and
+// joining the verdicts is exactly the unsharded evaluation.
 type JoinMode uint8
 
 const (
@@ -27,15 +27,16 @@ const (
 )
 
 // Sharded is implemented by policies that can be partitioned across
-// destination-space shards. Restrict confines the policy to one shard's
-// slice; Join says how the per-shard verdicts recombine.
+// destination-space shards. Header exposes the policy's packet space so
+// the shard layer can skip units whose slice it misses entirely; Join
+// says how the per-shard verdicts recombine. Policies are plain values
+// with Match-based headers, so the same value registers on every unit —
+// each unit's scoped checker confines evaluation to its own slice.
 type Sharded interface {
-	Rebindable
-	// Restrict returns a copy of the policy whose header space is
-	// intersected with space (a predicate in h's table, like the
-	// policy's own predicates). ok=false means the intersection is
-	// empty and the policy need not register on that shard.
-	Restrict(h *bdd.Headers, space bdd.Node) (p Policy, ok bool)
+	Policy
+	// Header returns the packet space the policy registers on (the zero
+	// Match means the full space).
+	Header() dataplane.Match
 	// Join returns the policy's verdict combination mode.
 	Join() JoinMode
 }
@@ -66,11 +67,8 @@ func JoinVerdicts(mode JoinMode, verdicts []bool) bool {
 	}
 }
 
-// Restrict implements Sharded.
-func (p Reachability) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
-	p.Hdr = h.And(p.Hdr, space)
-	return p, p.Hdr != bdd.False
-}
+// Header implements Sharded.
+func (p Reachability) Header() dataplane.Match { return p.Hdr }
 
 // Join implements Sharded. ReachAll needs a delivery witness (total > 0
 // in at least one shard); ReachSome is existential; ReachNone is
@@ -86,29 +84,20 @@ func (p Reachability) Join() JoinMode {
 	}
 }
 
-// Restrict implements Sharded.
-func (p Waypoint) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
-	p.Hdr = h.And(p.Hdr, space)
-	return p, p.Hdr != bdd.False
-}
+// Header implements Sharded.
+func (p Waypoint) Header() dataplane.Match { return p.Hdr }
 
 // Join implements Sharded.
 func (p Waypoint) Join() JoinMode { return JoinAll }
 
-// Restrict implements Sharded.
-func (p LoopFree) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
-	p.Scope = h.And(p.Scope, space)
-	return p, p.Scope != bdd.False
-}
+// Header implements Sharded.
+func (p LoopFree) Header() dataplane.Match { return p.Scope }
 
 // Join implements Sharded.
 func (p LoopFree) Join() JoinMode { return JoinAll }
 
-// Restrict implements Sharded.
-func (p BlackholeFree) Restrict(h *bdd.Headers, space bdd.Node) (Policy, bool) {
-	p.Scope = h.And(p.Scope, space)
-	return p, p.Scope != bdd.False
-}
+// Header implements Sharded.
+func (p BlackholeFree) Header() dataplane.Match { return p.Scope }
 
 // Join implements Sharded.
 func (p BlackholeFree) Join() JoinMode { return JoinAll }

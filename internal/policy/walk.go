@@ -146,4 +146,4 @@ func (c *Checker) TracePath(ec bdd.Node, src string) []string {
 
 // Witness produces a concrete packet demonstrating an EC (for violation
 // reports).
-func (c *Checker) Witness(ec bdd.Node) (bdd.Packet, bool) { return c.model.H.Witness(ec) }
+func (c *Checker) Witness(ec bdd.Node) (bdd.Packet, bool) { return c.model.Witness(ec) }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"realconfig/internal/core"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/obs"
 	"realconfig/internal/plan"
@@ -37,6 +38,11 @@ type TenantConfig struct {
 	// Shards splits the tenant's verifier across destination-space
 	// shards (<= 1 = monolithic).
 	Shards int
+	// Backend overrides the model backend for this tenant ("" = the
+	// server-wide Options.Backend). Validated at startup; recorded in
+	// the journal's .meta sidecar so replay and replicas know which
+	// backend produced the journaled reports.
+	Backend string
 }
 
 // Tenant is one isolated verification domain inside the daemon: its own
@@ -94,7 +100,17 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 		done:         make(chan struct{}),
 		log:          opts.log.With("tenant", tc.ID),
 	}
-	t.eng = newEngine(opts.verifier, tc.Shards)
+	vopts := opts.verifier
+	if tc.Backend != "" {
+		vopts.Backend = tc.Backend
+	}
+	if err := core.ValidateBackend(vopts.Backend); err != nil {
+		return nil, fmt.Errorf("server: tenant %q: %w", tc.ID, err)
+	}
+	if tc.Shards > 1 && vopts.Backend == core.BackendAtom {
+		return nil, fmt.Errorf("server: tenant %q: the atom backend cannot shard (destination partitioning needs BDD space predicates); use shards=1 or the bdd backend", tc.ID)
+	}
+	t.eng = newEngine(vopts, tc.Shards)
 	t.instrument(reg) // before Load, so the initial full verification is measured too
 	rep, err := t.eng.Load(tc.Net)
 	if err != nil {
@@ -108,6 +124,24 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 		j, entries, err := openJournal(tc.JournalPath, opts.journalSegBytes)
 		if err != nil {
 			return nil, err
+		}
+		// Stamp (or verify) the backend sidecar: the journal's entries are
+		// backend-neutral configuration changes, but the reports clients
+		// saw were produced by a specific backend, so the lineage records
+		// it. A replay under a different backend is allowed — verdicts are
+		// proven equal — but announced, since EC counts can differ.
+		if prev, ok, err := readMetaFile(metaPath(tc.JournalPath)); err != nil {
+			j.close()
+			return nil, err
+		} else if backend := t.eng.Options().ModelBackend(); !ok || prev.Backend != backend {
+			if ok {
+				t.log.Warn("journal was recorded under a different model backend",
+					"path", tc.JournalPath, "recorded", prev.Backend, "configured", backend)
+			}
+			if err := writeMetaFile(metaPath(tc.JournalPath), journalMeta{Backend: backend}); err != nil {
+				j.close()
+				return nil, err
+			}
 		}
 		j.appends = t.m.journalAppends
 		j.appendSeconds = t.m.journalAppendSeconds

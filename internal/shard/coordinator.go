@@ -27,10 +27,7 @@ type Coordinator struct {
 	opts core.Options
 	gen  *routing.Generator
 	set  *Set
-	// h is the master BDD table policies are parsed into; AddPolicy
-	// rebinds them into each unit's table.
-	h   *bdd.Headers
-	cur *netcfg.Network
+	cur  *netcfg.Network
 
 	rec       *trace.Recorder
 	nextReqID string
@@ -64,7 +61,6 @@ func New(opts core.Options, shards int) *Coordinator {
 			DetectOscillation: opts.DetectOscillation,
 		}),
 		set: NewSet(shards, opts.Parallel),
-		h:   bdd.NewHeaders(),
 		rec: rec,
 	}
 }
@@ -223,15 +219,15 @@ func (c *Coordinator) Network() *netcfg.Network {
 // Options returns the coordinator's options.
 func (c *Coordinator) Options() core.Options { return c.opts }
 
-// ParsePolicyText parses a policy specification against the master
-// table; the result can be passed to AddPolicy.
+// ParsePolicyText parses a policy specification; the result can be
+// passed to AddPolicy.
 func (c *Coordinator) ParsePolicyText(text string) ([]policy.Policy, error) {
-	return core.ParsePolicies(text, c.h)
+	return core.ParsePolicies(text)
 }
 
 // AddPolicy registers a policy (parsed by ParsePolicyText) across the
 // shards and returns the joined initial verdict.
-func (c *Coordinator) AddPolicy(p policy.Policy) bool { return c.set.AddPolicy(c.h, p) }
+func (c *Coordinator) AddPolicy(p policy.Policy) bool { return c.set.AddPolicy(p) }
 
 // RemovePolicy unregisters a policy from every shard.
 func (c *Coordinator) RemovePolicy(name string) { c.set.RemovePolicy(name) }

@@ -8,7 +8,6 @@ import (
 	"testing"
 
 	"realconfig/internal/apkeep"
-	"realconfig/internal/bdd"
 	"realconfig/internal/dataplane"
 	"realconfig/internal/dd"
 	"realconfig/internal/netcfg"
@@ -78,12 +77,12 @@ func randomFilter(rng *rand.Rand, devs []string) dataplane.FilterRule {
 // diffPolicies builds a policy suite covering every type and join mode
 // over headers in h: per-prefix reachability in all three modes,
 // waypointing, and the universal loop/blackhole invariants.
-func diffPolicies(h *bdd.Headers, devs []string) []policy.Policy {
+func diffPolicies(devs []string) []policy.Policy {
 	ps := []policy.Policy{
-		policy.LoopFree{PolicyName: "no-loops", Scope: bdd.True},
-		policy.BlackholeFree{PolicyName: "no-blackholes", Scope: h.DstPrefix(netcfg.MustPrefix("10.0.0.0/22"))},
+		policy.LoopFree{PolicyName: "no-loops", Scope: dataplane.MatchAll},
+		policy.BlackholeFree{PolicyName: "no-blackholes", Scope: dataplane.Match{Dst: netcfg.MustPrefix("10.0.0.0/22")}},
 		policy.Waypoint{PolicyName: "via-c", Src: devs[0], Dst: devs[3], Via: devs[2],
-			Hdr: h.DstPrefix(netcfg.MustPrefix("10.0.2.0/24"))},
+			Hdr: dataplane.Match{Dst: netcfg.MustPrefix("10.0.2.0/24")}},
 	}
 	modes := []policy.ReachMode{policy.ReachAll, policy.ReachSome, policy.ReachNone}
 	for i, pfx := range []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24", "192.168.0.0/16"} {
@@ -91,7 +90,7 @@ func diffPolicies(h *bdd.Headers, devs []string) []policy.Policy {
 			PolicyName: fmt.Sprintf("reach-%d", i),
 			Src:        devs[i%len(devs)],
 			Dst:        devs[(i+2)%len(devs)],
-			Hdr:        h.DstPrefix(netcfg.MustPrefix(pfx)),
+			Hdr:        dataplane.Match{Dst: netcfg.MustPrefix(pfx)},
 			Mode:       modes[i%len(modes)],
 		})
 	}
@@ -130,21 +129,20 @@ func TestSetDifferential(t *testing.T) {
 				oc := policy.NewChecker(om)
 				oc.SetTopology(devs, adjs)
 				oc.Update(nil, nil)
-				for _, p := range diffPolicies(om.H, devs) {
+				for _, p := range diffPolicies(devs) {
 					oc.AddPolicy(p)
 				}
 
-				// Subject: an n-way set fed the same policies from a
-				// master table. Prime it with an empty apply (the
+				// Subject: an n-way set fed the same policy values.
+				// Prime it with an empty apply (the
 				// Load-before-AddPolicy order every engine follows) so
 				// its checkers hold outcomes like the oracle's.
 				set := NewSet(n, 0)
 				if _, _, _, _, err := set.Apply(nil, nil, apkeep.InsertFirst, devs, adjs); err != nil {
 					t.Fatal(err)
 				}
-				master := bdd.NewHeaders()
-				for _, p := range diffPolicies(master, devs) {
-					set.AddPolicy(master, p)
+				for _, p := range diffPolicies(devs) {
+					set.AddPolicy(p)
 				}
 				if got, want := set.Verdicts(), oc.Verdicts(); !reflect.DeepEqual(got, want) {
 					t.Fatalf("initial verdicts = %v, want %v", got, want)

@@ -56,25 +56,28 @@ func (s *Set) Partition() Partition { return s.part }
 func (s *Set) Units() []*Unit { return s.units }
 
 // AddPolicy registers a policy across the shards its header space
-// intersects and returns the joined initial verdict. The policy's
-// predicates live in `from`; each unit receives a rebound copy
-// restricted to its space. Policies that cannot shard (no
-// policy.Sharded implementation) are a programming error: every policy
-// the specification language produces shards.
-func (s *Set) AddPolicy(from *bdd.Headers, p policy.Policy) bool {
+// intersects and returns the joined initial verdict. Policies are plain
+// values with backend-neutral Match headers, so the same value registers
+// on every intersecting unit; each unit's scoped checker confines
+// evaluation to its own slice. Units whose slice misses the header space
+// entirely are skipped — essential for the join semantics, since a
+// JoinAllWitness policy registered vacuously would count as satisfied.
+// Policies that cannot shard (no policy.Sharded implementation) are a
+// programming error: every policy the specification language produces
+// shards.
+func (s *Set) AddPolicy(p policy.Policy) bool {
 	sp, ok := p.(policy.Sharded)
 	if !ok {
 		panic(fmt.Sprintf("shard: policy %q (%T) does not implement policy.Sharded", p.Name(), p))
 	}
 	r := setReg{mode: sp.Join()}
 	var per []bool
+	hdr := sp.Header()
 	for i, u := range s.units {
-		rebound := sp.Rebind(from, u.H).(policy.Sharded)
-		restricted, ok := rebound.Restrict(u.H, u.Space)
-		if !ok {
+		if u.H.And(u.Model.Pred(hdr), u.Space) == bdd.False {
 			continue
 		}
-		per = append(per, u.Checker.AddPolicy(restricted))
+		per = append(per, u.Checker.AddPolicy(p))
 		r.units = append(r.units, i)
 	}
 	s.regs[p.Name()] = r

@@ -38,12 +38,17 @@ func newUnit(idx int, part Partition, parallel int) *Unit {
 	m.AutoMerge = true // keep each slice's partition minimal, like core.New
 	c := policy.NewChecker(m)
 	c.SetParallelism(parallel)
+	space := part.SpaceOn(m.H, idx)
+	// Scope the checker to the unit's slice: policies carry global Match
+	// headers, and the scope confines their relevance tests and witnesses
+	// to the destinations this unit owns.
+	c.SetScope(space)
 	return &Unit{
 		Index:   idx,
 		H:       m.H,
 		Model:   m,
 		Checker: c,
-		Space:   part.SpaceOn(m.H, idx),
+		Space:   space,
 	}
 }
 
@@ -61,7 +66,9 @@ func (u *Unit) apply(rules []dd.Entry[dataplane.Rule], filters []dd.Entry[datapl
 	order apkeep.Order, devices []string, adjs []dataplane.Adjacency) unitResult {
 	var r unitResult
 	t0 := time.Now()
-	u.Model.UpdateFilters(filters)
+	if r.err = u.Model.UpdateFilters(filters); r.err != nil {
+		return r
+	}
 	r.batch, r.err = u.Model.ApplyBatch(rules, order)
 	r.modelDur = time.Since(t0)
 	if r.err != nil {

@@ -64,8 +64,8 @@ func TestRingBounds(t *testing.T) {
 func TestSpanAndEventRecording(t *testing.T) {
 	r := NewRecorder(0)
 	r.SetClock(fakeClock())
-	a := r.Begin("load") // t=1
-	start := a.Now()     // t=2
+	a := r.Begin("load")                                  // t=1
+	start := a.Now()                                      // t=2
 	a.Span("pipeline", "generate", start, I("rules", 12)) // end t=3
 	a.Event("model", "ec_split", U("ec", 9))              // t=4
 	a.Finish(0)                                           // t=5

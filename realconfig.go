@@ -25,11 +25,10 @@
 //	net, _ := realconfig.FatTree(4, realconfig.BGP)
 //	v := realconfig.New(realconfig.Options{})
 //	report, err := v.Load(net.Network)      // full verification
-//	h := v.Model().H
 //	v.AddPolicy(realconfig.Reachability{
 //	    PolicyName: "edge00-00 reaches edge01-00",
 //	    Src: "edge00-00", Dst: "edge01-00",
-//	    Hdr:  h.DstPrefix(net.HostPrefix["edge01-00"]),
+//	    Hdr:  realconfig.Match{Dst: net.HostPrefix["edge01-00"]},
 //	    Mode: realconfig.ReachAll,
 //	})
 //	report, err = v.Apply(realconfig.ShutdownInterface{ // incremental
@@ -48,6 +47,7 @@ import (
 	"realconfig/internal/apkeep"
 	"realconfig/internal/bdd"
 	"realconfig/internal/core"
+	"realconfig/internal/dataplane"
 	"realconfig/internal/mining"
 	"realconfig/internal/netcfg"
 	"realconfig/internal/policy"
@@ -70,6 +70,14 @@ func New(opts Options) *Verifier { return core.New(opts) }
 const (
 	InsertFirst = apkeep.InsertFirst
 	DeleteFirst = apkeep.DeleteFirst
+)
+
+// Model backends (Options.Backend): "bdd" is the APKeep-style BDD
+// equivalence-class model, "atom" the Delta-net-style destination
+// interval model. The empty string selects "bdd".
+const (
+	BackendBDD  = core.BackendBDD
+	BackendAtom = core.BackendAtom
 )
 
 // Configuration model.
@@ -137,6 +145,13 @@ type (
 // Packet is a concrete packet for traces and witnesses.
 type Packet = bdd.Packet
 
+// Match is a backend-neutral packet-header space; the zero value
+// matches every packet. Policy headers and scopes are Match values.
+type Match = dataplane.Match
+
+// MatchAll is the full header space.
+var MatchAll = dataplane.MatchAll
+
 // Trace is a per-hop packet trace through the verified data plane (the
 // paper's section-4 debugging functionality); produce one with
 // Verifier.Trace.
@@ -152,8 +167,8 @@ type (
 )
 
 // Mine runs Config2Spec-style specification mining with the incremental
-// verifier. Candidates are built by the callback against Mine's verifier
-// (policy header predicates are verifier-specific BDD nodes).
+// verifier. Candidates are built by the callback against Mine's
+// verifier.
 func Mine(net *Network, buildCandidates func(*Verifier) []Policy, fm FailureModel, opts Options) (*MiningResult, error) {
 	return mining.Mine(net, buildCandidates, fm, opts)
 }

@@ -23,11 +23,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal("no rules computed")
 	}
 
-	h := v.Model().H
 	src, dst := "edge00-00", "edge01-00"
 	if !v.AddPolicy(realconfig.Reachability{
 		PolicyName: "e2e", Src: src, Dst: dst,
-		Hdr: h.DstPrefix(net.HostPrefix[dst]), Mode: realconfig.ReachAll,
+		Hdr: realconfig.Match{Dst: net.HostPrefix[dst]}, Mode: realconfig.ReachAll,
 	}) {
 		t.Fatal("reachability should hold")
 	}
@@ -117,8 +116,7 @@ func TestPublicAPIPolicyTypes(t *testing.T) {
 	if _, err := v.Load(net.Network); err != nil {
 		t.Fatal(err)
 	}
-	h := v.Model().H
-	hdr := h.DstPrefix(net.HostPrefix["r02"])
+	hdr := realconfig.Match{Dst: net.HostPrefix["r02"]}
 	v.AddPolicy(realconfig.Waypoint{PolicyName: "wp", Src: "r00", Dst: "r02", Via: "r01", Hdr: hdr})
 	v.AddPolicy(realconfig.LoopFree{PolicyName: "lf", Scope: hdr})
 	v.AddPolicy(realconfig.BlackholeFree{PolicyName: "bh", Scope: hdr})
