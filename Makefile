@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke replica-smoke backend-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
+.PHONY: all build test check server-test serve-smoke trace-smoke plan-smoke replica-smoke backend-smoke load-smoke fuzz-smoke cover bench-smoke bench-json bench benchtrend
 
 all: build
 
@@ -29,6 +29,7 @@ check:
 	$(MAKE) plan-smoke
 	$(MAKE) replica-smoke
 	$(MAKE) backend-smoke
+	$(MAKE) load-smoke
 
 # backend-smoke verifies the same snapshot under both model backends
 # through the real CLI and requires identical policy verdicts and FIB
@@ -183,6 +184,13 @@ replica-smoke:
 		http://$$faddr/v1/changes | grep -qi '^Leader: http://' \
 		|| { echo "replica-smoke: 503 missing Leader hint header"; exit 1; }; \
 	echo "replica-smoke: ok (leader $$laddr -> follower $$faddr, verdicts identical)"
+
+# load-smoke is the p99 SLO gate: rcload drives a real rcserved with an
+# open-loop mixed workload, prints per-op-class p50/p95/p99, checks the
+# new request-latency telemetry is live on /v1/metrics, and proves the
+# gate trips under -slow-apply injected slowness.
+load-smoke:
+	./scripts/loadgate.sh
 
 # bench-smoke runs every benchmark once — not for numbers, just to prove
 # they still build and complete.

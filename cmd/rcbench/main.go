@@ -7,6 +7,7 @@
 //	rcbench -table plan -plan-nodes 32 -plan-batch 8
 //	rcbench -table shard -k 6         # shard sweep on the Table 3 workload
 //	rcbench -table repl -k 6          # read throughput vs follower count
+//	rcbench -table load -k 6          # serving-latency quantiles vs shard count
 //	rcbench -table all -k 8
 //	rcbench -table all -k 6 -json auto
 //
@@ -117,6 +118,21 @@ type jsonReplRow struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// jsonLoadRow is one (shard count, op class) cell of the sustained-load
+// sweep: open-loop mixed reads+applies at a fixed arrival rate against
+// an in-process daemon, reduced to latency quantiles in milliseconds.
+type jsonLoadRow struct {
+	Shards int     `json:"shards"`
+	Rate   float64 `json:"rate_ops_per_sec"`
+	Class  string  `json:"class"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
 // jsonBackendRow is one (workload, backend) cell of the model-backend
 // A/B race: the same FIB delta through the bdd and atom backends,
 // durations in nanoseconds.
@@ -172,6 +188,7 @@ type jsonReport struct {
 	Plan      *jsonPlan        `json:"plan,omitempty"`
 	Shard     []jsonShardRow   `json:"shard,omitempty"`
 	Repl      []jsonReplRow    `json:"repl,omitempty"`
+	Load      []jsonLoadRow    `json:"load,omitempty"`
 	Backend   []jsonBackendRow `json:"backend,omitempty"`
 	Trace     []jsonTraceApply `json:"trace,omitempty"`
 }
@@ -204,6 +221,9 @@ func run(args []string) error {
 	replReaders := fs.Int("repl-readers", 8, "concurrent read clients for the replication sweep")
 	replWindow := fs.Duration("repl-window", 2*time.Second, "measurement window per follower count (repl)")
 	replPolicies := fs.Int("repl-policies", 4, "reachability policies per host /24 for the replication sweep")
+	loadRate := fs.Float64("load-rate", 300, "open-loop arrival rate in ops/second for the load sweep")
+	loadWindow := fs.Duration("load-window", 2*time.Second, "measurement window per shard count (load)")
+	loadPolicies := fs.Int("load-policies", 4, "reachability policies per host /24 for the load sweep")
 	jsonPath := fs.String("json", "", "also write a machine-readable report to this file (auto = next free BENCH_%04d.json)")
 	tracePath := fs.String("trace", "", "run the stage experiment traced and export Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -224,7 +244,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") && !want("backend") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") && !want("backend") && !want("load") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -264,6 +284,11 @@ func run(args []string) error {
 	}
 	if want("backend") {
 		if err := runBackend(*k, *samples, rep); err != nil {
+			return err
+		}
+	}
+	if want("load") {
+		if err := runLoad(*k, *loadPolicies, *loadRate, *loadWindow, rep); err != nil {
 			return err
 		}
 	}
@@ -496,6 +521,34 @@ func runRepl(k, perPrefix, readers int, window time.Duration, rep *jsonReport) e
 			WallNs:      r.Wall.Nanoseconds(),
 			ReadsPerSec: r.ReadsPerSec,
 			Speedup:     r.Speedup,
+		})
+	}
+	return nil
+}
+
+// runLoad drives the open-loop mixed workload (8 reads : 1 apply) at a
+// fixed arrival rate against one in-process daemon per shard count and
+// reports per-class latency quantiles — the serving-tail view of the
+// sharding story, measured the way rcload measures a live daemon.
+func runLoad(k, perPrefix int, rate float64, window time.Duration, rep *jsonReport) error {
+	header(k, "Sustained load: per-op-class latency quantiles vs shard count (BGP)")
+	rows, err := bench.RunLoad(k, []int{1, 2}, perPrefix, rate, window/4, window)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatLoad(rows))
+	fmt.Println()
+	for _, r := range rows {
+		rep.Load = append(rep.Load, jsonLoadRow{
+			Shards: r.Shards,
+			Rate:   r.Rate,
+			Class:  string(r.Class),
+			Count:  r.Count,
+			Errors: r.Errors,
+			P50ms:  r.P50ms,
+			P95ms:  r.P95ms,
+			P99ms:  r.P99ms,
+			MaxMs:  r.MaxMs,
 		})
 	}
 	return nil

@@ -14,6 +14,7 @@ func TestRunSmallScale(t *testing.T) {
 		{"-table", "mining", "-k", "4", "-failures", "3"},
 		{"-table", "plan", "-plan-nodes", "8", "-plan-batch", "4"},
 		{"-table", "shard", "-k", "4", "-shard-policies", "2", "-shard-repeat", "1"},
+		{"-table", "load", "-k", "4", "-load-policies", "2", "-load-rate", "100", "-load-window", "300ms"},
 	} {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)

@@ -1,0 +1,194 @@
+// Command rcload drives a running rcserved with a sustained mixed
+// workload and reports per-operation-class latency quantiles.
+//
+//	rcload -url http://127.0.0.1:8080 [-rate 200] [-duration 10s] \
+//	    [-mix read=8,apply=1,whatif=1] [-flap border:eth2] \
+//	    [-gate read=20,apply=250] [-json out.json]
+//
+// The generator is open-loop: arrivals are scheduled at the target rate
+// whether or not earlier requests have completed, and latency is
+// measured from each operation's scheduled arrival time, so a daemon
+// that falls behind shows up as tail latency rather than as a quietly
+// lower offered rate. Samples taken during -warmup are discarded.
+//
+// Op classes: read (GET /v1/verdicts), apply (POST /v1/changes), whatif
+// (POST /v1/whatif), plan (POST /v1/plan). The write classes flap the
+// -flap interface (shutdown, then unshut, cycled), so the target
+// network ends the run in its base state.
+//
+// Before generating load, rcload polls GET /v1/readyz until the daemon
+// reports ready (journal replay finished, follower caught up), bounded
+// by -wait.
+//
+// With -gate, each listed class's measured p99 (in milliseconds) is
+// compared against its threshold after the run; any violation is
+// printed and rcload exits 1. This is the SLO gate scripts/loadgate.sh
+// builds on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"realconfig/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rcload:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMix decodes "read=8,apply=1" into mix weights.
+func parseMix(spec string) (map[loadgen.Class]int, error) {
+	known := make(map[loadgen.Class]bool)
+	for _, c := range loadgen.Classes {
+		known[c] = true
+	}
+	mix := make(map[loadgen.Class]int)
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix %q: field %q is not class=weight", spec, field)
+		}
+		c := loadgen.Class(k)
+		if !known[c] {
+			return nil, fmt.Errorf("-mix %q: unknown class %q (want read, apply, whatif, plan)", spec, k)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("-mix %q: bad weight %q", spec, v)
+		}
+		mix[c] = n
+	}
+	return mix, nil
+}
+
+// parseGates decodes "read=20,apply=250" into per-class p99 thresholds
+// in milliseconds.
+func parseGates(spec string) (map[loadgen.Class]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := make(map[loadgen.Class]bool)
+	for _, c := range loadgen.Classes {
+		known[c] = true
+	}
+	gates := make(map[loadgen.Class]float64)
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("-gate %q: field %q is not class=p99ms", spec, field)
+		}
+		c := loadgen.Class(k)
+		if !known[c] {
+			return nil, fmt.Errorf("-gate %q: unknown class %q", spec, k)
+		}
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("-gate %q: bad threshold %q (want ms > 0)", spec, v)
+		}
+		gates[c] = ms
+	}
+	return gates, nil
+}
+
+// parseFlap decodes "device:intf" for the write-class flap bodies.
+func parseFlap(spec string) (device, intf string, err error) {
+	device, intf, ok := strings.Cut(spec, ":")
+	if !ok || device == "" || intf == "" {
+		return "", "", fmt.Errorf("-flap %q: want device:interface", spec)
+	}
+	return device, intf, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rcload", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL of the running rcserved (required)")
+	rate := fs.Float64("rate", 200, "target arrival rate in ops/second (open loop)")
+	duration := fs.Duration("duration", 10*time.Second, "measure window")
+	warmup := fs.Duration("warmup", 1*time.Second, "warmup phase; its samples are discarded")
+	mixSpec := fs.String("mix", "read=8,apply=1,whatif=1", "op-class weights: read=N,apply=N,whatif=N,plan=N")
+	workers := fs.Int("workers", 16, "max in-flight requests")
+	flap := fs.String("flap", "", "device:interface the write classes flap (required when mix has apply/whatif/plan)")
+	gateSpec := fs.String("gate", "", "p99 SLO per class in ms, e.g. read=20,apply=250; violations exit 1")
+	wait := fs.Duration("wait", 30*time.Second, "how long to poll /v1/readyz before giving up")
+	jsonPath := fs.String("json", "", "also write the result as JSON to this file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	gates, err := parseGates(*gateSpec)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		BaseURL:  strings.TrimRight(*url, "/"),
+		Mix:      mix,
+		Rate:     *rate,
+		Warmup:   *warmup,
+		Duration: *duration,
+		Workers:  *workers,
+	}
+	if mix[loadgen.ClassApply] > 0 || mix[loadgen.ClassWhatIf] > 0 || mix[loadgen.ClassPlan] > 0 {
+		if *flap == "" {
+			return fmt.Errorf("-flap device:interface is required when the mix includes writes")
+		}
+		device, intf, err := parseFlap(*flap)
+		if err != nil {
+			return err
+		}
+		bodies := loadgen.FlapBodies(device, intf)
+		cfg.ApplyBodies = bodies
+		cfg.WhatIfBodies = bodies[:1]
+		cfg.PlanBodies = bodies[:1]
+	}
+
+	if err := loadgen.WaitReady(nil, cfg.BaseURL, *wait); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rcload: %s rate=%g ops/s warmup=%s measure=%s mix=%s\n",
+		cfg.BaseURL, cfg.Rate, *warmup, *duration, *mixSpec)
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, loadgen.Format(res))
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			out.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if violations := res.CheckGates(gates); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(out, "GATE FAIL:", v)
+		}
+		return fmt.Errorf("%d SLO gate violation(s)", len(violations))
+	}
+	if len(gates) > 0 {
+		fmt.Fprintln(out, "all SLO gates passed")
+	}
+	return nil
+}

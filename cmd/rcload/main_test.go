@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"realconfig/internal/loadgen"
+	"realconfig/internal/server"
+	"realconfig/internal/topology"
+)
+
+func TestRunRequiresURL(t *testing.T) {
+	err := run(nil, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-url is required") {
+		t.Fatalf("run() without -url: got %v, want -url is required", err)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, os.Stdout); err == nil {
+		t.Fatal("run() with unknown flag: want error, got nil")
+	}
+}
+
+func TestRunRequiresFlapForWrites(t *testing.T) {
+	err := run([]string{"-url", "http://x", "-mix", "apply=1"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-flap") {
+		t.Fatalf("run() with writes but no -flap: got %v, want a -flap error", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("read=8, apply=1,whatif=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[loadgen.ClassRead] != 8 || mix[loadgen.ClassApply] != 1 || mix[loadgen.ClassWhatIf] != 0 {
+		t.Errorf("parseMix: %v", mix)
+	}
+	for _, bad := range []string{"read", "read=x", "nosuch=1", "read=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	gates, err := parseGates("read=20,apply=250.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gates[loadgen.ClassRead] != 20 || gates[loadgen.ClassApply] != 250.5 {
+		t.Errorf("parseGates: %v", gates)
+	}
+	if g, err := parseGates(""); err != nil || g != nil {
+		t.Errorf("empty -gate: %v %v", g, err)
+	}
+	for _, bad := range []string{"read", "read=0", "read=-5", "nosuch=10"} {
+		if _, err := parseGates(bad); err == nil {
+			t.Errorf("parseGates(%q): want error", bad)
+		}
+	}
+}
+
+// newDaemon boots an in-process daemon over a small fat-tree, the
+// stand-in for the live rcserved rcload targets.
+func newDaemon(t *testing.T, applyDelay time.Duration) (*httptest.Server, string) {
+	t.Helper()
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pol strings.Builder
+	devs := make([]string, 0, len(net.HostPrefix))
+	for dev := range net.HostPrefix {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	for i, dev := range devs {
+		fmt.Fprintf(&pol, "reach load-%s %s %s %s some\n", dev, devs[(i+1)%len(devs)], dev, net.HostPrefix[dev])
+	}
+	srv, err := server.New(server.Config{Net: net.Network, PolicyText: pol.String(), ApplyDelay: applyDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	link := net.Topology.Links[len(net.Topology.Links)/2]
+	return ts, link.DevA + ":" + link.IntfA
+}
+
+// TestRunEndToEnd: rcload against a live daemon prints the quantile
+// table, writes the JSON result, and passes generous gates.
+func TestRunEndToEnd(t *testing.T) {
+	ts, flap := newDaemon(t, 0)
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-rate", "150", "-warmup", "100ms", "-duration", "400ms",
+		"-mix", "read=8,apply=1,whatif=1", "-flap", flap,
+		"-gate", "read=60000,apply=60000", "-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"p99(ms)", "read", "apply", "whatif", "all SLO gates passed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res loadgen.Result
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("bad JSON result: %v", err)
+	}
+	if res.Stats(loadgen.ClassRead).Count == 0 || res.Stats(loadgen.ClassRead).P99ms <= 0 {
+		t.Errorf("JSON result missing read quantiles: %+v", res)
+	}
+}
+
+// TestRunGateTrips: injected apply slowness must make rcload exit
+// non-zero on a tight apply gate — the loadgate.sh negative check.
+func TestRunGateTrips(t *testing.T) {
+	ts, flap := newDaemon(t, 40*time.Millisecond)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-rate", "100", "-warmup", "50ms", "-duration", "400ms",
+		"-mix", "read=4,apply=1", "-flap", flap, "-gate", "apply=20",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "gate violation") {
+		t.Fatalf("run under injected slowness: got %v, want gate violation\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "GATE FAIL") {
+		t.Errorf("output missing GATE FAIL:\n%s", out.String())
+	}
+}

@@ -17,7 +17,10 @@
 //	GET  /v1/applies/{id}/trace one apply's provenance trace ({id} or "latest";
 //	                            ?format=chrome exports Perfetto-loadable JSON)
 //	GET  /v1/healthz            liveness, sequence number and counters
-//	GET  /v1/metrics            Prometheus text metrics for every pipeline stage
+//	GET  /v1/readyz             readiness: 503 with "ready":false while the
+//	                            daemon warms (journal replay, follower catch-up)
+//	GET  /v1/metrics            Prometheus text metrics for every pipeline stage,
+//	                            per-route request latencies and Go runtime series
 //
 // With -journal, applied writes are persisted as JSON lines and replayed
 // on startup, so a restarted daemon recovers its exact state from the
@@ -144,6 +147,7 @@ func run(args []string, out *os.File) error {
 	queue := fs.Int("queue", 64, "apply queue depth (writes beyond it get 503)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request apply deadline")
 	traceRing := fs.Int("trace-ring", 64, "provenance traces retained for /v1/applies (0 disables tracing)")
+	slowApply := fs.Duration("slow-apply", 0, "inject an artificial sleep into every apply (fault injection for SLO-gate testing; 0 = off)")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
@@ -209,6 +213,7 @@ func run(args []string, out *os.File) error {
 		Tenants:             tcs,
 		QueueDepth:          *queue,
 		ApplyTimeout:        *timeout,
+		ApplyDelay:          *slowApply,
 		EnablePprof:         *pprofOn,
 		Logger:              logger,
 	})

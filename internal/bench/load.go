@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"realconfig/internal/loadgen"
+	"realconfig/internal/netcfg"
+	"realconfig/internal/server"
+	"realconfig/internal/topology"
+)
+
+// LoadRow is one (shard count, op class) cell of the sustained-load
+// sweep: an open-loop mixed workload (snapshot reads plus interface
+// flaps) driven against an in-process daemon at a fixed arrival rate,
+// reduced to the class's latency quantiles. Row-to-row comparison at
+// the same rate shows what verifier sharding buys the *serving* tail:
+// reads are lock-free either way, but apply latency shrinks as shards
+// split the per-apply work.
+type LoadRow struct {
+	Shards int
+	Rate   float64 // offered arrival rate, ops/second
+	Class  loadgen.Class
+	Count  int
+	Errors int
+	P50ms  float64
+	P95ms  float64
+	P99ms  float64
+	MaxMs  float64
+}
+
+// RunLoad drives the mixed workload against one in-process daemon per
+// shard count and returns a row per (shard count, op class). k sizes
+// the fat-tree, perPrefix the policy suite, rate the open-loop arrival
+// rate, and warmup/window the discarded and measured phases.
+func RunLoad(k int, shardCounts []int, perPrefix int, rate float64, warmup, window time.Duration) ([]LoadRow, error) {
+	link, err := func() (netcfg.Link, error) {
+		net, err := topology.FatTree(k, topology.BGP)
+		if err != nil {
+			return netcfg.Link{}, err
+		}
+		return net.Topology.Links[len(net.Topology.Links)/2], nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []LoadRow
+	for _, shards := range shardCounts {
+		net, policyText, err := replFixture(k, perPrefix)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			Net:        net,
+			PolicyText: policyText,
+			Shards:     shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		res, err := loadgen.Run(loadgen.Config{
+			BaseURL:     ts.URL,
+			Mix:         map[loadgen.Class]int{loadgen.ClassRead: 8, loadgen.ClassApply: 1},
+			Rate:        rate,
+			Warmup:      warmup,
+			Duration:    window,
+			ApplyBodies: loadgen.FlapBodies(link.DevA, link.IntfA),
+		})
+		ts.Close()
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		for _, class := range []loadgen.Class{loadgen.ClassRead, loadgen.ClassApply} {
+			st := res.Stats(class)
+			rows = append(rows, LoadRow{
+				Shards: shards,
+				Rate:   rate,
+				Class:  class,
+				Count:  st.Count,
+				Errors: st.Errors,
+				P50ms:  st.P50ms,
+				P95ms:  st.P95ms,
+				P99ms:  st.P99ms,
+				MaxMs:  st.MaxMs,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatLoad renders the load sweep in the benchmark-table style.
+func FormatLoad(rows []LoadRow) string {
+	s := fmt.Sprintf("%-8s %-8s %10s %8s %8s %10s %10s %10s %10s\n",
+		"Shards", "Class", "Rate", "Count", "Errors", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8d %-8s %10.0f %8d %8d %10.2f %10.2f %10.2f %10.2f\n",
+			r.Shards, r.Class, r.Rate, r.Count, r.Errors, r.P50ms, r.P95ms, r.P99ms, r.MaxMs)
+	}
+	return s
+}

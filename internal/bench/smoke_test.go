@@ -66,6 +66,31 @@ func TestSmokeRepl(t *testing.T) {
 	t.Logf("\n%s", FormatRepl(rows))
 }
 
+func TestSmokeLoad(t *testing.T) {
+	rows, err := RunLoad(4, []int{1, 2}, 2, 100, 50*time.Millisecond, 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 shard counts x 2 classes)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Count <= 0 {
+			t.Errorf("row %+v: no samples", r)
+		}
+		if r.Errors > 0 {
+			t.Errorf("row %+v: errors", r)
+		}
+		if r.P50ms <= 0 || r.P99ms < r.P50ms || r.MaxMs < r.P99ms {
+			t.Errorf("row %+v: implausible quantiles", r)
+		}
+	}
+	if rows[0].Shards != 1 || rows[2].Shards != 2 {
+		t.Errorf("rows out of order: %+v", rows)
+	}
+	t.Logf("\n%s", FormatLoad(rows))
+}
+
 func TestSmokePlan(t *testing.T) {
 	res, err := RunPlan(8, 5, 2)
 	if err != nil {

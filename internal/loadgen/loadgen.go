@@ -1,0 +1,442 @@
+// Package loadgen drives a running rcserved with a sustained mixed
+// workload and measures per-operation-class latency quantiles.
+//
+// The generator is open-loop: operations are scheduled on a fixed
+// arrival clock at the target rate regardless of how fast earlier
+// operations complete, and each latency is measured from the operation's
+// *scheduled* arrival time. A daemon that falls behind therefore shows
+// up as growing tail latency (queueing delay is charged to the
+// operation), not as a silently slower offered rate — the classic
+// coordinated-omission trap of closed-loop benchmarks.
+//
+// A run has two phases: a warmup whose samples are discarded (connection
+// setup, first-touch allocations, verifier cache warming) and a measure
+// window whose samples feed exact per-class latency distributions.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class is an operation class in the workload mix.
+type Class string
+
+const (
+	ClassRead   Class = "read"   // GET /v1/verdicts — lock-free snapshot read
+	ClassApply  Class = "apply"  // POST /v1/changes — serialized incremental verify
+	ClassWhatIf Class = "whatif" // POST /v1/whatif — speculative verify, discarded
+	ClassPlan   Class = "plan"   // POST /v1/plan — wave-ordering search
+)
+
+// Classes lists every op class in stable report order.
+var Classes = []Class{ClassRead, ClassApply, ClassWhatIf, ClassPlan}
+
+// Config describes one load run.
+type Config struct {
+	BaseURL string // rcserved base URL, e.g. http://127.0.0.1:8080
+
+	// Mix weights per class; zero or absent classes are not issued.
+	Mix map[Class]int
+
+	Rate     float64       // target arrival rate, ops/second (open loop)
+	Warmup   time.Duration // phase whose samples are discarded
+	Duration time.Duration // measure phase
+
+	// Workers bounds in-flight requests. Arrivals beyond the worker
+	// pool queue (their wait counts toward latency); arrivals beyond
+	// the queue are counted in Result.Dropped.
+	Workers int
+
+	// Bodies for the write classes, cycled per class in arrival order.
+	// Apply bodies should form a closed loop (e.g. shutdown/unshut the
+	// same interface) so the network returns to its base state.
+	ApplyBodies  []string
+	WhatIfBodies []string
+	PlanBodies   []string
+
+	Client *http.Client // optional; a pooled client is built if nil
+}
+
+// ClassStats is the measured latency distribution of one op class.
+type ClassStats struct {
+	Class  Class   `json:"class"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P90ms  float64 `json:"p90_ms"`
+	P95ms  float64 `json:"p95_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// Result is one load run's outcome.
+type Result struct {
+	Offered  float64      `json:"offered_ops_per_sec"`  // target arrival rate
+	Achieved float64      `json:"achieved_ops_per_sec"` // completed ops / wall
+	WallMs   float64      `json:"wall_ms"`              // measure-phase wall clock
+	Dropped  int          `json:"dropped"`              // arrivals shed at queue overflow
+	Classes  []ClassStats `json:"classes"`
+}
+
+// op is one scheduled arrival.
+type op struct {
+	class   Class
+	body    string // empty for reads
+	due     time.Time
+	measure bool // false during warmup
+}
+
+// sample is one completed operation's measurement.
+type sample struct {
+	class Class
+	lat   time.Duration
+	err   bool
+}
+
+// mixPattern expands weights into a deterministic round-robin arrival
+// pattern, interleaved so classes spread evenly instead of bursting
+// (weights {read:3, apply:1} give read,read,apply,read — not r,r,r,a).
+func mixPattern(mix map[Class]int) []Class {
+	total := 0
+	for _, c := range Classes {
+		if mix[c] > 0 {
+			total += mix[c]
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	pattern := make([]Class, 0, total)
+	acc := make(map[Class]int, len(mix))
+	for len(pattern) < total {
+		// Largest accumulated credit goes next (stride scheduling).
+		var best Class
+		bestAcc := -1
+		for _, c := range Classes {
+			if mix[c] <= 0 {
+				continue
+			}
+			acc[c] += mix[c]
+			if acc[c] > bestAcc {
+				best, bestAcc = c, acc[c]
+			}
+		}
+		acc[best] -= total
+		pattern = append(pattern, best)
+	}
+	return pattern
+}
+
+// Run executes the configured load against cfg.BaseURL and returns the
+// measured per-class distributions. It returns an error only for
+// configuration mistakes or total target failure (every request in a
+// class erroring is reported in ClassStats.Errors, not as an error).
+func Run(cfg Config) (*Result, error) {
+	pattern := mixPattern(cfg.Mix)
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be > 0, got %v", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be > 0, got %v", cfg.Duration)
+	}
+	for _, c := range pattern {
+		if body := bodyFor(cfg, c, 0); c != ClassRead && body == "" {
+			return nil, fmt.Errorf("loadgen: mix includes %s but no %s bodies were given", c, c)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{MaxIdleConnsPerHost: workers},
+			Timeout:   30 * time.Second,
+		}
+	}
+
+	queue := make(chan op, 4*workers)
+	samples := make(chan sample, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for o := range queue {
+				errd := doOp(client, cfg.BaseURL, o)
+				if o.measure {
+					samples <- sample{class: o.class, lat: time.Since(o.due), err: errd}
+				}
+			}
+		}()
+	}
+
+	// Collector drains samples concurrently so workers never block on a
+	// full samples channel mid-measurement.
+	byClass := make(map[Class]*[]time.Duration)
+	errs := make(map[Class]int)
+	var collectWg sync.WaitGroup
+	collectWg.Add(1)
+	go func() {
+		defer collectWg.Done()
+		for s := range samples {
+			if s.err {
+				errs[s.class]++
+				continue
+			}
+			lats, ok := byClass[s.class]
+			if !ok {
+				lats = new([]time.Duration)
+				byClass[s.class] = lats
+			}
+			*lats = append(*lats, s.lat)
+		}
+	}()
+
+	// Open-loop arrival clock: op i of class pattern[i % len] is due at
+	// start + i/rate, issued whether or not earlier ops finished.
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	counts := make(map[Class]int)
+	dropped := 0
+	start := time.Now()
+	measureStart := start.Add(cfg.Warmup)
+	end := measureStart.Add(cfg.Duration)
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if due.After(end) {
+			break
+		}
+		time.Sleep(time.Until(due))
+		class := pattern[i%len(pattern)]
+		o := op{
+			class:   class,
+			body:    bodyFor(cfg, class, counts[class]),
+			due:     due,
+			measure: !due.Before(measureStart),
+		}
+		counts[class]++
+		select {
+		case queue <- o:
+		default:
+			if o.measure {
+				dropped++
+			}
+		}
+	}
+	close(queue)
+	wg.Wait()
+	wall := time.Since(measureStart)
+	close(samples)
+	collectWg.Wait()
+
+	res := &Result{
+		Offered: cfg.Rate,
+		WallMs:  float64(wall) / float64(time.Millisecond),
+		Dropped: dropped,
+	}
+	completed := 0
+	for _, c := range Classes {
+		lats := byClass[c]
+		if lats == nil && errs[c] == 0 {
+			continue
+		}
+		var ls []time.Duration
+		if lats != nil {
+			ls = *lats
+		}
+		res.Classes = append(res.Classes, classStats(c, ls, errs[c]))
+		completed += len(ls)
+	}
+	if wall > 0 {
+		res.Achieved = float64(completed) / wall.Seconds()
+	}
+	return res, nil
+}
+
+// bodyFor cycles a class's configured bodies in arrival order.
+func bodyFor(cfg Config, c Class, n int) string {
+	var bodies []string
+	switch c {
+	case ClassApply:
+		bodies = cfg.ApplyBodies
+	case ClassWhatIf:
+		bodies = cfg.WhatIfBodies
+	case ClassPlan:
+		bodies = cfg.PlanBodies
+	default:
+		return ""
+	}
+	if len(bodies) == 0 {
+		return ""
+	}
+	return bodies[n%len(bodies)]
+}
+
+// doOp issues one operation and reports whether it failed.
+func doOp(client *http.Client, base string, o op) bool {
+	var resp *http.Response
+	var err error
+	switch o.class {
+	case ClassRead:
+		resp, err = client.Get(base + "/v1/verdicts")
+	case ClassApply:
+		resp, err = client.Post(base+"/v1/changes", "application/json", strings.NewReader(o.body))
+	case ClassWhatIf:
+		resp, err = client.Post(base+"/v1/whatif", "application/json", strings.NewReader(o.body))
+	case ClassPlan:
+		resp, err = client.Post(base+"/v1/plan", "application/json", strings.NewReader(o.body))
+	}
+	if err != nil {
+		return true
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode != http.StatusOK
+}
+
+// classStats computes the exact distribution of one class's samples.
+func classStats(c Class, lats []time.Duration, errors int) ClassStats {
+	st := ClassStats{Class: c, Count: len(lats), Errors: errors}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	st.P50ms = ms(quantile(lats, 0.50))
+	st.P90ms = ms(quantile(lats, 0.90))
+	st.P95ms = ms(quantile(lats, 0.95))
+	st.P99ms = ms(quantile(lats, 0.99))
+	st.MaxMs = ms(lats[len(lats)-1])
+	st.MeanMs = ms(sum / time.Duration(len(lats)))
+	return st
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Stats returns the stats row for one class, or a zero row if the class
+// did not run.
+func (r *Result) Stats(c Class) ClassStats {
+	for _, st := range r.Classes {
+		if st.Class == c {
+			return st
+		}
+	}
+	return ClassStats{Class: c}
+}
+
+// Violation is one failed SLO gate.
+type Violation struct {
+	Class  Class
+	P99ms  float64 // measured
+	GateMs float64 // allowed
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: p99 %.2fms exceeds gate %.2fms", v.Class, v.P99ms, v.GateMs)
+}
+
+// CheckGates compares each class's measured p99 against its gate (in
+// ms); classes absent from gates are ungated. A class with zero
+// successful samples but a gate set is a violation too — a gate on an
+// op class that never completed must not silently pass.
+func (r *Result) CheckGates(gates map[Class]float64) []Violation {
+	var out []Violation
+	for _, c := range Classes {
+		gate, ok := gates[c]
+		if !ok || gate <= 0 {
+			continue
+		}
+		st := r.Stats(c)
+		if st.Count == 0 {
+			out = append(out, Violation{Class: c, P99ms: -1, GateMs: gate})
+			continue
+		}
+		if st.P99ms > gate {
+			out = append(out, Violation{Class: c, P99ms: st.P99ms, GateMs: gate})
+		}
+	}
+	return out
+}
+
+// WaitReady polls GET {base}/v1/readyz until the daemon reports ready
+// or the timeout elapses. rcload calls this before generating load so a
+// replaying or catching-up daemon's warmup is not measured as latency.
+func WaitReady(client *http.Client, base string, timeout time.Duration) error {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		resp, err := client.Get(base + "/v1/readyz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		} else {
+			last = err.Error()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s not ready after %v (%s)", base, timeout, last)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// FlapBodies returns the closed-loop shutdown/unshut body pair for one
+// interface: cycled in order, the network always returns to base state,
+// so a load run leaves the daemon where it found it (modulo seq).
+func FlapBodies(device, intf string) []string {
+	down := fmt.Sprintf(`{"changes":[{"kind":"shutdown_interface","device":%q,"intf":%q,"shutdown":true}]}`, device, intf)
+	up := fmt.Sprintf(`{"changes":[{"kind":"shutdown_interface","device":%q,"intf":%q,"shutdown":false}]}`, device, intf)
+	return []string{down, up}
+}
+
+// Format renders a result as the human-readable table rcload prints.
+func Format(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered %.0f ops/s, achieved %.0f ops/s over %.1fs",
+		r.Offered, r.Achieved, r.WallMs/1000)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d dropped at queue overflow)", r.Dropped)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %10s %10s %10s %10s %10s\n",
+		"class", "count", "errors", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)", "mean(ms)")
+	for _, st := range r.Classes {
+		fmt.Fprintf(&b, "%-8s %8d %8d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			st.Class, st.Count, st.Errors, st.P50ms, st.P95ms, st.P99ms, st.MaxMs, st.MeanMs)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"realconfig/internal/server"
+	"realconfig/internal/topology"
+)
+
+// newLoadTarget boots an in-process daemon over a small fat-tree with a
+// reachability policy, mirroring how rcload targets a live rcserved.
+func newLoadTarget(t *testing.T, applyDelay time.Duration) (*httptest.Server, []string) {
+	t.Helper()
+	net, err := topology.FatTree(4, topology.BGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pol strings.Builder
+	devs := make([]string, 0, len(net.HostPrefix))
+	for dev := range net.HostPrefix {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	for i, dev := range devs {
+		src := devs[(i+1)%len(devs)]
+		fmt.Fprintf(&pol, "reach load-%s %s %s %s some\n", dev, src, dev, net.HostPrefix[dev])
+	}
+	srv, err := server.New(server.Config{
+		Net:        net.Network,
+		PolicyText: pol.String(),
+		ApplyDelay: applyDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	link := net.Topology.Links[len(net.Topology.Links)/2]
+	return ts, FlapBodies(link.DevA, link.IntfA)
+}
+
+// TestMixPattern: weights expand to an interleaved deterministic
+// pattern with exact per-class counts.
+func TestMixPattern(t *testing.T) {
+	p := mixPattern(map[Class]int{ClassRead: 3, ClassApply: 1})
+	if len(p) != 4 {
+		t.Fatalf("pattern length %d, want 4", len(p))
+	}
+	counts := map[Class]int{}
+	for _, c := range p {
+		counts[c]++
+	}
+	if counts[ClassRead] != 3 || counts[ClassApply] != 1 {
+		t.Errorf("pattern %v: counts %v, want read=3 apply=1", p, counts)
+	}
+	// Interleaved: the apply lands mid-pattern, not as a trailing burst
+	// of a sorted expansion — stride scheduling puts it at index 1 or 2.
+	if p[0] != ClassRead {
+		t.Errorf("pattern %v should open with the heaviest class", p)
+	}
+	if mixPattern(map[Class]int{}) != nil {
+		t.Error("empty mix must give nil pattern")
+	}
+	if mixPattern(map[Class]int{ClassPlan: -1}) != nil {
+		t.Error("non-positive weights must give nil pattern")
+	}
+}
+
+// TestQuantileNearestRank pins quantile() to the nearest-rank oracle.
+func TestQuantileNearestRank(t *testing.T) {
+	lats := make([]time.Duration, 100)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+		{0.001, 1 * time.Millisecond},
+	} {
+		if got := quantile(lats, tc.q); got != tc.want {
+			t.Errorf("quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("empty slice quantile must be 0")
+	}
+}
+
+// TestRunMixedLoad drives a short open-loop run against a live daemon
+// and checks every configured class completed with recorded quantiles.
+func TestRunMixedLoad(t *testing.T) {
+	ts, flap := newLoadTarget(t, 0)
+	if err := WaitReady(nil, ts.URL, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		BaseURL:      ts.URL,
+		Mix:          map[Class]int{ClassRead: 8, ClassApply: 1, ClassWhatIf: 1},
+		Rate:         200,
+		Warmup:       100 * time.Millisecond,
+		Duration:     500 * time.Millisecond,
+		Workers:      8,
+		ApplyBodies:  flap,
+		WhatIfBodies: flap[:1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Class{ClassRead, ClassApply, ClassWhatIf} {
+		st := res.Stats(c)
+		if st.Count == 0 {
+			t.Errorf("%s: no samples recorded", c)
+			continue
+		}
+		if st.Errors > 0 {
+			t.Errorf("%s: %d errors", c, st.Errors)
+		}
+		if st.P50ms <= 0 || st.P99ms < st.P50ms || st.MaxMs < st.P99ms {
+			t.Errorf("%s: implausible quantiles p50=%v p99=%v max=%v", c, st.P50ms, st.P99ms, st.MaxMs)
+		}
+	}
+	// The read-heavy mix must dominate the sample counts.
+	if r, a := res.Stats(ClassRead).Count, res.Stats(ClassApply).Count; r <= a {
+		t.Errorf("mix not respected: %d reads vs %d applies", r, a)
+	}
+	if res.Achieved <= 0 {
+		t.Error("achieved rate not recorded")
+	}
+}
+
+// TestGates: a generous gate passes, a 0.001ms gate trips, and a gated
+// class that never ran is itself a violation.
+func TestGates(t *testing.T) {
+	ts, flap := newLoadTarget(t, 0)
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Mix:         map[Class]int{ClassRead: 4, ClassApply: 1},
+		Rate:        100,
+		Duration:    300 * time.Millisecond,
+		ApplyBodies: flap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.CheckGates(map[Class]float64{ClassRead: 60000, ClassApply: 60000}); len(v) != 0 {
+		t.Errorf("generous gates violated: %v", v)
+	}
+	v := res.CheckGates(map[Class]float64{ClassRead: 0.0001})
+	if len(v) != 1 || v[0].Class != ClassRead {
+		t.Fatalf("impossible gate not tripped: %v", v)
+	}
+	if !strings.Contains(v[0].String(), "exceeds gate") {
+		t.Errorf("violation text: %q", v[0])
+	}
+	// Plan never ran; gating it must fail loudly, not pass silently.
+	if v := res.CheckGates(map[Class]float64{ClassPlan: 1000}); len(v) != 1 || v[0].P99ms != -1 {
+		t.Errorf("gate on absent class: %v", v)
+	}
+}
+
+// TestApplyDelayShowsInTail: injected apply slowness must surface in
+// the apply class's p99 — the mechanism scripts/loadgate.sh relies on —
+// while leaving lock-free reads fast.
+func TestApplyDelayShowsInTail(t *testing.T) {
+	ts, flap := newLoadTarget(t, 40*time.Millisecond)
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Mix:         map[Class]int{ClassRead: 4, ClassApply: 1},
+		Rate:        100,
+		Duration:    400 * time.Millisecond,
+		Workers:     8,
+		ApplyBodies: flap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats(ClassApply).P99ms; got < 40 {
+		t.Errorf("apply p99 %.2fms with 40ms injected delay", got)
+	}
+	if v := res.CheckGates(map[Class]float64{ClassApply: 20}); len(v) != 1 {
+		t.Errorf("20ms apply gate must trip under 40ms injected delay: %v", v)
+	}
+}
+
+// TestConfigValidation: bad configs fail fast instead of hanging.
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"empty mix":      {BaseURL: "http://x", Rate: 10, Duration: time.Second},
+		"zero rate":      {BaseURL: "http://x", Mix: map[Class]int{ClassRead: 1}, Duration: time.Second},
+		"zero duration":  {BaseURL: "http://x", Mix: map[Class]int{ClassRead: 1}, Rate: 10},
+		"missing bodies": {BaseURL: "http://x", Mix: map[Class]int{ClassApply: 1}, Rate: 10, Duration: time.Second},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: Run accepted a bad config", name)
+		}
+	}
+}
+
+// TestWaitReadyTimeout: an unreachable daemon fails within the timeout.
+func TestWaitReadyTimeout(t *testing.T) {
+	start := time.Now()
+	err := WaitReady(nil, "http://127.0.0.1:9", 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against nothing")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("WaitReady took %v, want prompt failure", time.Since(start))
+	}
+}
+
+// TestFormat renders without surprises.
+func TestFormat(t *testing.T) {
+	out := Format(&Result{
+		Offered: 100, Achieved: 99, WallMs: 1000, Dropped: 3,
+		Classes: []ClassStats{{Class: ClassRead, Count: 42, P50ms: 1.5, P99ms: 3.25, MaxMs: 9, MeanMs: 2}},
+	})
+	for _, want := range []string{"read", "42", "3.25", "dropped at queue overflow", "p99(ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -210,6 +210,7 @@ type series struct {
 	g      *Gauge
 	fn     func() float64
 	h      *Histogram
+	sm     *Summary
 }
 
 // family groups the series sharing one metric name (one HELP/TYPE block).
@@ -396,6 +397,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, formatFloat(s.fn()))
 			case s.h != nil:
 				writeHistogram(bw, f.name, s)
+			case s.sm != nil:
+				writeSummary(bw, f.name, s)
 			}
 		}
 	}
@@ -416,13 +419,29 @@ func writeHistogram(w *bufio.Writer, name string, s *series) {
 	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, count)
 }
 
+// writeSummary renders one summary series: DefQuantiles quantile rows
+// (computed at scrape time from the sparse buckets), sum and count.
+func writeSummary(w *bufio.Writer, name string, s *series) {
+	for _, q := range DefQuantiles {
+		fmt.Fprintf(w, "%s%s %s\n", name,
+			spliceLabel(s.labels, "quantile", formatFloat(q)), formatFloat(s.sm.Quantile(q)))
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(s.sm.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, s.sm.Count())
+}
+
 // bucketLabels splices `le="bound"` into a rendered label suffix.
 func bucketLabels(labels, bound string) string {
-	le := `le="` + bound + `"`
+	return spliceLabel(labels, "le", bound)
+}
+
+// spliceLabel appends `key="value"` to a rendered label suffix.
+func spliceLabel(labels, key, value string) string {
+	kv := key + `="` + value + `"`
 	if labels == "" {
-		return "{" + le + "}"
+		return "{" + kv + "}"
 	}
-	return labels[:len(labels)-1] + "," + le + "}"
+	return labels[:len(labels)-1] + "," + kv + "}"
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Summary is a streaming quantile recorder: HDR-style log-linear sparse
+// buckets over a fixed dynamic range, so p50/p95/p99 are readable at any
+// moment without a Prometheus server doing histogram_quantile over
+// fixed-bucket data.
+//
+// Compared to Histogram, Summary trades exact bucket boundaries for
+// quantile resolution: observations land in one of ~4000 buckets laid
+// out as 64 linear sub-buckets per power-of-two octave, which bounds the
+// relative error of any reported quantile by half a sub-bucket width
+// (~0.8%). Memory is fixed (~32KB of counters per series), observations
+// are two atomic adds — the same hot-path discipline as the rest of the
+// package — and every method is nil-safe.
+//
+// The dynamic range covers 2^-30s (~1ns) to 2^31s (~68 years);
+// observations outside it clamp to the edge buckets, and non-positive
+// observations land in a dedicated zero bucket whose representative
+// value is 0.
+type Summary struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the observation sum
+	maxBits atomic.Uint64 // float64 bits of the largest observation
+	buckets [summaryBucketCount]atomic.Uint64
+}
+
+const (
+	summarySubBits  = 6
+	summarySubCount = 1 << summarySubBits // linear sub-buckets per octave
+	summaryMinExp   = -30                 // smallest octave: [2^-30, 2^-29)
+	summaryMaxExp   = 31                  // largest octave: [2^30, 2^31)
+	summaryOctaves  = summaryMaxExp - summaryMinExp
+	// Bucket 0 holds zero/negative (and underflowing) observations; the
+	// last bucket holds overflow.
+	summaryBucketCount = summaryOctaves*summarySubCount + 2
+)
+
+// DefQuantiles are the quantiles a registered Summary renders on the
+// Prometheus endpoint.
+var DefQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// summaryBucket maps an observation to its bucket index.
+func summaryBucket(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	o := exp - 1 - summaryMinExp
+	if o < 0 {
+		return 0
+	}
+	if o >= summaryOctaves {
+		return summaryBucketCount - 1
+	}
+	sub := int((frac*2 - 1) * summarySubCount)
+	if sub >= summarySubCount { // frac rounding at the octave edge
+		sub = summarySubCount - 1
+	}
+	return 1 + o*summarySubCount + sub
+}
+
+// summaryValue returns a bucket's representative value: the bucket
+// midpoint, so the estimate's error is at most half a sub-bucket width.
+func summaryValue(idx int) float64 {
+	if idx <= 0 {
+		return 0
+	}
+	if idx >= summaryBucketCount-1 {
+		return math.Ldexp(1, summaryMaxExp) // the range ceiling
+	}
+	o := (idx - 1) / summarySubCount
+	sub := (idx - 1) % summarySubCount
+	lower := math.Ldexp(0.5*(1+float64(sub)/summarySubCount), summaryMinExp+o+1)
+	upper := math.Ldexp(0.5*(1+float64(sub+1)/summarySubCount), summaryMinExp+o+1)
+	return (lower + upper) / 2
+}
+
+// Observe records one observation (by convention, seconds).
+func (s *Summary) Observe(v float64) {
+	if s == nil {
+		return
+	}
+	s.buckets[summaryBucket(v)].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := s.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if s.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (s *Summary) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on nil).
+func (s *Summary) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Sum returns the observation sum (0 on nil).
+func (s *Summary) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.sumBits.Load())
+}
+
+// Max returns the largest observation so far (0 on nil or empty).
+func (s *Summary) Max() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of everything observed
+// so far, by nearest rank over the sparse buckets. Returns 0 when
+// nothing has been observed. Concurrent observations make the estimate
+// approximate in the usual monitoring sense: it reflects some state
+// between the call's start and end.
+func (s *Summary) Quantile(q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range s.buckets {
+		cum += s.buckets[i].Load()
+		if cum >= rank {
+			return summaryValue(i)
+		}
+	}
+	// Observations raced in after count was read; the top non-empty
+	// bucket is still the right answer for q near 1.
+	for i := summaryBucketCount - 1; i >= 0; i-- {
+		if s.buckets[i].Load() > 0 {
+			return summaryValue(i)
+		}
+	}
+	return 0
+}
+
+// Summary registers (or returns) a summary rendered with DefQuantiles.
+func (r *Registry) Summary(name, help string, labels Labels) *Summary {
+	labels = r.merged(labels)
+	r = r.resolve()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.family(name, help, "summary").get(labels)
+	if !ok {
+		s.sm = &Summary{}
+	}
+	return s.sm
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// oracleQuantile is the exact nearest-rank quantile of a sorted sample.
+func oracleQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestSummaryQuantileOracle pins the sparse-bucket quantile estimate
+// against a sorted-slice oracle across distributions: every estimate
+// must land within one sub-bucket's relative width of the exact value.
+func TestSummaryQuantileOracle(t *testing.T) {
+	// Half a sub-bucket is the theoretical bound (~0.8%); allow a full
+	// sub-bucket (~1.6%) so boundary-straddling oracle values can't flake.
+	const relErr = 1.0 / summarySubCount
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() float64{
+		"uniform":   func() float64 { return rng.Float64() },
+		"exp":       func() float64 { return rng.ExpFloat64() * 1e-3 },
+		"lognormal": func() float64 { return math.Exp(rng.NormFloat64()*2 - 8) },
+		"bimodal": func() float64 {
+			if rng.Intn(10) == 0 {
+				return 0.5 + rng.Float64()*0.1 // slow tail
+			}
+			return 1e-4 + rng.Float64()*1e-5
+		},
+	}
+	for name, draw := range dists {
+		t.Run(name, func(t *testing.T) {
+			s := &Summary{}
+			samples := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				v := draw()
+				s.Observe(v)
+				samples = append(samples, v)
+			}
+			sort.Float64s(samples)
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+				want := oracleQuantile(samples, q)
+				got := s.Quantile(q)
+				if want == 0 {
+					if got != 0 {
+						t.Errorf("q=%v: got %v, want 0", q, got)
+					}
+					continue
+				}
+				if diff := math.Abs(got-want) / want; diff > relErr {
+					t.Errorf("q=%v: got %v, want %v (rel err %.4f > %.4f)",
+						q, got, want, diff, relErr)
+				}
+			}
+			if s.Count() != 20000 {
+				t.Errorf("Count = %d, want 20000", s.Count())
+			}
+			wantSum := 0.0
+			for _, v := range samples {
+				wantSum += v
+			}
+			if math.Abs(s.Sum()-wantSum)/wantSum > 1e-9 {
+				t.Errorf("Sum = %v, want %v", s.Sum(), wantSum)
+			}
+			if got, want := s.Max(), samples[len(samples)-1]; got != want {
+				t.Errorf("Max = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestSummaryEdges: nil safety, emptiness, zero/negative observations,
+// out-of-range clamping.
+func TestSummaryEdges(t *testing.T) {
+	var nilS *Summary
+	nilS.Observe(1)
+	nilS.ObserveDuration(time.Second)
+	if nilS.Quantile(0.5) != 0 || nilS.Count() != 0 || nilS.Sum() != 0 || nilS.Max() != 0 {
+		t.Error("nil Summary must be a zero-valued no-op")
+	}
+
+	s := &Summary{}
+	if s.Quantile(0.99) != 0 {
+		t.Error("empty Summary quantile must be 0")
+	}
+	s.Observe(0)
+	s.Observe(-3)
+	s.Observe(math.NaN())
+	if got := s.Quantile(1); got != 0 {
+		t.Errorf("non-positive observations must report quantile 0, got %v", got)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+
+	s2 := &Summary{}
+	s2.Observe(1e-12) // below the range floor: clamps to the zero bucket
+	if got := s2.Quantile(0.5); got != 0 {
+		t.Errorf("underflow must clamp to 0, got %v", got)
+	}
+	s2.Observe(1e12) // above the range ceiling: clamps to the top bucket
+	if got := s2.Quantile(1); got != math.Ldexp(1, summaryMaxExp) {
+		t.Errorf("overflow must clamp to the ceiling, got %v", got)
+	}
+
+	// Out-of-range q clamps.
+	s3 := &Summary{}
+	s3.Observe(2)
+	if s3.Quantile(-1) != s3.Quantile(0) || s3.Quantile(2) != s3.Quantile(1) {
+		t.Error("q outside [0,1] must clamp")
+	}
+}
+
+// TestSummaryBucketRoundTrip: every bucket's representative value maps
+// back to the same bucket, and bucket boundaries are monotone.
+func TestSummaryBucketRoundTrip(t *testing.T) {
+	prev := -1.0
+	for i := 0; i < summaryBucketCount; i++ {
+		v := summaryValue(i)
+		if v <= prev && i > 0 && i < summaryBucketCount-1 {
+			t.Fatalf("bucket %d representative %v not monotone (prev %v)", i, v, prev)
+		}
+		prev = v
+		if i == 0 || i == summaryBucketCount-1 {
+			continue // edge buckets clamp by design
+		}
+		if got := summaryBucket(v); got != i {
+			t.Errorf("bucket %d representative %v maps to bucket %d", i, v, got)
+		}
+	}
+}
+
+// TestSummaryRegistry: registration, get-or-create semantics, labeled
+// views, and the Prometheus summary rendering.
+func TestSummaryRegistry(t *testing.T) {
+	reg := NewRegistry()
+	s := reg.Summary("req_seconds", "request latency", Labels{"route": "/v1/verdicts"})
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i) / 1000)
+	}
+	if again := reg.Summary("req_seconds", "request latency", Labels{"route": "/v1/verdicts"}); again != s {
+		t.Error("re-registering the same (name, labels) must return the same Summary")
+	}
+
+	view := reg.WithLabels(Labels{"tenant": "acme"})
+	vs := view.Summary("req_seconds", "request latency", Labels{"route": "/v1/verdicts"})
+	vs.Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds summary\n",
+		`req_seconds{route="/v1/verdicts",quantile="0.5"}`,
+		`req_seconds{route="/v1/verdicts",quantile="0.99"}`,
+		`req_seconds_count{route="/v1/verdicts"} 100`,
+		`req_seconds{route="/v1/verdicts",tenant="acme",quantile="0.5"}`,
+		`req_seconds_count{route="/v1/verdicts",tenant="acme"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// A summary median of 1..100ms must be ~50ms under the error bound.
+	p50 := s.Quantile(0.5)
+	if p50 < 0.045 || p50 > 0.055 {
+		t.Errorf("p50 = %v, want ~0.050", p50)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a summary name as a counter must panic")
+		}
+	}()
+	reg.Counter("req_seconds", "nope", nil)
+}
+
+// TestSummaryLabelsRaceStress hammers one registry from many goroutines
+// through labeled views — concurrent registration (WithLabels +
+// get-or-create), Observe on shared Summary/Histogram series, and
+// WritePrometheus scrapes — so `go test -race` proves the quantile path
+// follows the package's concurrency discipline.
+func TestSummaryLabelsRaceStress(t *testing.T) {
+	reg := NewRegistry()
+	const (
+		goroutines = 8
+		iters      = 400
+	)
+	tenants := []string{"", "acme", "globex", "initech"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				view := reg
+				if tn := tenants[i%len(tenants)]; tn != "" {
+					view = reg.WithLabels(Labels{"tenant": tn})
+				}
+				route := []string{"/v1/verdicts", "/v1/changes", "/v1/whatif"}[i%3]
+				view.Summary("req_seconds", "latency", Labels{"route": route}).
+					Observe(rng.Float64() / 100)
+				view.Histogram("req_hist_seconds", "latency", nil, Labels{"route": route}).
+					Observe(rng.Float64() / 100)
+				view.Counter("req_total", "requests", Labels{"route": route}).Inc()
+				if i%50 == 0 {
+					if err := view.WritePrometheus(io.Discard); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every series saw goroutines*iters/3 observations per route in total.
+	total := uint64(0)
+	for _, tn := range tenants {
+		for _, route := range []string{"/v1/verdicts", "/v1/changes", "/v1/whatif"} {
+			labels := Labels{"route": route}
+			view := reg
+			if tn != "" {
+				view = reg.WithLabels(Labels{"tenant": tn})
+			}
+			total += view.Summary("req_seconds", "latency", labels).Count()
+		}
+	}
+	if want := uint64(goroutines * iters); total != want {
+		t.Errorf("total summary observations = %d, want %d", total, want)
+	}
+}

@@ -16,12 +16,14 @@ import (
 // pipelineCounters returns the registry snapshot restricted to the
 // deterministic pipeline metrics: serving-layer series (prefix
 // realconfig_server_) vary between an original run and its replay
-// (journal appends, queue gauges, uptime), and histograms are excluded
-// by Snapshot() already because timings never replay identically.
+// (journal appends, queue gauges, uptime), Go runtime series (prefix
+// go_) track the process rather than the pipeline, and histograms are
+// excluded by Snapshot() already because timings never replay
+// identically.
 func pipelineCounters(srv *Server) map[string]float64 {
 	out := make(map[string]float64)
 	for name, v := range srv.Metrics().Snapshot() {
-		if strings.HasPrefix(name, "realconfig_server_") {
+		if strings.HasPrefix(name, "realconfig_server_") || strings.HasPrefix(name, "go_") {
 			continue
 		}
 		out[name] = v

@@ -104,6 +104,10 @@ type Config struct {
 	// ApplyTimeout bounds how long a request waits for its job (queueing
 	// plus verification; 0 = 30s).
 	ApplyTimeout time.Duration
+	// ApplyDelay injects an artificial sleep into every change apply.
+	// Fault injection only: scripts/loadgate.sh uses it to prove the p99
+	// SLO gate trips when the apply path slows down. 0 in production.
+	ApplyDelay time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: profiling endpoints are opt-in on a daemon).
 	EnablePprof bool
@@ -117,6 +121,7 @@ type serverOptions struct {
 	verifier        core.Options
 	queueDepth      int
 	applyTimeout    time.Duration
+	applyDelay      time.Duration
 	journalSegBytes int64
 	follow          string // leader base URL ("" = leader mode)
 	replBackoff     time.Duration
@@ -167,6 +172,7 @@ type serverMetrics struct {
 	journalAppendSeconds *obs.Histogram
 	journalFsyncSeconds  *obs.Histogram
 	journalRotations     *obs.Counter
+	queueWaitSeconds     *obs.Histogram
 }
 
 // policyEntry pairs a registered policy's name with the source line it
@@ -178,6 +184,7 @@ type policyEntry struct {
 type job struct {
 	ctx  context.Context
 	run  func() (any, error)
+	enq  time.Time // when the job entered the queue (wait-time telemetry)
 	done chan jobResult
 }
 
@@ -228,6 +235,7 @@ func New(cfg Config) (*Server, error) {
 		verifier:        cfg.Options,
 		queueDepth:      cfg.QueueDepth,
 		applyTimeout:    cfg.ApplyTimeout,
+		applyDelay:      cfg.ApplyDelay,
 		journalSegBytes: cfg.JournalSegmentBytes,
 		follow:          cfg.FollowURL,
 		replBackoff:     cfg.ReplBackoff,
@@ -287,9 +295,12 @@ func New(cfg Config) (*Server, error) {
 	s.reg.Gauge("realconfig_server_tenants", "Configured tenants (including the default).", nil).
 		Set(int64(len(s.tenants)))
 
+	s.registerRuntimeMetrics()
 	s.mux = http.NewServeMux()
 	s.routes(cfg.EnablePprof)
-	s.h = s.withReqID(s.withTenant(s.mux))
+	// Telemetry sits inside tenant routing: the route label is the
+	// rewritten (tenant-neutral) pattern, the tenant comes from context.
+	s.h = s.withReqID(s.withTenant(s.withTelemetry(s.mux)))
 	return s, nil
 }
 
@@ -468,6 +479,7 @@ func (s *Server) withTenant(next http.Handler) http.Handler {
 
 func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/verdicts", s.handleVerdicts)
 	s.mux.HandleFunc("/v1/report", s.handleReport)
 	s.mux.HandleFunc("/v1/trace", s.handleTrace)
@@ -642,7 +654,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		out["replLagSeq"] = f.LagSeq()
 		out["replConnected"] = f.Connected()
 	}
+	out["ready"] = t.Ready()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReadyz is the readiness half of the health split: it answers
+// 200 only once the tenant serves warmed-up state (journal replay done;
+// followers caught up to the leader at least once), and 503 with
+// "ready":false while warming — so load balancers and rcload never
+// measure a daemon that is still rebuilding state. handleHealthz stays
+// pure liveness: it answers 200 whenever the process serves requests.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	t := s.tenantFrom(r)
+	ready := t.Ready()
+	out := map[string]any{
+		"ready": ready,
+		"role":  "leader",
+		"seq":   t.Snapshot().Seq,
+	}
+	if f := t.Follower(); f != nil {
+		out["role"] = "follower"
+		out["leader"] = s.follow
+		out["replConnected"] = f.Connected()
+		out["replLagSeq"] = f.LagSeq()
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, out)
 }
 
 func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
@@ -708,6 +753,9 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	t0 := time.Now()
 	res, err := t.do(ctx, func() (any, error) {
+		if t.applyDelay > 0 {
+			time.Sleep(t.applyDelay) // fault injection (Config.ApplyDelay)
+		}
 		t.eng.SetTraceContext(rid, t.seq+1)
 		rep, err := t.eng.Apply(changes...)
 		if err != nil {

@@ -55,6 +55,9 @@ type Tenant struct {
 	ID string
 
 	applyTimeout time.Duration
+	// applyDelay injects an artificial sleep into every change apply
+	// (fault injection for load-testing the SLO gate; 0 in production).
+	applyDelay time.Duration
 
 	jobs chan *job
 	quit chan struct{}
@@ -62,6 +65,17 @@ type Tenant struct {
 
 	snap atomic.Pointer[Snapshot]
 	log  *slog.Logger
+
+	// reg is the tenant's registry view (tenant-labeled for named
+	// tenants); the telemetry middleware registers per-route series on
+	// it at request time.
+	reg *obs.Registry
+
+	// ready latches once the tenant serves warmed-up state: journal
+	// replay done (leaders) plus first full catch-up (followers).
+	// /v1/readyz serves it so load balancers and load generators skip a
+	// warming daemon.
+	ready atomic.Bool
 
 	m     serverMetrics
 	planM *plan.Metrics
@@ -95,10 +109,12 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 	t := &Tenant{
 		ID:           tc.ID,
 		applyTimeout: opts.applyTimeout,
+		applyDelay:   opts.applyDelay,
 		jobs:         make(chan *job, opts.queueDepth),
 		quit:         make(chan struct{}),
 		done:         make(chan struct{}),
 		log:          opts.log.With("tenant", tc.ID),
+		reg:          reg,
 	}
 	vopts := opts.verifier
 	if tc.Backend != "" {
@@ -180,6 +196,9 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 	t.snap.Store(buildSnapshot(t.eng, t.seq, lastReport))
 	t.m.snapshotPublishes.Inc()
 	go t.applyLoop()
+	// Leaders are ready the moment replay finishes; followers stay
+	// not-ready until the replication stream first fully catches up.
+	t.ready.Store(opts.follow == "")
 	if opts.follow != "" {
 		if err := t.startFollower(opts, reg); err != nil {
 			t.close()
@@ -187,6 +206,21 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 		}
 	}
 	return t, nil
+}
+
+// Ready reports whether the tenant serves warmed-up state: journal
+// replay complete and, in follower mode, the replication stream caught
+// up to the leader at least once. Latches true — transient replication
+// lag after the first catch-up does not flip a tenant back to warming.
+func (t *Tenant) Ready() bool {
+	if t.ready.Load() {
+		return true
+	}
+	if f := t.Follower(); f != nil && f.Connected() && f.LagSeq() == 0 {
+		t.ready.Store(true)
+		return true
+	}
+	return false
 }
 
 // startFollower wires and launches the replication loop: this tenant
@@ -284,6 +318,8 @@ func (t *Tenant) instrument(reg *obs.Registry) {
 			"Journal fsync latency alone.", nil, nil),
 		journalRotations: reg.Counter("realconfig_server_journal_rotations_total", "Journal segments sealed by size-based rotation.", nil),
 	}
+	t.m.queueWaitSeconds = reg.Histogram("realconfig_server_queue_wait_seconds",
+		"Time a job spent queued before the apply goroutine picked it up.", nil, nil)
 	reg.GaugeFunc("realconfig_server_queue_depth", "Jobs waiting in the apply queue.", nil,
 		func() float64 { return float64(len(t.jobs)) })
 	reg.GaugeFunc("realconfig_server_queue_capacity", "Apply queue capacity.", nil,
@@ -371,6 +407,7 @@ func (t *Tenant) applyLoop() {
 		case <-t.quit:
 			return
 		case j := <-t.jobs:
+			t.m.queueWaitSeconds.ObserveDuration(time.Since(j.enq))
 			if j.ctx.Err() != nil {
 				j.done <- jobResult{err: j.ctx.Err()}
 				continue // requester gave up while queued; skip the work
@@ -385,7 +422,7 @@ func (t *Tenant) applyLoop() {
 // result, the request deadline, or shutdown. A full queue fails fast
 // with errQueueFull rather than blocking.
 func (t *Tenant) do(ctx context.Context, fn func() (any, error)) (any, error) {
-	j := &job{ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, run: fn, enq: time.Now(), done: make(chan jobResult, 1)}
 	select {
 	case t.jobs <- j:
 	default:
@@ -405,7 +442,7 @@ func (t *Tenant) do(ctx context.Context, fn func() (any, error)) (any, error) {
 // failing fast — the replication path's discipline, where dropping a
 // job would stall the stream for a full backoff cycle.
 func (t *Tenant) doBlocking(ctx context.Context, fn func() (any, error)) (any, error) {
-	j := &job{ctx: ctx, run: fn, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, run: fn, enq: time.Now(), done: make(chan jobResult, 1)}
 	select {
 	case t.jobs <- j:
 	case <-ctx.Done():

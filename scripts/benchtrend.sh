@@ -69,6 +69,15 @@ def aggregate(rep, table):
     elif table == "backend":
         cfg = {"k": rep.get("k"), "rows": [(r["change"], r["backend"]) for r in data]}
         ns = sum(r["model_update_ns"] for r in data)
+    elif table == "load":
+        # Serving-tail trend: the sum of per-(shards, class) p99s at the
+        # same offered rate. Counts are rate-driven and stable, so the
+        # p99 aggregate is the comparable number.
+        cfg = {
+            "k": rep.get("k"),
+            "rows": [(r["shards"], r["class"], r["rate_ops_per_sec"]) for r in data],
+        }
+        ns = sum(r["p99_ms"] * 1e6 for r in data)
     else:
         return None
     return cfg, ns
@@ -76,7 +85,7 @@ def aggregate(rep, table):
 
 fail = False
 compared = 0
-for table in ("table2", "table3", "stages", "mining", "plan", "shard", "repl", "backend"):
+for table in ("table2", "table3", "stages", "mining", "plan", "shard", "repl", "backend", "load"):
     a, b = aggregate(old, table), aggregate(new, table)
     if a is None or b is None:
         continue
@@ -93,7 +102,14 @@ for table in ("table2", "table3", "stages", "mining", "plan", "shard", "repl", "
     if ratio > THRESHOLD:
         fail = True
 if compared == 0:
-    print(f"benchtrend: {old_path} and {new_path} share no comparable tables")
+    # Warn-and-skip, loudly: two snapshots with nothing in common mean
+    # the trend gate checked nothing this run — say so instead of
+    # passing silently or erroring out.
+    print(
+        f"benchtrend: WARNING: {old_path} and {new_path} share no comparable "
+        "tables; trend gate skipped (re-run `make bench-json` on matching "
+        "tables to restore the comparison)"
+    )
 if fail:
     print(f"benchtrend: {new_path} regressed more than 20% against {old_path}")
     sys.exit(1)

@@ -1,0 +1,95 @@
+#!/bin/sh
+# loadgate.sh — the p99 SLO gate: drive a real rcserved with rcload's
+# open-loop mixed workload and fail if any op class's p99 breaks its
+# threshold.
+#
+#   scripts/loadgate.sh
+#
+# Two runs against the campus fixture:
+#
+#   1. A healthy daemon under generous gates — must pass. Proves the
+#      serving path meets the SLO and prints per-class p50/p95/p99.
+#   2. A daemon booted with -slow-apply (artificial latency injected
+#      into every apply) under a tight apply gate — rcload must exit
+#      non-zero. Proves the gate actually trips: a gate that cannot
+#      fail guards nothing.
+#
+# Environment overrides: RATE (ops/s), DURATION, WARMUP, READ_GATE_MS,
+# APPLY_GATE_MS (the healthy run's thresholds).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RATE=${RATE:-150}
+DURATION=${DURATION:-2s}
+WARMUP=${WARMUP:-500ms}
+READ_GATE_MS=${READ_GATE_MS:-500}
+APPLY_GATE_MS=${APPLY_GATE_MS:-2000}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/rcserved" ./cmd/rcserved
+go build -o "$tmp/rcload" ./cmd/rcload
+
+# boot_daemon EXTRA_FLAGS... — start rcserved on a random port and set
+# $addr; callers kill $pid when done with the daemon.
+boot_daemon() {
+	"$tmp/rcserved" -net testdata/campus -policies testdata/campus/policies.txt \
+		-addr 127.0.0.1:0 "$@" >"$tmp/out" 2>"$tmp/log" &
+	pid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		grep -q listening "$tmp/out" 2>/dev/null && break
+		sleep 0.1
+		i=$((i + 1))
+	done
+	addr=$(sed -n 's#.*http://\([^ ]*\) .*#\1#p' "$tmp/out")
+	if [ -z "$addr" ]; then
+		echo "loadgate: daemon did not start" >&2
+		cat "$tmp/out" "$tmp/log" >&2
+		exit 1
+	fi
+}
+
+echo "loadgate: run 1 — healthy daemon, gates read=${READ_GATE_MS}ms apply=${APPLY_GATE_MS}ms"
+boot_daemon
+"$tmp/rcload" -url "http://$addr" -rate "$RATE" -warmup "$WARMUP" -duration "$DURATION" \
+	-mix read=8,apply=1,whatif=1 -flap border:eth2 \
+	-gate "read=${READ_GATE_MS},apply=${APPLY_GATE_MS}" \
+	-json "$tmp/healthy.json" \
+	|| { echo "loadgate: FAIL — healthy daemon broke the SLO gate" >&2; exit 1; }
+
+# The new telemetry must be live while the daemon serves load.
+curl -fsS "http://$addr/v1/metrics" >"$tmp/metrics"
+for series in \
+	realconfig_server_request_duration_seconds_count \
+	realconfig_server_request_latency_seconds \
+	realconfig_server_requests_in_flight \
+	realconfig_server_queue_wait_seconds_count \
+	go_goroutines; do
+	grep -q "^$series" "$tmp/metrics" \
+		|| { echo "loadgate: FAIL — /v1/metrics missing $series" >&2; exit 1; }
+done
+kill "$pid" 2>/dev/null
+pid=""
+
+echo "loadgate: run 2 — daemon with -slow-apply 300ms, gate apply=100ms (must trip)"
+boot_daemon -slow-apply 300ms
+if "$tmp/rcload" -url "http://$addr" -rate "$RATE" -warmup "$WARMUP" -duration "$DURATION" \
+	-mix read=8,apply=1 -flap border:eth2 -gate apply=100 >"$tmp/slow.out" 2>&1; then
+	echo "loadgate: FAIL — gate did not trip under injected apply slowness" >&2
+	cat "$tmp/slow.out" >&2
+	exit 1
+fi
+grep -q "GATE FAIL" "$tmp/slow.out" \
+	|| { echo "loadgate: FAIL — rcload failed without reporting the gate" >&2; cat "$tmp/slow.out" >&2; exit 1; }
+kill "$pid" 2>/dev/null
+pid=""
+
+echo "loadgate: ok (SLO holds on the healthy daemon; gate trips under injected slowness)"

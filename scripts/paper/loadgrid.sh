@@ -1,0 +1,87 @@
+#!/bin/sh
+# loadgrid.sh — the serving-latency grid: repeats x shard counts x
+# model backends, each cell one rcload run against a freshly booted
+# rcserved, emitting one BENCH_load_*.json of per-op-class latency
+# quantiles per cell plus a manifest.
+#
+#   scripts/paper/loadgrid.sh [RESULTS_DIR]
+#
+# Results land under RESULTS_DIR (default ./loadgrid-results), NOT as
+# repo-root BENCH_%04d.json snapshots: the grid is a sweep you study,
+# benchtrend's two-newest comparison stays reserved for rcbench runs.
+#
+# Every cell serves the examples/rollout ring — the one checked-in
+# fixture both model backends accept (the campus fixture's filters
+# match on source/protocol/port, which the atom interval backend
+# rejects) — so cells are comparable across the whole grid. The atom
+# backend also rejects sharding (one atom universe cannot be
+# partitioned), so the grid is {bdd} x SHARDS plus {atom} x {1}.
+#
+# Environment overrides: REPEATS, RATE (ops/s), DURATION, WARMUP,
+# SHARDS (space-separated list for bdd).
+set -eu
+
+cd "$(dirname "$0")/../.."
+
+RESULTS=${1:-loadgrid-results}
+REPEATS=${REPEATS:-3}
+RATE=${RATE:-200}
+DURATION=${DURATION:-3s}
+WARMUP=${WARMUP:-1s}
+SHARDS=${SHARDS:-"1 2 4"}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/rcserved" ./cmd/rcserved
+go build -o "$tmp/rcload" ./cmd/rcload
+mkdir -p "$RESULTS"
+
+manifest="$RESULTS/MANIFEST.tsv"
+printf 'backend\tshards\trepeat\trate\tduration\tfile\n' >"$manifest"
+
+run_cell() {
+	backend=$1
+	shards=$2
+	rep=$3
+	"$tmp/rcserved" -net examples/rollout/net -policies examples/rollout/net/policies.txt \
+		-backend "$backend" -shards "$shards" -addr 127.0.0.1:0 \
+		>"$tmp/out" 2>"$tmp/log" &
+	pid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		grep -q listening "$tmp/out" 2>/dev/null && break
+		sleep 0.1
+		i=$((i + 1))
+	done
+	addr=$(sed -n 's#.*http://\([^ ]*\) .*#\1#p' "$tmp/out")
+	if [ -z "$addr" ]; then
+		echo "loadgrid: daemon did not start (backend=$backend shards=$shards)" >&2
+		cat "$tmp/out" "$tmp/log" >&2
+		exit 1
+	fi
+	out="$RESULTS/BENCH_load_${backend}_s${shards}_r${rep}.json"
+	echo "loadgrid: backend=$backend shards=$shards repeat=$rep -> $out"
+	"$tmp/rcload" -url "http://$addr" -rate "$RATE" -warmup "$WARMUP" -duration "$DURATION" \
+		-mix read=8,apply=1,whatif=1 -flap r02:eth1 -json "$out"
+	printf '%s\t%s\t%s\t%s\t%s\t%s\n' "$backend" "$shards" "$rep" "$RATE" "$DURATION" "$out" >>"$manifest"
+	kill "$pid" 2>/dev/null
+	wait "$pid" 2>/dev/null || true
+	pid=""
+}
+
+rep=1
+while [ "$rep" -le "$REPEATS" ]; do
+	for shards in $SHARDS; do
+		run_cell bdd "$shards" "$rep"
+	done
+	run_cell atom 1 "$rep"
+	rep=$((rep + 1))
+done
+
+echo "loadgrid: wrote $(grep -c BENCH "$manifest") cells under $RESULTS (manifest: $manifest)"
