@@ -7,6 +7,7 @@
 //	rcbench -table plan -plan-nodes 32 -plan-batch 8
 //	rcbench -table shard -k 6         # shard sweep on the Table 3 workload
 //	rcbench -table repl -k 6          # read throughput vs follower count
+//	rcbench -table snap -k 6          # cold-follower bootstrap: replay vs snapshot
 //	rcbench -table load -k 6          # serving-latency quantiles vs shard count
 //	rcbench -table all -k 8
 //	rcbench -table all -k 6 -json auto
@@ -133,6 +134,17 @@ type jsonLoadRow struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
+// jsonSnapRow is one journal length of the snapshot-bootstrap sweep:
+// cold-follower bootstrap time via full stream replay vs via the
+// leader's base snapshot plus the journal tail.
+type jsonSnapRow struct {
+	Entries       int     `json:"entries"`
+	ReplayNs      int64   `json:"replay_ns"`
+	RestoreNs     int64   `json:"restore_ns"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	Speedup       float64 `json:"speedup"`
+}
+
 // jsonBackendRow is one (workload, backend) cell of the model-backend
 // A/B race: the same FIB delta through the bdd and atom backends,
 // durations in nanoseconds.
@@ -188,6 +200,7 @@ type jsonReport struct {
 	Plan      *jsonPlan        `json:"plan,omitempty"`
 	Shard     []jsonShardRow   `json:"shard,omitempty"`
 	Repl      []jsonReplRow    `json:"repl,omitempty"`
+	Snap      []jsonSnapRow    `json:"snap,omitempty"`
 	Load      []jsonLoadRow    `json:"load,omitempty"`
 	Backend   []jsonBackendRow `json:"backend,omitempty"`
 	Trace     []jsonTraceApply `json:"trace,omitempty"`
@@ -209,7 +222,7 @@ func nextBenchPath() (string, error) {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("rcbench", flag.ContinueOnError)
-	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, plan, shard, repl, backend, all")
+	table := fs.String("table", "all", "which experiment: 2, 3, stages, mining, plan, shard, repl, snap, backend, all")
 	k := fs.Int("k", 8, "fat-tree arity (12 = paper scale: 180 nodes, 864 links)")
 	samples := fs.Int("samples", 3, "changes sampled per change type (table 2)")
 	failures := fs.Int("failures", 32, "link failures swept (mining; 0 = all links)")
@@ -221,6 +234,7 @@ func run(args []string) error {
 	replReaders := fs.Int("repl-readers", 8, "concurrent read clients for the replication sweep")
 	replWindow := fs.Duration("repl-window", 2*time.Second, "measurement window per follower count (repl)")
 	replPolicies := fs.Int("repl-policies", 4, "reachability policies per host /24 for the replication sweep")
+	snapPolicies := fs.Int("snap-policies", 4, "reachability policies per host /24 for the snapshot-bootstrap sweep")
 	loadRate := fs.Float64("load-rate", 300, "open-loop arrival rate in ops/second for the load sweep")
 	loadWindow := fs.Duration("load-window", 2*time.Second, "measurement window per shard count (load)")
 	loadPolicies := fs.Int("load-policies", 4, "reachability policies per host /24 for the load sweep")
@@ -244,7 +258,7 @@ func run(args []string) error {
 		K:         *k,
 	}
 	want := func(t string) bool { return *table == t || *table == "all" }
-	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") && !want("backend") && !want("load") {
+	if !want("2") && !want("3") && !want("stages") && !want("mining") && !want("plan") && !want("shard") && !want("repl") && !want("snap") && !want("backend") && !want("load") {
 		return fmt.Errorf("unknown -table %q", *table)
 	}
 	if want("2") {
@@ -279,6 +293,11 @@ func run(args []string) error {
 	}
 	if want("repl") {
 		if err := runRepl(*k, *replPolicies, *replReaders, *replWindow, rep); err != nil {
+			return err
+		}
+	}
+	if want("snap") {
+		if err := runSnap(*k, *snapPolicies, rep); err != nil {
 			return err
 		}
 	}
@@ -521,6 +540,34 @@ func runRepl(k, perPrefix, readers int, window time.Duration, rep *jsonReport) e
 			WallNs:      r.Wall.Nanoseconds(),
 			ReadsPerSec: r.ReadsPerSec,
 			Speedup:     r.Speedup,
+		})
+	}
+	return nil
+}
+
+// runSnap compares cold-follower bootstrap time via full journal-stream
+// replay against snapshot-restore-plus-tail, across journal lengths —
+// the restart-and-failover story the snapshot subsystem buys.
+func runSnap(k, perPrefix int, rep *jsonReport) error {
+	header(k, "Snapshot bootstrap: full stream replay vs snapshot restore (BGP)")
+	dir, err := os.MkdirTemp("", "rcbench-snap")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rows, err := bench.RunSnap(k, []int{4, 16, 64}, perPrefix, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatSnap(rows))
+	fmt.Println()
+	for _, r := range rows {
+		rep.Snap = append(rep.Snap, jsonSnapRow{
+			Entries:       r.Entries,
+			ReplayNs:      r.Replay.Nanoseconds(),
+			RestoreNs:     r.Restore.Nanoseconds(),
+			SnapshotBytes: r.SnapshotBytes,
+			Speedup:       r.Speedup,
 		})
 	}
 	return nil

@@ -16,6 +16,11 @@
 //	GET  /v1/applies            provenance-trace ring index (newest first)
 //	GET  /v1/applies/{id}/trace one apply's provenance trace ({id} or "latest";
 //	                            ?format=chrome exports Perfetto-loadable JSON)
+//	POST /v1/snapshot           capture a durable state snapshot and compact
+//	                            the journal behind it
+//	GET  /v1/snapshot/latest    download the newest snapshot (replica bootstrap)
+//	POST /v1/promote            flip a caught-up replica into a leader under a
+//	                            fresh epoch (fences the old leader's lineage)
 //	GET  /v1/healthz            liveness, sequence number and counters
 //	GET  /v1/readyz             readiness: 503 with "ready":false while the
 //	                            daemon warms (journal replay, follower catch-up)
@@ -25,7 +30,12 @@
 // With -journal, applied writes are persisted as JSON lines and replayed
 // on startup, so a restarted daemon recovers its exact state from the
 // same base snapshot; -journal-segment-bytes seals the file into
-// numbered segments as it grows. With -shards N the verifier is
+// numbered segments as it grows. -snapshot-every N (entries) and
+// -snapshot-bytes B capture automatic state snapshots; a snapshot at
+// seq S makes sealed segments entirely <= S deletable, keeping the
+// newest -journal-retain segments as a resume floor for lagging
+// replicas. Restarts restore the newest snapshot and replay only the
+// journal tail. With -shards N the verifier is
 // partitioned across N destination-space shards that verify each apply
 // concurrently. With -pprof, net/http/pprof profiling endpoints are
 // mounted under /debug/pprof/.
@@ -137,6 +147,9 @@ func run(args []string, out *os.File) error {
 	polFile := fs.String("policies", "", "policy specification file")
 	journalPath := fs.String("journal", "", "append-only change journal (replayed on startup)")
 	segBytes := fs.Int64("journal-segment-bytes", 0, "seal journal files into numbered segments past this size (0 = one unbounded file)")
+	snapEvery := fs.Int("snapshot-every", 0, "capture a state snapshot (and compact the journal) every N journaled entries (0 = only on POST /v1/snapshot)")
+	snapBytes := fs.Int64("snapshot-bytes", 0, "capture a snapshot once this many bytes were appended to the journal since the last one (0 = off)")
+	journalRetain := fs.Int("journal-retain", 2, "sealed journal segments always kept through compaction (resume floor for lagging replicas)")
 	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL (e.g. http://leader:8080)")
 	shards := fs.Int("shards", 1, "destination-space verifier shards for the default tenant (<=1 = monolithic)")
 	backend := fs.String("backend", "", "model backend: bdd (default) or atom; per-tenant backend= overrides")
@@ -171,6 +184,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *segBytes < 0 {
 		return fmt.Errorf("-journal-segment-bytes must be >= 0, got %d", *segBytes)
+	}
+	if *snapEvery < 0 || *snapBytes < 0 || *journalRetain < 0 {
+		return fmt.Errorf("-snapshot-every, -snapshot-bytes and -journal-retain must be >= 0")
 	}
 	if *follow != "" {
 		if err := server.ValidateLeaderURL(*follow); err != nil {
@@ -209,6 +225,9 @@ func run(args []string, out *os.File) error {
 		JournalPath:         *journalPath,
 		Shards:              *shards,
 		JournalSegmentBytes: *segBytes,
+		SnapshotEvery:       *snapEvery,
+		SnapshotBytes:       *snapBytes,
+		JournalRetain:       *journalRetain,
 		FollowURL:           *follow,
 		Tenants:             tcs,
 		QueueDepth:          *queue,

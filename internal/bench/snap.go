@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"realconfig/internal/server"
+	"realconfig/internal/topology"
+)
+
+// SnapRow is one journal length's comparison of the two ways a cold
+// follower can reach the leader's state: replaying the full journal
+// stream entry by entry, versus downloading the leader's base snapshot
+// and resuming the stream from its sequence number. Replay cost grows
+// linearly with history; snapshot-restore cost is one verification of
+// the final state, so the speedup column is the point of the subsystem.
+type SnapRow struct {
+	Entries       int           // journaled applies on the leader
+	Replay        time.Duration // cold bootstrap via full stream replay
+	Restore       time.Duration // cold bootstrap via snapshot + tail
+	SnapshotBytes int64         // snapshot file size on the wire
+	Speedup       float64       // Replay / Restore
+}
+
+// RunSnap measures cold-follower bootstrap time with and without a
+// leader snapshot, for each journal length. k sizes the fat-tree,
+// perPrefix the policy suite, and dir holds the leaders' journals. Each
+// row boots a fresh leader, lands `entries` applies, times a journal-
+// less follower that must replay the whole stream, captures a leader
+// snapshot, and times a second cold follower that bootstraps from it.
+func RunSnap(k int, entryCounts []int, perPrefix int, dir string) ([]SnapRow, error) {
+	dev, intf, err := func() (string, string, error) {
+		net, err := topology.FatTree(k, topology.BGP)
+		if err != nil {
+			return "", "", err
+		}
+		l := net.Topology.Links[len(net.Topology.Links)/2]
+		return l.DevA, l.IntfA, nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	flap := [2]string{
+		fmt.Sprintf(`{"changes":[{"kind":"shutdown_interface","device":%q,"intf":%q,"shutdown":true}]}`, dev, intf),
+		fmt.Sprintf(`{"changes":[{"kind":"shutdown_interface","device":%q,"intf":%q,"shutdown":false}]}`, dev, intf),
+	}
+	var rows []SnapRow
+	for _, n := range entryCounts {
+		row, err := runSnapRow(k, n, perPrefix, dir, flap)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runSnapRow(k, entries, perPrefix int, dir string, flap [2]string) (SnapRow, error) {
+	row := SnapRow{Entries: entries}
+
+	leaderNet, policyText, err := replFixture(k, perPrefix)
+	if err != nil {
+		return row, err
+	}
+	leader, err := server.New(server.Config{
+		Net:         leaderNet,
+		PolicyText:  policyText,
+		JournalPath: filepath.Join(dir, fmt.Sprintf("snap-leader-e%d.journal", entries)),
+	})
+	if err != nil {
+		return row, err
+	}
+	tsL := httptest.NewServer(leader.Handler())
+	defer func() { tsL.Close(); leader.Close() }()
+
+	client := &http.Client{}
+	for i := 0; i < entries; i++ {
+		resp, err := client.Post(tsL.URL+"/v1/changes", "application/json",
+			strings.NewReader(flap[i%2]))
+		if err != nil {
+			return row, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return row, fmt.Errorf("apply %d: status %d", i, resp.StatusCode)
+		}
+	}
+	want := leader.Snapshot().Seq
+
+	// Cold follower, no leader snapshot yet: the bootstrap probe answers
+	// 404 and the follower replays the full journal stream from seq 0.
+	replay, err := timeBootstrap(k, perPrefix, tsL.URL, want)
+	if err != nil {
+		return row, fmt.Errorf("full-replay bootstrap: %w", err)
+	}
+	row.Replay = replay
+
+	// Capture the leader snapshot (which also compacts the journal), then
+	// time a second cold follower that restores it and resumes from the
+	// snapshot's seq instead of replaying history.
+	resp, err := client.Post(tsL.URL+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		return row, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return row, fmt.Errorf("POST /v1/snapshot: status %d", resp.StatusCode)
+	}
+	latest, err := client.Get(tsL.URL + "/v1/snapshot/latest")
+	if err != nil {
+		return row, err
+	}
+	data, err := io.ReadAll(latest.Body)
+	latest.Body.Close()
+	if err != nil {
+		return row, err
+	}
+	if latest.StatusCode != http.StatusOK {
+		return row, fmt.Errorf("GET /v1/snapshot/latest: status %d", latest.StatusCode)
+	}
+	row.SnapshotBytes = int64(len(data))
+
+	restore, err := timeBootstrap(k, perPrefix, tsL.URL, want)
+	if err != nil {
+		return row, fmt.Errorf("snapshot bootstrap: %w", err)
+	}
+	row.Restore = restore
+	if restore > 0 {
+		row.Speedup = float64(replay) / float64(restore)
+	}
+	return row, nil
+}
+
+// timeBootstrap boots a journal-less follower against the leader and
+// returns the wall time until its snapshot sequence matches the
+// leader's (construction included — that is where snapshot restore
+// happens).
+func timeBootstrap(k, perPrefix int, leaderURL string, want uint64) (time.Duration, error) {
+	fnet, ftext, err := replFixture(k, perPrefix)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	f, err := server.New(server.Config{
+		Net:            fnet,
+		PolicyText:     ftext,
+		FollowURL:      leaderURL,
+		ReplBackoff:    10 * time.Millisecond,
+		ReplMaxBackoff: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for f.Snapshot().Seq < want {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("follower stuck at seq %d, want %d", f.Snapshot().Seq, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return time.Since(t0), nil
+}
+
+// FormatSnap renders the snapshot-bootstrap sweep in the
+// benchmark-table style.
+func FormatSnap(rows []SnapRow) string {
+	s := fmt.Sprintf("%-8s %12s %12s %12s %9s\n",
+		"Entries", "Replay", "Restore", "SnapBytes", "Speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8d %12s %12s %12d %8.2fx\n",
+			r.Entries, r.Replay.Round(time.Microsecond), r.Restore.Round(time.Microsecond),
+			r.SnapshotBytes, r.Speedup)
+	}
+	return s
+}

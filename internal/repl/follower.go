@@ -34,6 +34,12 @@ type FollowerConfig struct {
 	// Nil callbacks keep the epoch in memory only.
 	Epoch    func() (uint64, bool)
 	SetEpoch func(uint64) error
+	// Rebootstrap rebuilds local state from the leader's latest snapshot.
+	// It is called when the leader answers 410 Gone — the resume point was
+	// compacted away — and must leave From() at the restored snapshot's
+	// sequence number (and the adopted epoch persisted) so the next
+	// connection resumes from there. Nil makes 410 fatal, like a fence.
+	Rebootstrap func(context.Context) error
 	// Backoff is the base reconnect delay, doubled per consecutive
 	// failure up to MaxBackoff, with ±50% jitter so a fleet of replicas
 	// does not reconnect in lockstep (0 = 250ms base, 15s max).
@@ -151,6 +157,23 @@ func (f *Follower) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+			if errors.Is(err, ErrSeqGone) {
+				// The leader compacted past our resume point; the tail we
+				// need no longer exists anywhere. Discard local history and
+				// rebuild from the leader's snapshot.
+				if f.cfg.Rebootstrap == nil {
+					f.cfg.Log.Error("resume point compacted away and no bootstrap path; stopping", "err", err)
+					return err
+				}
+				f.cfg.Log.Warn("resume point compacted away; re-bootstrapping from leader snapshot", "err", err)
+				if berr := f.cfg.Rebootstrap(ctx); berr != nil {
+					f.cfg.Log.Warn("snapshot re-bootstrap failed", "err", berr)
+					// fall through to backoff and retry the whole cycle
+				} else {
+					attempt = 0
+					continue
+				}
+			}
 			f.cfg.Log.Warn("replication stream failed", "err", err, "attempt", attempt)
 		}
 		if clean {
@@ -199,6 +222,11 @@ func (f *Follower) streamOnce(ctx context.Context) (clean bool, err error) {
 		// rebuilt lineage. Retrying would never converge.
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return false, fmt.Errorf("%w: leader refused resume at %d: %s", ErrFenced, from, string(body))
+	}
+	if resp.StatusCode == http.StatusGone {
+		// The leader compacted the journal past our resume point.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("%w: leader compacted past resume point %d: %s", ErrSeqGone, from, string(body))
 	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))

@@ -73,6 +73,14 @@ type Log interface {
 // would corrupt it, so the follower stops instead of retrying.
 var ErrFenced = errors.New("repl: fenced: leader epoch/lineage mismatch")
 
+// ErrSeqGone is returned (wrapped) by a Log's Stream when the resume
+// point precedes the log's compacted base: the entries were folded into
+// a durable snapshot and their segments deleted. Unlike ErrFenced this
+// is recoverable — ServeStream answers it with 410 Gone, and a Follower
+// that sees 410 discards local state and re-bootstraps from the
+// leader's snapshot (FollowerConfig.Rebootstrap) instead of stopping.
+var ErrSeqGone = errors.New("repl: resume point compacted away")
+
 // applyFunc applies one replicated record; see FollowerConfig.Apply.
 type applyFunc func(ctx context.Context, rec Record) error
 

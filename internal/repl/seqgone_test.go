@@ -1,0 +1,179 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"realconfig/internal/obs"
+)
+
+// compactedLog wraps memLog with a compaction floor: resume points
+// below base answer ErrSeqGone, like a journal whose prefix was folded
+// into a snapshot.
+type compactedLog struct {
+	*memLog
+	base uint64
+}
+
+func (l *compactedLog) Stream(from uint64) ([]Record, <-chan Record, func(), error) {
+	if from < l.base {
+		return nil, nil, nil, fmt.Errorf("%w: want %d, compacted through %d", ErrSeqGone, from, l.base)
+	}
+	catchup, ch, cancel, err := l.memLog.Stream(from)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Drop the records the base already covers (memLog numbers from 0).
+	out := catchup[:0]
+	for _, r := range catchup {
+		if r.Seq > from {
+			out = append(out, r)
+		}
+	}
+	return out, ch, cancel, err
+}
+
+// TestServeStreamGone: a compacted-away resume point answers 410 Gone —
+// the protocol signal that re-bootstrapping, not retrying, is the cure.
+func TestServeStreamGone(t *testing.T) {
+	log := &compactedLog{memLog: newMemLog(7), base: 3}
+	for i := 1; i <= 5; i++ {
+		log.append(fmt.Sprintf(`{"n":%d}`, i))
+	}
+	reg := obs.NewRegistry()
+	m := NewStreamMetrics(reg)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeStream(w, r, log, 20*time.Millisecond, m)
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("compacted resume point: status %d, want 410", resp.StatusCode)
+	}
+	if got := reg.Snapshot()["realconfig_repl_streams_total"]; got != 0 {
+		t.Errorf("refused stream counted as opened: %v", got)
+	}
+}
+
+// TestFollowerRebootstrapsOnSeqGone: a follower behind the compaction
+// floor is told 410, invokes its Rebootstrap hook (the snapshot
+// restore), and resumes the stream from the restored position.
+func TestFollowerRebootstrapsOnSeqGone(t *testing.T) {
+	log := &compactedLog{memLog: newMemLog(7), base: 3}
+	for i := 1; i <= 5; i++ {
+		log.append(fmt.Sprintf(`{"n":%d}`, i))
+	}
+	ts := newTestLeader(t, log)
+
+	sink := &applySink{}
+	var reboots atomic.Int64
+	reg := obs.NewRegistry()
+	f, err := NewFollower(FollowerConfig{
+		StreamURL: ts.URL,
+		From:      sink.seq,
+		Apply:     sink.apply,
+		Rebootstrap: func(context.Context) error {
+			reboots.Add(1)
+			// Stand-in for a snapshot restore: jump the sink to the floor.
+			sink.mu.Lock()
+			sink.recs = []Record{{Seq: 1}, {Seq: 2}, {Seq: 3}}
+			sink.mu.Unlock()
+			return nil
+		},
+		Metrics:    NewFollowerMetrics(reg),
+		Backoff:    time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond,
+		rand:       func() float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+
+	waitFor(t, "re-bootstrap and tail", func() bool { return sink.seq() == 5 })
+	if got := reboots.Load(); got != 1 {
+		t.Errorf("rebootstrap hook ran %d times, want 1", got)
+	}
+	if got := sink.data()[3:]; got[0] != `{"n":4}` || got[1] != `{"n":5}` {
+		t.Errorf("tail after re-bootstrap: %v", got)
+	}
+	if got := reg.Snapshot()["realconfig_repl_entries_applied_total"]; got != 2 {
+		t.Errorf("streamed entries = %v, want 2 (the post-snapshot tail)", got)
+	}
+	if got := reg.Snapshot()["realconfig_repl_fenced_total"]; got != 0 {
+		t.Errorf("410 recovery must not count as fencing: %v", got)
+	}
+}
+
+// TestFollowerSeqGoneFatalWithoutRebootstrap: with no Rebootstrap hook
+// a compacted resume point is terminal — Run returns ErrSeqGone instead
+// of hammering the leader forever.
+func TestFollowerSeqGoneFatalWithoutRebootstrap(t *testing.T) {
+	log := &compactedLog{memLog: newMemLog(7), base: 3}
+	for i := 1; i <= 5; i++ {
+		log.append(fmt.Sprintf(`{"n":%d}`, i))
+	}
+	ts := newTestLeader(t, log)
+	sink := &applySink{}
+	f := newTestFollower(t, ts.URL, sink)
+	_, done := runFollower(f)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrSeqGone) {
+			t.Fatalf("Run returned %v, want ErrSeqGone", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not terminate on 410 without a Rebootstrap hook")
+	}
+}
+
+// TestFollowerRebootstrapFailureRetries: a failing Rebootstrap is not
+// terminal — the follower backs off and tries again, converging once
+// the hook starts succeeding.
+func TestFollowerRebootstrapFailureRetries(t *testing.T) {
+	log := &compactedLog{memLog: newMemLog(7), base: 3}
+	for i := 1; i <= 5; i++ {
+		log.append(fmt.Sprintf(`{"n":%d}`, i))
+	}
+	ts := newTestLeader(t, log)
+	sink := &applySink{}
+	var calls atomic.Int64
+	f, err := NewFollower(FollowerConfig{
+		StreamURL: ts.URL,
+		From:      sink.seq,
+		Apply:     sink.apply,
+		Rebootstrap: func(context.Context) error {
+			if calls.Add(1) == 1 {
+				return errors.New("injected bootstrap failure")
+			}
+			sink.mu.Lock()
+			sink.recs = []Record{{Seq: 1}, {Seq: 2}, {Seq: 3}}
+			sink.mu.Unlock()
+			return nil
+		},
+		Backoff:    time.Millisecond,
+		MaxBackoff: 10 * time.Millisecond,
+		rand:       func() float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := runFollower(f)
+	defer func() { cancel(); <-done }()
+	waitFor(t, "retry then converge", func() bool { return sink.seq() == 5 })
+	if got := calls.Load(); got < 2 {
+		t.Errorf("rebootstrap attempts = %d, want >= 2 (first one failed)", got)
+	}
+}

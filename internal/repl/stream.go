@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -47,6 +48,12 @@ func ServeStream(w http.ResponseWriter, r *http.Request, log Log, heartbeat time
 	}
 	catchup, live, cancel, err := log.Stream(from)
 	if err != nil {
+		if errors.Is(err, ErrSeqGone) {
+			// The resume point was compacted into a snapshot; the follower
+			// must re-bootstrap from /v1/snapshot/latest, not retry.
+			http.Error(w, "repl: "+err.Error(), http.StatusGone)
+			return
+		}
 		http.Error(w, "repl: stream unavailable: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}

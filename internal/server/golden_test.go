@@ -23,7 +23,8 @@ import (
 func pipelineCounters(srv *Server) map[string]float64 {
 	out := make(map[string]float64)
 	for name, v := range srv.Metrics().Snapshot() {
-		if strings.HasPrefix(name, "realconfig_server_") || strings.HasPrefix(name, "go_") {
+		if strings.HasPrefix(name, "realconfig_server_") || strings.HasPrefix(name, "go_") ||
+			strings.HasPrefix(name, "realconfig_snap_") {
 			continue
 		}
 		out[name] = v

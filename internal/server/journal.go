@@ -75,6 +75,19 @@ type journal struct {
 	epoch   uint64 // journal-lineage id (0 until minted or adopted)
 	closed  bool
 
+	// base is the compacted-through sequence number: entries 1..base were
+	// folded into a durable snapshot and their segments deleted, so the
+	// chain on disk holds exactly entries base+1..lastSeq. firstSeg is the
+	// lowest segment index still part of the chain; both are persisted in
+	// the .compact sidecar before any segment is removed, so a crash
+	// mid-compaction is resumed (stale segments re-deleted) at open.
+	base     uint64
+	firstSeg int
+
+	// appended counts bytes durably appended since open (the snapshot
+	// subsystem's size trigger reads it).
+	appended int64
+
 	f *os.File
 	w *bufio.Writer
 
@@ -93,6 +106,7 @@ type journal struct {
 	appendSeconds *obs.Histogram
 	fsyncSeconds  *obs.Histogram
 	rotations     *obs.Counter
+	compactions   *obs.Counter
 }
 
 // subBuffer bounds each replication subscriber's live-tail channel.
@@ -229,7 +243,9 @@ func readRawLines(path string, max int) ([][]byte, error) {
 
 // openJournal reads any existing entries — sealed segments first, then
 // the active file — and opens the active file for appending. An empty
-// or absent journal yields no entries.
+// or absent journal yields no entries. With a .compact sidecar present,
+// the returned entries are the tail after the compacted base: the
+// caller restores a snapshot at seq ≥ base and replays only these.
 //
 // Crash recovery: a torn final record can only live at the tail of the
 // active file (segments are sealed strictly after a durable append, and
@@ -237,10 +253,36 @@ func readRawLines(path string, max int) ([][]byte, error) {
 // and recovery proceeds — the record was never acknowledged. A torn
 // tail on a sealed segment that is not the end of the chain means real
 // corruption (entries after it would be silently renumbered) and fails.
+// A crash mid-compaction is resumed here: the sidecar is the commit
+// point, so any sealed segment below its firstSeg is deletable debris.
 func openJournal(path string, segBytes int64) (*journal, []Entry, error) {
+	cm, haveCompact, err := readCompactFile(compactPath(path))
+	if err != nil {
+		return nil, nil, err
+	}
 	segPaths, nextSeg, err := journalSegments(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if haveCompact {
+		// Resume an interrupted compaction: segments the sidecar already
+		// committed away may still exist if the crash hit between the
+		// sidecar write and the deletes.
+		_, baseName := filepath.Split(path)
+		kept := segPaths[:0]
+		for _, sp := range segPaths {
+			if idx, ok := segmentIndex(baseName, filepath.Base(sp)); ok && idx < cm.FirstSeg {
+				if err := os.Remove(sp); err != nil {
+					return nil, nil, fmt.Errorf("journal %s: resuming compaction: %w", path, err)
+				}
+				continue
+			}
+			kept = append(kept, sp)
+		}
+		segPaths = kept
+		if nextSeg < cm.FirstSeg {
+			nextSeg = cm.FirstSeg // keep indices monotonic past deleted history
+		}
 	}
 	var entries []Entry
 	for _, sp := range segPaths {
@@ -290,7 +332,9 @@ func openJournal(path string, segBytes int64) (*journal, []Entry, error) {
 		segBytes:  segBytes,
 		size:      good,
 		nextSeg:   nextSeg,
-		lastSeq:   uint64(len(entries)),
+		base:      cm.CompactedThrough,
+		firstSeg:  cm.FirstSeg,
+		lastSeq:   cm.CompactedThrough + uint64(len(entries)),
 		tornBytes: tornBytes,
 		f:         f,
 		w:         bufio.NewWriter(f),
@@ -330,6 +374,7 @@ func (j *journal) appendRaw(b []byte) error {
 		return err
 	}
 	j.size += int64(n)
+	j.appended += int64(n)
 	if err := j.w.Flush(); err != nil {
 		return err
 	}
@@ -448,13 +493,30 @@ func (j *journal) setEpoch(e uint64) error {
 // the active file is read and the subscriber registered under mu, so
 // the handoff between catch-up and tail is gapless: every entry is in
 // exactly one of them (modulo the harmless duplicate guard downstream).
+//
+// The chain on disk starts at the compacted base: a resume point below
+// it asks for entries that no longer exist, answered with a wrapped
+// repl.ErrSeqGone so the follower re-bootstraps from a snapshot. A
+// compaction racing the unlocked segment reads is detected by
+// re-checking the base under mu and answered as a transient error (the
+// follower simply reconnects).
 func (j *journal) Stream(from uint64) ([]repl.Record, <-chan repl.Record, func(), error) {
+	j.mu.Lock()
+	base := j.base
+	closed := j.closed
+	j.mu.Unlock()
+	if closed {
+		return nil, nil, nil, fmt.Errorf("journal %s: closed", j.path)
+	}
+	if from < base {
+		return nil, nil, nil, fmt.Errorf("%w: journal %s holds entries after %d, resume point %d precedes it", repl.ErrSeqGone, j.path, base, from)
+	}
 	segPaths, _, err := journalSegments(j.path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	var catchup []repl.Record
-	seq := uint64(0)
+	seq := base
 	addLines := func(lines [][]byte) {
 		for _, line := range lines {
 			seq++
@@ -476,18 +538,23 @@ func (j *journal) Stream(from uint64) ([]repl.Record, <-chan repl.Record, func()
 	if j.closed {
 		return nil, nil, nil, fmt.Errorf("journal %s: closed", j.path)
 	}
+	if j.base != base {
+		return nil, nil, nil, fmt.Errorf("journal %s: compacted concurrently with catch-up; retry", j.path)
+	}
 	// Segments sealed between the unlocked listing and here are
 	// immutable too; pick up the stragglers before the active file.
 	segPaths2, _, err := journalSegments(j.path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	for _, sp := range segPaths2[len(segPaths):] {
-		lines, err := readRawLines(sp, -1)
-		if err != nil {
-			return nil, nil, nil, err
+	if len(segPaths2) > len(segPaths) {
+		for _, sp := range segPaths2[len(segPaths):] {
+			lines, err := readRawLines(sp, -1)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			addLines(lines)
 		}
-		addLines(lines)
 	}
 	if seq > j.lastSeq {
 		return nil, nil, nil, fmt.Errorf("journal %s: segment chain has %d entries past lastSeq %d", j.path, seq-j.lastSeq, j.lastSeq)
@@ -514,6 +581,197 @@ func (j *journal) Stream(from uint64) ([]repl.Record, <-chan repl.Record, func()
 		}
 	}
 	return catchup, ch, cancel, nil
+}
+
+// ---- compaction ----
+
+// compactPath is the sidecar file recording the journal's compacted
+// base: the sequence number the chain starts after, and the lowest
+// segment index still live. Written durably before any segment is
+// deleted — it is the compaction's commit point.
+func compactPath(journalPath string) string { return journalPath + ".compact" }
+
+// compactMeta is the .compact sidecar's JSON body.
+type compactMeta struct {
+	CompactedThrough uint64 `json:"compactedThrough"`
+	FirstSeg         int    `json:"firstSeg"`
+}
+
+// readCompactFile loads a persisted compaction sidecar (ok=false if the
+// file does not exist).
+func readCompactFile(path string) (compactMeta, bool, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return compactMeta{}, false, nil
+	}
+	if err != nil {
+		return compactMeta{}, false, err
+	}
+	var m compactMeta
+	if err := json.Unmarshal(b, &m); err != nil || m.FirstSeg < 0 {
+		return compactMeta{}, false, fmt.Errorf("journal compact file %s: bad contents %q", path, bytes.TrimSpace(b))
+	}
+	return m, true, nil
+}
+
+// writeCompactFile persists the sidecar durably (write, sync, rename).
+func writeCompactFile(path string, m compactMeta) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// compactedThrough returns the journal's current base sequence number.
+func (j *journal) compactedThrough() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base
+}
+
+// appendedBytes returns how many bytes were durably appended since the
+// journal was opened (the snapshot size trigger's odometer).
+func (j *journal) appendedBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// compactThrough deletes the longest prefix of sealed segments whose
+// entries all have sequence numbers ≤ seq (a snapshot at seq makes them
+// redundant), always keeping the newest retain sealed segments as a
+// floor so slightly-lagging followers can still resume without a
+// re-bootstrap. The active file is never compacted. Returns how many
+// segments were removed.
+//
+// Crash safety: the new base and first surviving segment index are
+// committed to the .compact sidecar before any file is deleted, so a
+// kill at any point leaves either the old chain intact or a chain whose
+// stale prefix is re-deleted at the next open — never a gap.
+func (j *journal) compactThrough(seq uint64, retain int) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("journal %s: closed", j.path)
+	}
+	if retain < 0 {
+		retain = 0
+	}
+	segPaths, _, err := journalSegments(j.path)
+	if err != nil {
+		return 0, err
+	}
+	limit := len(segPaths) - retain
+	if limit <= 0 {
+		return 0, nil
+	}
+	cum := j.base
+	cut := 0
+	for i := 0; i < limit; i++ {
+		lines, err := readRawLines(segPaths[i], -1)
+		if err != nil {
+			return 0, err
+		}
+		end := cum + uint64(len(lines))
+		if end > seq {
+			break
+		}
+		cum = end
+		cut = i + 1
+	}
+	if cut == 0 {
+		return 0, nil
+	}
+	firstSeg := j.nextSeg
+	if cut < len(segPaths) {
+		_, baseName := filepath.Split(j.path)
+		if idx, ok := segmentIndex(baseName, filepath.Base(segPaths[cut])); ok {
+			firstSeg = idx
+		}
+	}
+	if err := writeCompactFile(compactPath(j.path), compactMeta{CompactedThrough: cum, FirstSeg: firstSeg}); err != nil {
+		return 0, err
+	}
+	j.base = cum
+	j.firstSeg = firstSeg
+	for i := 0; i < cut; i++ {
+		if err := os.Remove(segPaths[i]); err != nil {
+			// The sidecar already committed; the next open re-deletes.
+			return i, err
+		}
+	}
+	j.compactions.Inc()
+	return cut, nil
+}
+
+// resetTo discards the journal's entire on-disk chain and restarts it
+// empty at base seq — the follower re-bootstrap path, where local
+// history diverged from reality (the leader compacted past our resume
+// point) and a snapshot at seq replaces it. Live subscribers are
+// dropped: their stream position no longer exists, and downstream
+// replicas must re-resume (or re-bootstrap) themselves.
+//
+// Crash ordering: the active file is truncated first, then the sidecar
+// commits the new base, then sealed segments are deleted. A crash
+// before the sidecar write leaves the old (sealed-only) chain readable;
+// a crash after it leaves stale segments the next open re-deletes.
+func (j *journal) resetTo(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal %s: closed", j.path)
+	}
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+	segPaths, _, err := journalSegments(j.path)
+	if err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.w = bufio.NewWriter(j.f)
+	j.size = 0
+	if err := writeCompactFile(compactPath(j.path), compactMeta{CompactedThrough: seq, FirstSeg: j.nextSeg}); err != nil {
+		return err
+	}
+	j.base = seq
+	j.firstSeg = j.nextSeg
+	j.lastSeq = seq
+	for _, sp := range segPaths {
+		if err := os.Remove(sp); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
 }
 
 // ---- backend metadata ----

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"realconfig/internal/core"
@@ -95,7 +96,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.rejectReplicaWrite(w, r) {
+	t := s.tenantFrom(r)
+	if s.rejectReplicaWrite(w, r, t) {
 		return
 	}
 	var req planRequest
@@ -113,7 +115,6 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, err.Error())
 		return
 	}
-	t := s.tenantFrom(r)
 	rid := reqIDFrom(r)
 	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
@@ -206,6 +207,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		t.seq++
 		t.publish(nil)
+		t.maybeSnapshot()
 		return t.seq, nil
 	})
 	if err != nil {
@@ -218,5 +220,6 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		"req_id", rid, "seq", out.Seq, "changes", len(batch), "waves", len(waves),
 		"probes", res.Stats.Probes, "memo_hits", res.Stats.MemoHits,
 		"dur_ms", time.Since(t0).Milliseconds())
+	w.Header().Set(seqHeader, strconv.FormatUint(out.Seq, 10))
 	writeJSON(w, http.StatusOK, out)
 }

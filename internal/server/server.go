@@ -95,6 +95,19 @@ type Config struct {
 	// backoff (0 = repl defaults; mostly for tests).
 	ReplBackoff    time.Duration
 	ReplMaxBackoff time.Duration
+	// SnapshotEvery captures an automatic state snapshot (and compacts
+	// the journal behind it) every N journaled entries (0 = only on
+	// explicit POST /v1/snapshot). Applies to every journal-backed
+	// tenant.
+	SnapshotEvery int
+	// SnapshotBytes captures an automatic snapshot once this many bytes
+	// have been appended to the journal since the last one (0 = off).
+	SnapshotBytes int64
+	// JournalRetain is the compaction floor: the newest N sealed journal
+	// segments are never deleted, so slightly-lagging replicas can still
+	// resume by sequence number instead of re-bootstrapping (0 = every
+	// segment a snapshot covers is deletable).
+	JournalRetain int
 	// Tenants declares additional named tenants, each with its own
 	// network, policies, journal and shard count.
 	Tenants []TenantConfig
@@ -123,6 +136,9 @@ type serverOptions struct {
 	applyTimeout    time.Duration
 	applyDelay      time.Duration
 	journalSegBytes int64
+	snapEvery       int
+	snapBytes       int64
+	journalRetain   int
 	follow          string // leader base URL ("" = leader mode)
 	replBackoff     time.Duration
 	replMaxBackoff  time.Duration
@@ -173,6 +189,9 @@ type serverMetrics struct {
 	journalFsyncSeconds  *obs.Histogram
 	journalRotations     *obs.Counter
 	queueWaitSeconds     *obs.Histogram
+	snapLastSeq          *obs.Gauge
+	snapBytes            *obs.Gauge
+	snapCompactions      *obs.Counter
 }
 
 // policyEntry pairs a registered policy's name with the source line it
@@ -237,6 +256,9 @@ func New(cfg Config) (*Server, error) {
 		applyTimeout:    cfg.ApplyTimeout,
 		applyDelay:      cfg.ApplyDelay,
 		journalSegBytes: cfg.JournalSegmentBytes,
+		snapEvery:       cfg.SnapshotEvery,
+		snapBytes:       cfg.SnapshotBytes,
+		journalRetain:   cfg.JournalRetain,
 		follow:          cfg.FollowURL,
 		replBackoff:     cfg.ReplBackoff,
 		replMaxBackoff:  cfg.ReplMaxBackoff,
@@ -491,6 +513,9 @@ func (s *Server) routes(enablePprof bool) {
 	s.mux.HandleFunc("GET /v1/applies/{id}/trace", s.handleApplyTrace)
 	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /v1/journal/stream", s.handleJournalStream)
+	s.mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/snapshot/latest", s.handleSnapshotLatest)
+	s.mux.HandleFunc("/v1/promote", s.handlePromote)
 	s.mux.Handle("/v1/metrics", s.reg.Handler())
 	if enablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -543,9 +568,10 @@ type errorResponse struct {
 
 // rejectReplicaWrite answers a write request on a read replica: 503
 // plus a Leader header naming where writes go. Returns true if the
-// request was handled (the caller returns immediately).
-func (s *Server) rejectReplicaWrite(w http.ResponseWriter, r *http.Request) bool {
-	if s.follow == "" {
+// request was handled (the caller returns immediately). A tenant that
+// was promoted via POST /v1/promote accepts writes like a leader.
+func (s *Server) rejectReplicaWrite(w http.ResponseWriter, r *http.Request, t *Tenant) bool {
+	if s.follow == "" || t.promoted.Load() {
 		return false
 	}
 	w.Header().Set("Leader", s.follow)
@@ -647,13 +673,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queueLength":   len(t.jobs),
 		"queueCapacity": cap(t.jobs),
 	}
-	if f := t.Follower(); f != nil {
+	if f := t.Follower(); f != nil && !t.promoted.Load() {
 		out["role"] = "follower"
 		out["leader"] = s.follow
 		out["leaderSeq"] = f.LeaderSeq()
 		out["replLagSeq"] = f.LagSeq()
 		out["replConnected"] = f.Connected()
 	}
+	t.snapshotHealth(out)
 	out["ready"] = t.Ready()
 	writeJSON(w, http.StatusOK, out)
 }
@@ -677,12 +704,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"role":  "leader",
 		"seq":   t.Snapshot().Seq,
 	}
-	if f := t.Follower(); f != nil {
+	if f := t.Follower(); f != nil && !t.promoted.Load() {
 		out["role"] = "follower"
 		out["leader"] = s.follow
 		out["replConnected"] = f.Connected()
 		out["replLagSeq"] = f.LagSeq()
 	}
+	t.snapshotHealth(out)
 	status := http.StatusOK
 	if !ready {
 		status = http.StatusServiceUnavailable
@@ -696,7 +724,10 @@ func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.tenantFrom(r).Snapshot()
+	snap, ok := s.gateMinSeq(w, r)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, verdictsResponse{Seq: snap.Seq, Verdicts: snap.Verdicts})
 }
 
@@ -706,7 +737,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := s.tenantFrom(r).Snapshot()
+	snap, ok := s.gateMinSeq(w, r)
+	if !ok {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"seq":        snap.Seq,
 		"violations": snap.Violations,
@@ -740,14 +774,14 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.rejectReplicaWrite(w, r) {
+	t := s.tenantFrom(r)
+	if s.rejectReplicaWrite(w, r, t) {
 		return
 	}
 	changes, ok := decodeChangesBody(w, r)
 	if !ok {
 		return
 	}
-	t := s.tenantFrom(r)
 	rid := reqIDFrom(r)
 	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
@@ -773,6 +807,7 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 		}
 		t.seq++
 		t.publish(rj)
+		t.maybeSnapshot()
 		snap := t.Snapshot()
 		return applyResponse{Seq: snap.Seq, Report: rj, Verdicts: snap.Verdicts}, nil
 	})
@@ -789,6 +824,7 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 		"req_id", rid, "seq", ar.Seq, "changes", len(changes),
 		"violated", len(ar.Report.Violated), "repaired", len(ar.Report.Repaired),
 		"trace_id", ar.Report.TraceID, "dur_ms", time.Since(t0).Milliseconds())
+	w.Header().Set(seqHeader, strconv.FormatUint(ar.Seq, 10))
 	writeJSON(w, http.StatusOK, res)
 }
 
@@ -856,7 +892,8 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.rejectReplicaWrite(w, r) {
+	t := s.tenantFrom(r)
+	if s.rejectReplicaWrite(w, r, t) {
 		return
 	}
 	var req policiesRequest
@@ -869,7 +906,6 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, r, "nothing to add or remove")
 		return
 	}
-	t := s.tenantFrom(r)
 	ctx, cancel := context.WithTimeout(r.Context(), t.applyTimeout)
 	defer cancel()
 	res, err := t.do(ctx, func() (any, error) {
@@ -929,6 +965,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 			t.seq++
 		}
 		t.publish(nil)
+		t.maybeSnapshot()
 		snap := t.Snapshot()
 		return applyResponse{Seq: snap.Seq, Verdicts: snap.Verdicts}, nil
 	})
@@ -936,6 +973,7 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, err)
 		return
 	}
+	w.Header().Set(seqHeader, strconv.FormatUint(res.(applyResponse).Seq, 10))
 	writeJSON(w, http.StatusOK, res)
 }
 

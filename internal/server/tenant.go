@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"realconfig/internal/obs"
 	"realconfig/internal/plan"
 	"realconfig/internal/repl"
+	"realconfig/internal/snap"
 )
 
 // DefaultTenant is the tenant behind the unprefixed /v1/... routes.
@@ -88,15 +90,34 @@ type Tenant struct {
 	followCancel context.CancelFunc
 	followDone   chan struct{}
 
+	// Snapshots. snapEvery (entries) and snapBytesEvery (journal bytes)
+	// are the automatic-capture triggers (0 = off); journalRetain is the
+	// compaction floor (sealed segments always kept). lastSnap mirrors
+	// the apply-goroutine-owned lastSnapSeq for handlers; bootstrapURL is
+	// the leader's snapshot endpoint in follower mode. promoted latches
+	// once a follower is flipped to leader (promoteMu serializes the
+	// flip).
+	snapEvery      int
+	snapBytesEvery int64
+	journalRetain  int
+	lastSnap       atomic.Uint64
+	bootstrapURL   string
+	promoted       atomic.Bool
+	promoteMu      sync.Mutex
+
 	closeOnce sync.Once
 	closeErr  error
 
 	// State below is owned by the tenant's apply goroutine after
-	// newTenant returns.
-	eng      Engine
-	policies []policyEntry
-	seq      uint64
-	journal  *journal
+	// newTenant returns. lastSnapSeq/snapMark are the automatic snapshot
+	// triggers' reference points (sequence and journal-byte odometer at
+	// the last capture).
+	eng         Engine
+	policies    []policyEntry
+	seq         uint64
+	journal     *journal
+	lastSnapSeq uint64
+	snapMark    int64
 }
 
 // newTenant builds a tenant: engine, instruments (on reg, which carries
@@ -128,19 +149,113 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 	}
 	t.eng = newEngine(vopts, tc.Shards)
 	t.instrument(reg) // before Load, so the initial full verification is measured too
-	rep, err := t.eng.Load(tc.Net)
-	if err != nil {
-		return nil, fmt.Errorf("server: tenant %q: loading base network: %w", tc.ID, err)
-	}
-	lastReport := reportJSON(rep)
-	if err := t.addPolicyText(tc.PolicyText); err != nil {
-		return nil, err
-	}
+	t.snapEvery = opts.snapEvery
+	t.snapBytesEvery = opts.snapBytes
+	t.journalRetain = opts.journalRetain
+
+	// Pick the base state: a usable snapshot beside the journal (restore
+	// it and replay only the tail), or the configured network + policy
+	// text (replay everything). A compacted journal with no usable
+	// snapshot is unrecoverable — entries 1..base are gone.
+	var (
+		j       *journal
+		entries []Entry
+		man     *snap.Manifest
+		err     error
+	)
 	if tc.JournalPath != "" {
-		j, entries, err := openJournal(tc.JournalPath, opts.journalSegBytes)
+		j, entries, err = openJournal(tc.JournalPath, opts.journalSegBytes)
 		if err != nil {
 			return nil, err
 		}
+		_, man, _, err = snap.Latest(tc.JournalPath)
+		if err != nil {
+			j.close()
+			return nil, err
+		}
+		if man != nil && man.Seq < j.compactedThrough() {
+			man = nil // older than the compacted base: cannot bridge the gap
+		}
+		if man == nil && j.compactedThrough() > 0 {
+			j.close()
+			return nil, fmt.Errorf("server: tenant %q: journal %s is compacted through seq %d but no usable snapshot exists",
+				tc.ID, tc.JournalPath, j.compactedThrough())
+		}
+	}
+	var lastReport *ReportJSON
+	if man != nil {
+		if backend := t.eng.Options().ModelBackend(); man.Backend != backend {
+			t.log.Warn("snapshot was captured under a different model backend",
+				"recorded", man.Backend, "configured", backend)
+		}
+		net, nerr := man.Network()
+		if nerr != nil {
+			j.close()
+			return nil, fmt.Errorf("server: tenant %q: restoring snapshot: %w", tc.ID, nerr)
+		}
+		rep, lerr := t.eng.Load(net)
+		if lerr != nil {
+			j.close()
+			return nil, fmt.Errorf("server: tenant %q: loading snapshot network: %w", tc.ID, lerr)
+		}
+		if err := t.addPolicyText(man.PolicyText()); err != nil {
+			j.close()
+			return nil, fmt.Errorf("server: tenant %q: restoring snapshot policies: %w", tc.ID, err)
+		}
+		t.seq = man.Seq
+		lastReport = reportJSON(rep)
+		if len(man.LastReport) > 0 {
+			var rj ReportJSON
+			if jerr := json.Unmarshal(man.LastReport, &rj); jerr == nil {
+				lastReport = &rj
+			}
+		}
+		if man.Epoch != 0 {
+			if _, ok := j.knownEpoch(); !ok {
+				if err := j.setEpoch(man.Epoch); err != nil {
+					j.close()
+					return nil, err
+				}
+			}
+		}
+		// Drop the tail entries the snapshot already folds in, then guard
+		// against a crash that left the snapshot ahead of the chain (a
+		// bootstrap that persisted its snapshot but died before resetting
+		// the journal): restart the chain at the snapshot.
+		skip := man.Seq - j.compactedThrough()
+		if skip >= uint64(len(entries)) {
+			entries = nil
+		} else {
+			entries = entries[skip:]
+		}
+		if man.Seq > j.LastSeq() {
+			if err := j.resetTo(man.Seq); err != nil {
+				j.close()
+				return nil, err
+			}
+		}
+		t.lastSnapSeq = man.Seq
+		t.lastSnap.Store(man.Seq)
+		t.m.snapLastSeq.Set(int64(man.Seq))
+		t.log.Info("restored from snapshot",
+			"path", tc.JournalPath, "seq", man.Seq, "tail_entries", len(entries))
+	} else {
+		rep, lerr := t.eng.Load(tc.Net)
+		if lerr != nil {
+			if j != nil {
+				j.close()
+			}
+			return nil, fmt.Errorf("server: tenant %q: loading base network: %w", tc.ID, lerr)
+		}
+		lastReport = reportJSON(rep)
+		if err := t.addPolicyText(tc.PolicyText); err != nil {
+			if j != nil {
+				j.close()
+			}
+			return nil, err
+		}
+	}
+	if j != nil {
 		// Stamp (or verify) the backend sidecar: the journal's entries are
 		// backend-neutral configuration changes, but the reports clients
 		// saw were produced by a specific backend, so the lineage records
@@ -163,6 +278,7 @@ func newTenant(tc TenantConfig, opts serverOptions, reg *obs.Registry) (*Tenant,
 		j.appendSeconds = t.m.journalAppendSeconds
 		j.fsyncSeconds = t.m.journalFsyncSeconds
 		j.rotations = t.m.journalRotations
+		j.compactions = t.m.snapCompactions
 		t.journal = j
 		t.streamM = repl.NewStreamMetrics(reg)
 		if j.tornBytes > 0 {
@@ -227,18 +343,31 @@ func (t *Tenant) Ready() bool {
 // becomes a read replica of the same-named tenant on the leader,
 // resuming from the sequence its local journal replay recovered.
 func (t *Tenant) startFollower(opts serverOptions, reg *obs.Registry) error {
-	stream := strings.TrimSuffix(opts.follow, "/") + "/v1/journal/stream"
+	base := strings.TrimSuffix(opts.follow, "/") + "/v1"
 	if t.ID != DefaultTenant {
-		stream = strings.TrimSuffix(opts.follow, "/") + "/v1/tenants/" + t.ID + "/journal/stream"
+		base = strings.TrimSuffix(opts.follow, "/") + "/v1/tenants/" + t.ID
+	}
+	t.bootstrapURL = base + "/snapshot/latest"
+	// A replica with no local state first tries the leader's snapshot:
+	// restore-plus-tail beats replaying the whole history, and it is the
+	// only way in once the leader has compacted. Best-effort — a leader
+	// without snapshots (404) just means full-stream replay as before.
+	if t.Snapshot().Seq == 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), startupBootstrapTimeout)
+		if err := t.bootstrapFromLeader(ctx); err != nil && !errors.Is(err, errNoLeaderSnapshot) {
+			t.log.Warn("startup snapshot bootstrap failed; falling back to full-stream replay", "err", err)
+		}
+		cancel()
 	}
 	fc := repl.FollowerConfig{
-		StreamURL:  stream,
-		From:       func() uint64 { return t.Snapshot().Seq },
-		Apply:      t.applyReplicated,
-		Backoff:    opts.replBackoff,
-		MaxBackoff: opts.replMaxBackoff,
-		Log:        t.log.With("role", "follower"),
-		Metrics:    repl.NewFollowerMetrics(reg),
+		StreamURL:   base + "/journal/stream",
+		From:        func() uint64 { return t.Snapshot().Seq },
+		Apply:       t.applyReplicated,
+		Rebootstrap: t.bootstrapFromLeader,
+		Backoff:     opts.replBackoff,
+		MaxBackoff:  opts.replMaxBackoff,
+		Log:         t.log.With("role", "follower"),
+		Metrics:     repl.NewFollowerMetrics(reg),
 	}
 	if t.journal != nil {
 		fc.Epoch = t.journal.knownEpoch
@@ -291,6 +420,7 @@ func (t *Tenant) applyReplicated(ctx context.Context, rec repl.Record) error {
 		}
 		t.seq++
 		t.publish(rep)
+		t.maybeSnapshot()
 		return nil, nil
 	})
 	return err
@@ -317,6 +447,9 @@ func (t *Tenant) instrument(reg *obs.Registry) {
 		journalFsyncSeconds: reg.Histogram("realconfig_server_journal_fsync_seconds",
 			"Journal fsync latency alone.", nil, nil),
 		journalRotations: reg.Counter("realconfig_server_journal_rotations_total", "Journal segments sealed by size-based rotation.", nil),
+		snapLastSeq:      reg.Gauge("realconfig_snap_last_seq", "Sequence number of the newest durable state snapshot (0 = none).", nil),
+		snapBytes:        reg.Gauge("realconfig_snap_bytes", "Size in bytes of the newest durable state snapshot.", nil),
+		snapCompactions:  reg.Counter("realconfig_snap_compactions_total", "Journal compactions performed (sealed segments folded into a snapshot and deleted).", nil),
 	}
 	t.m.queueWaitSeconds = reg.Histogram("realconfig_server_queue_wait_seconds",
 		"Time a job spent queued before the apply goroutine picked it up.", nil, nil)

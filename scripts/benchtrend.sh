@@ -66,6 +66,11 @@ def aggregate(rep, table):
         # so aggregate mean read latency per row, not raw wall time.
         cfg = {"k": rep.get("k"), "rows": [(r["followers"], r["readers"]) for r in data]}
         ns = sum(r["wall_ns"] / max(r["reads"], 1) for r in data)
+    elif table == "snap":
+        # Bootstrap story: the restore path is the one the subsystem
+        # optimizes, so its summed wall time is the trend number.
+        cfg = {"k": rep.get("k"), "rows": [r["entries"] for r in data]}
+        ns = sum(r["restore_ns"] for r in data)
     elif table == "backend":
         cfg = {"k": rep.get("k"), "rows": [(r["change"], r["backend"]) for r in data]}
         ns = sum(r["model_update_ns"] for r in data)
@@ -85,7 +90,7 @@ def aggregate(rep, table):
 
 fail = False
 compared = 0
-for table in ("table2", "table3", "stages", "mining", "plan", "shard", "repl", "backend", "load"):
+for table in ("table2", "table3", "stages", "mining", "plan", "shard", "repl", "snap", "backend", "load"):
     a, b = aggregate(old, table), aggregate(new, table)
     if a is None or b is None:
         continue

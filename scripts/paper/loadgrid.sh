@@ -1,8 +1,8 @@
 #!/bin/sh
-# loadgrid.sh — the serving-latency grid: repeats x shard counts x
-# model backends, each cell one rcload run against a freshly booted
-# rcserved, emitting one BENCH_load_*.json of per-op-class latency
-# quantiles per cell plus a manifest.
+# loadgrid.sh — the serving-latency grid: repeats x topology sizes x
+# shard counts x model backends, each cell one rcload run against a
+# freshly booted rcserved, emitting one BENCH_load_*.json of
+# per-op-class latency quantiles per cell plus a manifest.
 #
 #   scripts/paper/loadgrid.sh [RESULTS_DIR]
 #
@@ -10,15 +10,17 @@
 # repo-root BENCH_%04d.json snapshots: the grid is a sweep you study,
 # benchtrend's two-newest comparison stays reserved for rcbench runs.
 #
-# Every cell serves the examples/rollout ring — the one checked-in
-# fixture both model backends accept (the campus fixture's filters
-# match on source/protocol/port, which the atom interval backend
-# rejects) — so cells are comparable across the whole grid. The atom
-# backend also rejects sharding (one atom universe cannot be
-# partitioned), so the grid is {bdd} x SHARDS plus {atom} x {1}.
+# The size dimension serves rcgen-generated BGP fat-trees (SIZES lists
+# the arities), so the grid shows how serving latency scales with the
+# network, not just with the daemon's shard count. Fat-tree configs
+# carry no packet filters, so every cell is comparable across both
+# model backends. The atom backend rejects sharding (one atom universe
+# cannot be partitioned), so each size runs {bdd} x SHARDS plus
+# {atom} x {1}.
 #
 # Environment overrides: REPEATS, RATE (ops/s), DURATION, WARMUP,
-# SHARDS (space-separated list for bdd).
+# SIZES (space-separated fat-tree k list), SHARDS (space-separated
+# list for bdd).
 set -eu
 
 cd "$(dirname "$0")/../.."
@@ -28,6 +30,7 @@ REPEATS=${REPEATS:-3}
 RATE=${RATE:-200}
 DURATION=${DURATION:-3s}
 WARMUP=${WARMUP:-1s}
+SIZES=${SIZES:-"4 6"}
 SHARDS=${SHARDS:-"1 2 4"}
 
 tmp=$(mktemp -d)
@@ -40,16 +43,22 @@ trap cleanup EXIT
 
 go build -o "$tmp/rcserved" ./cmd/rcserved
 go build -o "$tmp/rcload" ./cmd/rcload
+go build -o "$tmp/rcgen" ./cmd/rcgen
 mkdir -p "$RESULTS"
 
+for k in $SIZES; do
+	"$tmp/rcgen" -shape fattree -k "$k" -mode bgp -out "$tmp/net-k$k" -emit-policies >/dev/null
+done
+
 manifest="$RESULTS/MANIFEST.tsv"
-printf 'backend\tshards\trepeat\trate\tduration\tfile\n' >"$manifest"
+printf 'k\tbackend\tshards\trepeat\trate\tduration\tfile\n' >"$manifest"
 
 run_cell() {
-	backend=$1
-	shards=$2
-	rep=$3
-	"$tmp/rcserved" -net examples/rollout/net -policies examples/rollout/net/policies.txt \
+	k=$1
+	backend=$2
+	shards=$3
+	rep=$4
+	"$tmp/rcserved" -net "$tmp/net-k$k" -policies "$tmp/net-k$k/policies.txt" \
 		-backend "$backend" -shards "$shards" -addr 127.0.0.1:0 \
 		>"$tmp/out" 2>"$tmp/log" &
 	pid=$!
@@ -61,15 +70,16 @@ run_cell() {
 	done
 	addr=$(sed -n 's#.*http://\([^ ]*\) .*#\1#p' "$tmp/out")
 	if [ -z "$addr" ]; then
-		echo "loadgrid: daemon did not start (backend=$backend shards=$shards)" >&2
+		echo "loadgrid: daemon did not start (k=$k backend=$backend shards=$shards)" >&2
 		cat "$tmp/out" "$tmp/log" >&2
 		exit 1
 	fi
-	out="$RESULTS/BENCH_load_${backend}_s${shards}_r${rep}.json"
-	echo "loadgrid: backend=$backend shards=$shards repeat=$rep -> $out"
+	out="$RESULTS/BENCH_load_k${k}_${backend}_s${shards}_r${rep}.json"
+	echo "loadgrid: k=$k backend=$backend shards=$shards repeat=$rep -> $out"
+	# edge00-00:eth1 exists in every fat-tree arity.
 	"$tmp/rcload" -url "http://$addr" -rate "$RATE" -warmup "$WARMUP" -duration "$DURATION" \
-		-mix read=8,apply=1,whatif=1 -flap r02:eth1 -json "$out"
-	printf '%s\t%s\t%s\t%s\t%s\t%s\n' "$backend" "$shards" "$rep" "$RATE" "$DURATION" "$out" >>"$manifest"
+		-mix read=8,apply=1,whatif=1 -flap edge00-00:eth1 -json "$out"
+	printf '%s\t%s\t%s\t%s\t%s\t%s\t%s\n' "$k" "$backend" "$shards" "$rep" "$RATE" "$DURATION" "$out" >>"$manifest"
 	kill "$pid" 2>/dev/null
 	wait "$pid" 2>/dev/null || true
 	pid=""
@@ -77,10 +87,12 @@ run_cell() {
 
 rep=1
 while [ "$rep" -le "$REPEATS" ]; do
-	for shards in $SHARDS; do
-		run_cell bdd "$shards" "$rep"
+	for k in $SIZES; do
+		for shards in $SHARDS; do
+			run_cell "$k" bdd "$shards" "$rep"
+		done
+		run_cell "$k" atom 1 "$rep"
 	done
-	run_cell atom 1 "$rep"
 	rep=$((rep + 1))
 done
 
